@@ -1,0 +1,133 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig10a,fig10b,fig11,fig12,fig13,table1,fig14,fig15,fig16,ablations
+//	experiments -run fig14 -scale 0.1
+//	experiments -run fig16 -trials 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations")
+	scale := flag.Float64("scale", 0.05, "fig14 trace scale relative to one full CAIDA block (8.9M packets)")
+	trials := flag.Int("trials", 5, "fig16 trials per parameter point")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	failed := false
+
+	step := func(name string, fn func() (string, error)) {
+		if !all && !want[name] {
+			return
+		}
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+			return
+		}
+		fmt.Println(out)
+	}
+
+	step("fig10a", func() (string, error) {
+		rows, err := experiments.RunFig10a()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig10a(rows), nil
+	})
+	step("fig10b", func() (string, error) {
+		rows, err := experiments.RunFig10b()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig10b(rows), nil
+	})
+	step("fig11", func() (string, error) {
+		rows, err := experiments.RunFig11()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig11(rows), nil
+	})
+	step("fig12", func() (string, error) {
+		res, err := experiments.RunFig12()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig12(res), nil
+	})
+	step("fig13", func() (string, error) {
+		a, err := experiments.RunFig13a(32)
+		if err != nil {
+			return "", err
+		}
+		b, err := experiments.RunFig13b(4)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig13(a, b), nil
+	})
+	step("table1", experiments.RunTable1)
+	step("fig14", func() (string, error) {
+		res, err := experiments.RunFig14(*scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig14(res), nil
+	})
+	step("fig15", func() (string, error) {
+		res, err := experiments.RunFig15(*seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig15(res), nil
+	})
+	step("fig16", func() (string, error) {
+		res, err := experiments.RunFig16(*trials)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig16(res), nil
+	})
+	step("recirc", func() (string, error) {
+		rows, err := experiments.RunRecirculation()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatRecirculation(rows), nil
+	})
+	step("freshness", func() (string, error) {
+		res, err := experiments.RunFreshness()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFreshness(res), nil
+	})
+	step("ablations", func() (string, error) {
+		res, err := experiments.RunAblations()
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatAblations(res), nil
+	})
+
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command mantisc is the Mantis compiler CLI: it translates a .p4r file
+// into the generated (malleable) P4 program and a summary of the
+// reaction plan — the analogue of the paper's Flex/Bison compiler
+// emitting a P4 program and C reaction code.
+//
+// Usage:
+//
+//	mantisc [-o out.p4] [-plan] program.p4r
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/compiler"
+)
+
+func main() {
+	out := flag.String("o", "", "write generated P4 to this file (default stdout)")
+	showPlan := flag.Bool("plan", true, "print the reaction plan summary to stderr")
+	maxInitBits := flag.Int("max-init-bits", 512, "platform limit on init-action parameter bits")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mantisc [-o out.p4] program.p4r")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := compiler.DefaultOptions()
+	opts.ProgramName = flag.Arg(0)
+	opts.MaxInitActionBits = *maxInitBits
+	plan, err := compiler.CompileSource(string(src), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mantisc: %v\n", err)
+		os.Exit(1)
+	}
+
+	generated := plan.Prog.Print()
+	if *out == "" {
+		fmt.Print(generated)
+	} else if err := os.WriteFile(*out, []byte(generated), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *showPlan {
+		w := os.Stderr
+		fmt.Fprintf(w, "-- reaction plan --\n")
+		fmt.Fprintf(w, "source: %d LoC -> generated P4: %d LoC\n", plan.SourceLines, plan.Prog.LineCount())
+		fmt.Fprintf(w, "version bits: vv=%v mv=%v\n", plan.UsesVV, plan.UsesMV)
+		for i, it := range plan.InitTables {
+			role := "shadowed"
+			if it.Master {
+				role = "master"
+			}
+			fmt.Fprintf(w, "init table %d: %s (%s, %d params)\n", i, it.Table, role, len(it.Params))
+		}
+		var names []string
+		for name := range plan.MblValues {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			mv := plan.MblValues[name]
+			fmt.Fprintf(w, "malleable value %s: width %d init %d -> %s\n", name, mv.Width, mv.Init, mv.MetaField)
+		}
+		names = names[:0]
+		for name := range plan.MblFields {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			mf := plan.MblFields[name]
+			fmt.Fprintf(w, "malleable field %s: alts %v selector %s\n", name, mf.Alts, mf.Selector)
+		}
+		names = names[:0]
+		for name := range plan.MblTables {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ti := plan.MblTables[name]
+			fmt.Fprintf(w, "malleable table %s: %d generated key columns (vv col %d)\n", name, ti.GenKeyCount, ti.VVCol)
+		}
+		for _, rxn := range plan.Reactions {
+			fmt.Fprintf(w, "reaction %s: %d ing slots, %d egr slots, %d register params, %d malleable params\n",
+				rxn.Name, len(rxn.IngSlots), len(rxn.EgrSlots), len(rxn.RegParams), len(rxn.MblParams))
+		}
+		res := plan.Prog.EstimateResources(nil)
+		fmt.Fprintf(w, "resources: %d stages, %d tables, %d registers, SRAM %dKb, TCAM %dKb, metadata %db\n",
+			res.Stages, res.NumTables, res.NumRegisters, res.SRAMBits/1024, res.TCAMBits/1024, res.MetadataBits)
+	}
+}

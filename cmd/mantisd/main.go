@@ -1,0 +1,96 @@
+// Command mantisd runs a Mantis agent against a simulated switch
+// loaded with a compiled .p4r program, drives synthetic traffic through
+// it, and reports dialogue-loop statistics — a miniature of deploying
+// the Mantis agent on a switch CPU.
+//
+// Usage:
+//
+//	mantisd [-duration 10ms] [-pacing 0] [-pps 100000] program.p4r
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	duration := flag.Duration("duration", 10*time.Millisecond, "virtual run time")
+	pacing := flag.Duration("pacing", 0, "dialogue pacing (0 = busy loop)")
+	pps := flag.Float64("pps", 100000, "synthetic traffic rate (packets/second)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mantisd [flags] program.p4r")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	plan, err := compiler.CompileSource(string(src), compiler.DefaultOptions())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+		os.Exit(1)
+	}
+
+	s := sim.New(*seed)
+	sw, err := rmt.New(s, plan.Prog, rmt.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+		os.Exit(1)
+	}
+	drv := driver.New(s, sw, driver.DefaultCostModel())
+	agent := core.NewAgent(s, drv, plan, core.Options{Pacing: *pacing})
+	agent.Start()
+
+	// Synthetic traffic: random field values at the requested rate.
+	if *pps > 0 {
+		rng := s.Rand()
+		names := plan.Prog.Schema.Names()
+		interval := time.Duration(float64(time.Second) / *pps)
+		s.Every(interval, func() {
+			pkt := plan.Prog.Schema.New()
+			pkt.Size = 64 + rng.Intn(1400)
+			for _, n := range names {
+				if len(n) > 5 && (n[:5] == "ipv4." || n[:4] == "tcp." || n[:4] == "hdr.") {
+					pkt.SetName(n, uint64(rng.Int63()))
+				}
+			}
+			sw.Inject(rng.Intn(sw.Config().NumPorts), pkt)
+		})
+	}
+
+	s.RunFor(*duration)
+	agent.Stop()
+	s.RunFor(time.Millisecond)
+	if err := agent.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "mantisd: agent: %v\n", err)
+		os.Exit(1)
+	}
+
+	ast := agent.Stats()
+	sst := sw.Stats()
+	dst := drv.Stats()
+	fmt.Printf("virtual time:      %v\n", s.Now())
+	fmt.Printf("dialogue:          %d iterations, %d commits, busy %v (%.1f%% CPU)\n",
+		ast.Iterations, ast.Commits, ast.Busy, 100*float64(ast.Busy)/float64(s.Now().Duration()))
+	fmt.Printf("iteration latency: %v\n", stats.SummarizeDurations(ast.Latencies))
+	fmt.Printf("switch:            rx %d, tx %d, drops %d (ingress) / %d (queue)\n",
+		sst.RxPackets, sst.TxPackets, sst.IngressDrops, sst.QueueDrops)
+	fmt.Printf("driver:            %d table ops (%d memoized), %d reads (%d bytes)\n",
+		dst.TableOps, dst.MemoizedOps, dst.RegReads, dst.RegReadBytes)
+	for _, rxn := range plan.Reactions {
+		fmt.Printf("reaction:          %s\n", rxn.Name)
+	}
+}

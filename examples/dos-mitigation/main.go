@@ -1,0 +1,32 @@
+// The dos-mitigation example runs the paper's Figure 15 scenario: 25
+// paced TCP senders hold a 10 Gbps bottleneck at ~20% until a UDP
+// flooder arrives at 25 Gbps; the Mantis reaction estimates per-sender
+// rates from polled data-plane state and installs a blocklist entry
+// within ~100µs, after which the benign flows recover.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/usecases"
+)
+
+func main() {
+	res, err := usecases.RunFig15(usecases.DefaultFig15Config(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flood started at        %v\n", res.FloodStart)
+	fmt.Printf("mitigation installed at %v (detection latency %v)\n", res.BlockedAt, res.DetectionLatency)
+	fmt.Printf("benign goodput: %.2f Gbps before, %.2f during flood, %.2f after recovery\n\n",
+		res.PreGbps, res.FloodGbps, res.PostGbps)
+	starts, sums := res.Goodput.Bucketize(300 * time.Microsecond)
+	fmt.Println("aggregate benign goodput over time:")
+	for i := range starts {
+		gbps := sums[i] * 8 / 300e-6 / 1e9
+		fmt.Printf("  %8v %5.2f Gbps %s\n", starts[i], gbps, strings.Repeat("#", int(gbps*10)))
+	}
+}

@@ -1,0 +1,27 @@
+// The hash-polarization example runs use case #3: all traffic shares
+// the initial ECMP hash input (the destination address), polarizing
+// the 4-path group onto one port. The reaction watches per-path
+// counters, detects the persistent imbalance, and shifts the malleable
+// hash-input field to the source address, rebalancing the group.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/usecases"
+)
+
+func main() {
+	res, err := usecases.RunPolar(3, 50*time.Microsecond, 3*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hash input shifted: %v (first shift at %v)\n", res.Shifted, res.ShiftAt)
+	fmt.Printf("imbalance (deviation/mean): %.2f before -> %.2f after\n", res.MADBefore, res.MADAfter)
+	fmt.Println("final per-path traffic shares:")
+	for i, share := range res.PortShares {
+		fmt.Printf("  path %d: %5.1f%%\n", i, share*100)
+	}
+}

@@ -1,0 +1,271 @@
+// Package baseline implements the comparators the paper evaluates
+// Mantis against: the sFlow sampled estimator and the data-plane
+// hash-table and count-min-sketch flow-size estimators of Figure 14,
+// plus the Reitblatt-style two-phase update protocol that §5.1.2
+// contrasts with Mantis's three-phase scheme.
+package baseline
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Estimator consumes a packet stream and estimates per-key byte counts.
+// Keys are flow IDs for flow-size estimation or source addresses for
+// the DoS use case.
+type Estimator interface {
+	// Observe processes one packet attributed to key.
+	Observe(key uint64, bytes int, at time.Duration)
+	// Estimate returns the estimated byte count for key.
+	Estimate(key uint64) float64
+	// Name identifies the estimator in reports.
+	Name() string
+}
+
+// ---- sFlow ----
+
+// SFlow models the sFlow estimator: 1-in-Rate packet sampling in the
+// data plane with flow statistics reconstructed in the control plane.
+// The paper uses the production-recommended 1:30000 rate.
+type SFlow struct {
+	Rate    int
+	rng     *rand.Rand
+	sampled map[uint64]uint64
+}
+
+// NewSFlow returns an sFlow estimator sampling 1 in rate packets.
+func NewSFlow(rate int, seed int64) *SFlow {
+	return &SFlow{Rate: rate, rng: rand.New(rand.NewSource(seed)), sampled: make(map[uint64]uint64)}
+}
+
+// Observe implements Estimator with uniform packet sampling.
+func (s *SFlow) Observe(key uint64, bytes int, _ time.Duration) {
+	if s.rng.Intn(s.Rate) == 0 {
+		s.sampled[key] += uint64(bytes)
+	}
+}
+
+// Estimate scales the sampled bytes by the sampling rate.
+func (s *SFlow) Estimate(key uint64) float64 {
+	return float64(s.sampled[key]) * float64(s.Rate)
+}
+
+// Name implements Estimator.
+func (s *SFlow) Name() string { return "sflow" }
+
+// ---- Count-min sketch ----
+
+// CountMin is a d-row count-min sketch of byte counters, the
+// data-plane sketch baseline of Fig. 14 (the paper uses 2 stages of
+// 8,192 or 16,384 counters).
+type CountMin struct {
+	rows [][]uint64
+	seed []uint64
+	w    uint64
+}
+
+// NewCountMin builds a sketch with d rows of w counters.
+func NewCountMin(d, w int, seed int64) *CountMin {
+	cm := &CountMin{w: uint64(w)}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < d; i++ {
+		cm.rows = append(cm.rows, make([]uint64, w))
+		cm.seed = append(cm.seed, rng.Uint64())
+	}
+	return cm
+}
+
+// hash64 is a splitmix64-style finalizer. Byte-oriented hashes like FNV
+// map sequential integer keys modulo a power-of-two almost permutation-
+// like (no avalanche in the low bits), which makes synthetic-trace
+// collisions artificially uniform; the multiply-xorshift finalizer gives
+// proper avalanche so sketch collisions are Poisson, as with real keys.
+func hash64(key, seed uint64) uint64 {
+	x := key + seed + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Observe implements Estimator.
+func (cm *CountMin) Observe(key uint64, bytes int, _ time.Duration) {
+	for i := range cm.rows {
+		cm.rows[i][hash64(key, cm.seed[i])%cm.w] += uint64(bytes)
+	}
+}
+
+// Estimate returns the minimum counter across rows (classic CMS bound:
+// overestimates only).
+func (cm *CountMin) Estimate(key uint64) float64 {
+	min := ^uint64(0)
+	for i := range cm.rows {
+		v := cm.rows[i][hash64(key, cm.seed[i])%cm.w]
+		if v < min {
+			min = v
+		}
+	}
+	return float64(min)
+}
+
+// Name implements Estimator.
+func (cm *CountMin) Name() string { return "count-min" }
+
+// ---- Data-plane hash table ----
+
+// HashTable models a data-plane exact-match hash table with a fixed
+// slot count and no collision resolution: colliding flows share one
+// byte counter, so collisions misattribute arbitrarily many bytes — the
+// error source the paper contrasts with Mantis's bounded sampling
+// error.
+type HashTable struct {
+	slots []uint64
+	seed  uint64
+}
+
+// NewHashTable builds a table with n slots.
+func NewHashTable(n int, seed int64) *HashTable {
+	return &HashTable{slots: make([]uint64, n), seed: uint64(seed)}
+}
+
+// Observe implements Estimator.
+func (ht *HashTable) Observe(key uint64, bytes int, _ time.Duration) {
+	ht.slots[hash64(key, ht.seed)%uint64(len(ht.slots))] += uint64(bytes)
+}
+
+// Estimate implements Estimator.
+func (ht *HashTable) Estimate(key uint64) float64 {
+	return float64(ht.slots[hash64(key, ht.seed)%uint64(len(ht.slots))])
+}
+
+// Name implements Estimator.
+func (ht *HashTable) Name() string { return "hashtable" }
+
+// ---- Mantis sampler ----
+
+// MantisSampler models use case #1's estimation loop at trace level:
+// the data plane keeps the current packet's key and a total byte
+// counter; every Interval the reaction attributes the marginal byte
+// increase to the key it sampled. Inaccuracy is bounded sampling error
+// rather than collision error.
+type MantisSampler struct {
+	Interval time.Duration
+
+	est        map[uint64]uint64
+	totalBytes uint64
+	lastTotal  uint64
+	lastKey    uint64
+	haveKey    bool
+	nextPoll   time.Duration
+}
+
+// NewMantisSampler polls every interval of trace time (the paper
+// sustains ~10µs, about 1 in 5 packets on its trace).
+func NewMantisSampler(interval time.Duration) *MantisSampler {
+	return &MantisSampler{Interval: interval, est: make(map[uint64]uint64)}
+}
+
+// Observe implements Estimator. Polls fire lazily on the packet
+// timeline, exactly as the real loop samples the register state left by
+// the most recent packet.
+func (m *MantisSampler) Observe(key uint64, bytes int, at time.Duration) {
+	for m.haveKey && at >= m.nextPoll {
+		m.poll()
+		m.nextPoll += m.Interval
+	}
+	if !m.haveKey {
+		m.haveKey = true
+		m.nextPoll = at + m.Interval
+	}
+	m.totalBytes += uint64(bytes)
+	m.lastKey = key
+}
+
+func (m *MantisSampler) poll() {
+	delta := m.totalBytes - m.lastTotal
+	m.lastTotal = m.totalBytes
+	m.est[m.lastKey] += delta
+}
+
+// Flush runs a final poll so trailing bytes are attributed.
+func (m *MantisSampler) Flush() {
+	if m.haveKey {
+		m.poll()
+	}
+}
+
+// Estimate implements Estimator.
+func (m *MantisSampler) Estimate(key uint64) float64 { return float64(m.est[key]) }
+
+// Name implements Estimator.
+func (m *MantisSampler) Name() string { return "mantis" }
+
+// ---- Trace evaluation ----
+
+// EvalResult is one estimator's accuracy on a trace, split by flow
+// size the way Fig. 14 buckets its x-axis.
+type EvalResult struct {
+	Name string
+	// MeanErrByBucket maps a flow-size bucket label to mean relative
+	// error; Buckets preserves order.
+	Buckets []string
+	MeanErr []float64
+}
+
+// SizeBuckets are the Fig. 14 x-axis buckets (flow size in bytes).
+var SizeBuckets = []struct {
+	Label string
+	Lo    uint64
+	Hi    uint64
+}{
+	{"<1KB", 0, 1 << 10},
+	{"1-10KB", 1 << 10, 10 << 10},
+	{"10-100KB", 10 << 10, 100 << 10},
+	{"100KB-1MB", 100 << 10, 1 << 20},
+	{">1MB", 1 << 20, ^uint64(0)},
+}
+
+// RunEstimator replays a trace through an estimator keyed by flow ID
+// and returns mean relative error per size bucket.
+func RunEstimator(tr *workload.Trace, est Estimator) EvalResult {
+	for _, p := range tr.Packets {
+		est.Observe(uint64(p.Flow.ID), p.Size, p.Time)
+	}
+	if f, ok := est.(interface{ Flush() }); ok {
+		f.Flush()
+	}
+	sums := make([]float64, len(SizeBuckets))
+	counts := make([]int, len(SizeBuckets))
+	for _, f := range tr.Flows {
+		e := est.Estimate(uint64(f.ID))
+		actual := float64(f.Bytes)
+		err := 0.0
+		if actual > 0 {
+			if e > actual {
+				err = (e - actual) / actual
+			} else {
+				err = (actual - e) / actual
+			}
+		}
+		for b, bk := range SizeBuckets {
+			if f.Bytes >= bk.Lo && f.Bytes < bk.Hi {
+				sums[b] += err
+				counts[b]++
+				break
+			}
+		}
+	}
+	res := EvalResult{Name: est.Name()}
+	for b, bk := range SizeBuckets {
+		if counts[b] == 0 {
+			continue
+		}
+		res.Buckets = append(res.Buckets, bk.Label)
+		res.MeanErr = append(res.MeanErr, sums[b]/float64(counts[b]))
+	}
+	return res
+}

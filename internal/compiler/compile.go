@@ -1,0 +1,442 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/p4"
+	"repro/internal/p4r"
+	"repro/internal/rmt"
+)
+
+// Options tunes platform-dependent compilation limits.
+type Options struct {
+	// ProgramName names the generated program.
+	ProgramName string
+	// MaxInitActionBits is the maximum total parameter width of a single
+	// init action; exceeding it splits the init table (§5.1.1). Real
+	// targets allow very large actions; tests shrink this to exercise
+	// the multi-init-table protocol.
+	MaxInitActionBits int
+	// MeasSlotBits is the width of packed measurement registers.
+	MeasSlotBits int
+}
+
+// DefaultOptions returns production-like limits.
+func DefaultOptions() Options {
+	return Options{ProgramName: "p4r", MaxInitActionBits: 512, MeasSlotBits: 64}
+}
+
+type compiler struct {
+	f    *p4r.File
+	opts Options
+	prog *p4.Program
+	plan *Plan
+
+	// headerTypes by name; instance type by instance name.
+	headerTypes map[string]*p4r.HeaderType
+
+	// specs records specialization layouts for actions that use
+	// malleable fields.
+	specs map[string]*ActionSpecInfo
+
+	// paramWidths caches inferred action parameter widths.
+	mvID, vvID int
+}
+
+// Compile lowers a parsed P4R file into a program + plan.
+func Compile(f *p4r.File, opts Options) (*Plan, error) {
+	if opts.MaxInitActionBits == 0 {
+		opts.MaxInitActionBits = 512
+	}
+	if opts.MeasSlotBits == 0 {
+		opts.MeasSlotBits = 64
+	}
+	if opts.ProgramName == "" {
+		opts.ProgramName = "p4r"
+	}
+	c := &compiler{
+		f:           f,
+		opts:        opts,
+		prog:        p4.NewProgram(opts.ProgramName),
+		headerTypes: make(map[string]*p4r.HeaderType),
+		specs:       make(map[string]*ActionSpecInfo),
+	}
+	c.plan = &Plan{
+		Prog:      c.prog,
+		MblValues: make(map[string]*MblValueInfo),
+		MblFields: make(map[string]*MblFieldInfo),
+		MblTables: make(map[string]*MblTableInfo),
+	}
+	steps := []func() error{
+		c.defineSchema,
+		c.defineRegisters,
+		c.defineMalleables,
+		c.packInitTables,
+		c.lowerFieldLists,
+		c.lowerActions,
+		c.lowerTables,
+		c.lowerReactions,
+		c.buildControlFlow,
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: generated program invalid: %w", err)
+	}
+	return c.plan, nil
+}
+
+// CompileSource parses and compiles P4R source text, recording the
+// source's non-blank line count (the Table-1 "P4R LoC" metric).
+func CompileSource(src string, opts Options) (*Plan, error) {
+	f, err := p4r.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := Compile(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	plan.SourceLines = n
+	return plan, nil
+}
+
+func ceilLog2(n int) int {
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func sanitize(name string) string { return strings.ReplaceAll(name, ".", "_") }
+
+// ---- Step 1: schema ----
+
+func (c *compiler) defineSchema() error {
+	c.prog.DefineStandardMetadata()
+	for _, ht := range c.f.HeaderTypes {
+		if _, dup := c.headerTypes[ht.Name]; dup {
+			return fmt.Errorf("line %d: duplicate header_type %s", ht.Line, ht.Name)
+		}
+		c.headerTypes[ht.Name] = ht
+	}
+	for _, inst := range c.f.Instances {
+		ht, ok := c.headerTypes[inst.TypeName]
+		if !ok {
+			return fmt.Errorf("line %d: instance %s of unknown header_type %s", inst.Line, inst.Name, inst.TypeName)
+		}
+		for _, fd := range ht.Fields {
+			if fd.Width <= 0 || fd.Width > 64 {
+				return fmt.Errorf("header_type %s: field %s has unsupported width %d", ht.Name, fd.Name, fd.Width)
+			}
+			c.prog.Schema.Define(inst.Name+"."+fd.Name, fd.Width)
+		}
+	}
+	return nil
+}
+
+func (c *compiler) defineRegisters() error {
+	for _, r := range c.f.Registers {
+		if r.Width <= 0 || r.Width > 64 {
+			return fmt.Errorf("line %d: register %s has unsupported width %d", r.Line, r.Name, r.Width)
+		}
+		c.prog.AddRegister(&p4.Register{Name: r.Name, Width: r.Width, Instances: r.InstanceCount})
+	}
+	return nil
+}
+
+// ---- Step 2: malleable declarations ----
+
+func (c *compiler) defineMalleables() error {
+	for _, mv := range c.f.MblValues {
+		if mv.Width <= 0 || mv.Width > 64 {
+			return fmt.Errorf("line %d: malleable value %s has unsupported width %d", mv.Line, mv.Name, mv.Width)
+		}
+		meta := MetaPrefix + mv.Name
+		c.prog.Schema.Define(meta, mv.Width)
+		c.plan.MblValues[mv.Name] = &MblValueInfo{
+			Name: mv.Name, MetaField: meta, Width: mv.Width, Init: mv.Init,
+		}
+	}
+	for _, mf := range c.f.MblFields {
+		for _, alt := range mf.Alts {
+			id, ok := c.prog.Schema.Lookup(alt)
+			if !ok {
+				return fmt.Errorf("line %d: malleable field %s: unknown alt %q", mf.Line, mf.Name, alt)
+			}
+			if w := c.prog.Schema.Width(id); w != mf.Width {
+				return fmt.Errorf("line %d: malleable field %s (width %d): alt %q has width %d",
+					mf.Line, mf.Name, mf.Width, alt, w)
+			}
+		}
+		selWidth := ceilLog2(len(mf.Alts))
+		if selWidth == 0 {
+			selWidth = 1
+		}
+		sel := MetaPrefix + mf.Name + "_alt"
+		c.prog.Schema.Define(sel, selWidth)
+		c.plan.MblFields[mf.Name] = &MblFieldInfo{
+			Name: mf.Name, Selector: sel, Width: mf.Width,
+			Alts: append([]string(nil), mf.Alts...), InitAlt: mf.InitAltIndex(),
+		}
+	}
+	// Version bits exist whenever there is anything dynamic to version.
+	if len(c.f.MblValues)+len(c.f.MblFields)+len(c.f.Tables) > 0 || len(c.f.Reactions) > 0 {
+		hasMblTable := false
+		for _, t := range c.f.Tables {
+			if t.Malleable {
+				hasMblTable = true
+			}
+		}
+		c.plan.UsesVV = hasMblTable || len(c.f.MblValues)+len(c.f.MblFields) > 0
+		c.plan.UsesMV = len(c.f.Reactions) > 0
+		if c.plan.UsesVV {
+			c.prog.Schema.Define(VVField, 1)
+		}
+		if c.plan.UsesMV {
+			c.prog.Schema.Define(MVField, 1)
+		}
+	}
+	return nil
+}
+
+// ---- Step 3: init-table bin packing (§4.1 compound usages) ----
+
+// firstFitDecreasing packs items into bins of capacity capBits using the
+// paper's sorted-first-fit heuristic. reserved items are pinned to bin 0
+// (the master init table must hold the version bits).
+func firstFitDecreasing(reserved, items []InitParam, capBits int) [][]InitParam {
+	sorted := append([]InitParam(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Width != sorted[j].Width {
+			return sorted[i].Width > sorted[j].Width
+		}
+		return sorted[i].Mbl < sorted[j].Mbl
+	})
+	bins := [][]InitParam{append([]InitParam(nil), reserved...)}
+	used := []int{0}
+	for _, p := range reserved {
+		used[0] += p.Width
+	}
+	for _, it := range sorted {
+		placed := false
+		for b := range bins {
+			if used[b]+it.Width <= capBits {
+				bins[b] = append(bins[b], it)
+				used[b] += it.Width
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, []InitParam{it})
+			used = append(used, it.Width)
+		}
+	}
+	return bins
+}
+
+func (c *compiler) packInitTables() error {
+	var reserved, items []InitParam
+	if c.plan.UsesVV {
+		reserved = append(reserved, InitParam{Kind: InitVV, Width: 1})
+	}
+	if c.plan.UsesMV {
+		reserved = append(reserved, InitParam{Kind: InitMV, Width: 1})
+	}
+	for _, mv := range c.f.MblValues {
+		items = append(items, InitParam{Kind: InitValue, Mbl: mv.Name, Width: mv.Width, Init: mv.Init})
+	}
+	for _, mf := range c.f.MblFields {
+		info := c.plan.MblFields[mf.Name]
+		selWidth := c.prog.Schema.Width(c.prog.Schema.MustID(info.Selector))
+		items = append(items, InitParam{Kind: InitField, Mbl: mf.Name, Width: selWidth, Init: uint64(info.InitAlt)})
+	}
+	if len(reserved)+len(items) == 0 {
+		return nil
+	}
+	for _, it := range append(append([]InitParam(nil), reserved...), items...) {
+		if it.Width > c.opts.MaxInitActionBits {
+			return fmt.Errorf("malleable %s (%d bits) exceeds MaxInitActionBits %d", it.Mbl, it.Width, c.opts.MaxInitActionBits)
+		}
+	}
+	bins := firstFitDecreasing(reserved, items, c.opts.MaxInitActionBits)
+
+	for b, bin := range bins {
+		tname := fmt.Sprintf("p4r_init%d_", b+1)
+		aname := fmt.Sprintf("p4r_init_action_%d_", b+1)
+		action := &p4.Action{Name: aname}
+		for _, ip := range bin {
+			var meta, pname string
+			switch ip.Kind {
+			case InitVV:
+				meta, pname = VVField, "config_ver"
+			case InitMV:
+				meta, pname = MVField, "measure_ver"
+			case InitValue:
+				meta, pname = c.plan.MblValues[ip.Mbl].MetaField, ip.Mbl
+			case InitField:
+				meta, pname = c.plan.MblFields[ip.Mbl].Selector, ip.Mbl+"_alt"
+			}
+			pidx := len(action.Params)
+			action.Params = append(action.Params, p4.Param{Name: pname, Width: ip.Width})
+			action.Body = append(action.Body, p4.ModifyField{
+				Dst: c.prog.Schema.MustID(meta), DstName: meta, Src: p4.ParamOp(pidx, pname),
+			})
+			switch ip.Kind {
+			case InitValue:
+				c.plan.MblValues[ip.Mbl].InitTable = b
+				c.plan.MblValues[ip.Mbl].ParamIdx = pidx
+			case InitField:
+				c.plan.MblFields[ip.Mbl].InitTable = b
+				c.plan.MblFields[ip.Mbl].ParamIdx = pidx
+			}
+		}
+		c.prog.AddAction(action)
+		tbl := &p4.Table{Name: tname, ActionNames: []string{aname}, Size: 2}
+		if b == 0 {
+			// Master: no keys; configured via an atomically-updatable
+			// default action.
+			initData := make([]uint64, len(bin))
+			for i, ip := range bin {
+				initData[i] = ip.Init
+			}
+			tbl.Size = 1
+			tbl.DefaultAction = &p4.ActionCall{Action: aname, Data: initData}
+		} else {
+			// Non-master init tables match on vv and are maintained like
+			// malleable tables (two entries, three-phase updates).
+			vvID := c.prog.Schema.MustID(VVField)
+			tbl.Keys = []p4.MatchKey{{FieldName: VVField, Field: vvID, Width: 1, Kind: p4.MatchExact}}
+		}
+		c.prog.AddTable(tbl)
+		c.plan.InitTables = append(c.plan.InitTables, &InitTableInfo{
+			Table: tname, Action: aname, Params: bin, Master: b == 0,
+		})
+	}
+	return nil
+}
+
+// ---- Step 4: field lists and hash calculations ----
+
+// carrierFor ensures a malleable field has a carrier metadata field and
+// loader table (the "load values in prior stages" optimization), and
+// returns the carrier field name.
+func (c *compiler) carrierFor(mblName string) (string, error) {
+	info, ok := c.plan.MblFields[mblName]
+	if !ok {
+		return "", fmt.Errorf("unknown malleable field %q", mblName)
+	}
+	if info.Carrier != "" {
+		return info.Carrier, nil
+	}
+	carrier := MetaPrefix + mblName + "_val"
+	c.prog.Schema.Define(carrier, info.Width)
+	info.Carrier = carrier
+
+	loader := "p4r_load_" + mblName + "_"
+	info.LoaderTable = loader
+	selID := c.prog.Schema.MustID(info.Selector)
+	var actionNames []string
+	for i, alt := range info.Alts {
+		an := fmt.Sprintf("p4r_load_%s_%d_", mblName, i)
+		c.prog.AddAction(&p4.Action{
+			Name: an,
+			Body: []p4.Primitive{p4.ModifyField{
+				Dst: c.prog.Schema.MustID(carrier), DstName: carrier,
+				Src: p4.FieldOp(c.prog.Schema.MustID(alt), alt),
+			}},
+		})
+		actionNames = append(actionNames, an)
+		c.plan.StaticEntries = append(c.plan.StaticEntries, StaticEntry{
+			Table: loader,
+			Entry: rmt.Entry{
+				Keys:   []rmt.KeySpec{rmt.ExactKey(uint64(i))},
+				Action: an,
+			},
+		})
+	}
+	c.prog.AddTable(&p4.Table{
+		Name:        loader,
+		Keys:        []p4.MatchKey{{FieldName: info.Selector, Field: selID, Width: c.prog.Schema.Width(selID), Kind: p4.MatchExact}},
+		ActionNames: actionNames,
+		Size:        len(info.Alts),
+	})
+	return carrier, nil
+}
+
+func (c *compiler) lowerFieldLists() error {
+	lists := make(map[string][]string) // field list name -> resolved field names
+	for _, fl := range c.f.FieldLists {
+		var fields []string
+		for _, e := range fl.Entries {
+			switch e.Kind {
+			case p4r.ArgIdent:
+				if _, ok := c.prog.Schema.Lookup(e.Ident); !ok {
+					return fmt.Errorf("field_list %s: unknown field %q", fl.Name, e.Ident)
+				}
+				fields = append(fields, e.Ident)
+			case p4r.ArgMblRef:
+				if mv, isVal := c.plan.MblValues[e.Mbl]; isVal {
+					fields = append(fields, mv.MetaField)
+					continue
+				}
+				carrier, err := c.carrierFor(e.Mbl)
+				if err != nil {
+					return fmt.Errorf("field_list %s: %w", fl.Name, err)
+				}
+				fields = append(fields, carrier)
+			default:
+				return fmt.Errorf("field_list %s: constants are not allowed", fl.Name)
+			}
+		}
+		lists[fl.Name] = fields
+	}
+	for _, calc := range c.f.Calcs {
+		fields, ok := lists[calc.Input]
+		if !ok {
+			return fmt.Errorf("field_list_calculation %s: unknown field_list %q", calc.Name, calc.Input)
+		}
+		var algo p4.HashAlgo
+		switch calc.Algorithm {
+		case "crc16":
+			algo = p4.HashCRC16
+		case "crc32":
+			algo = p4.HashCRC32
+		case "identity":
+			algo = p4.HashIdentity
+		default:
+			return fmt.Errorf("field_list_calculation %s: unknown algorithm %q", calc.Name, calc.Algorithm)
+		}
+		width := calc.OutputWidth
+		if width == 0 {
+			width = 16
+		}
+		h := &p4.HashCalc{Name: calc.Name, Algo: algo, Width: width}
+		for _, fn := range fields {
+			h.Fields = append(h.Fields, c.prog.Schema.MustID(fn))
+		}
+		c.prog.AddHash(h)
+	}
+	return nil
+}

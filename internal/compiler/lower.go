@@ -1,0 +1,609 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/p4"
+	"repro/internal/p4r"
+	"repro/internal/packet"
+)
+
+// ---- Action lowering and specialization (Figs. 4, 5, 6) ----
+
+// mblFieldsUsed returns the malleable *fields* referenced by an action,
+// in order of first occurrence.
+func (c *compiler) mblFieldsUsed(a *p4r.ActionDecl) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, call := range a.Body {
+		for _, arg := range call.Args {
+			if arg.Kind != p4r.ArgMblRef {
+				continue
+			}
+			if _, isField := c.plan.MblFields[arg.Mbl]; isField && !seen[arg.Mbl] {
+				seen[arg.Mbl] = true
+				out = append(out, arg.Mbl)
+			}
+		}
+	}
+	return out
+}
+
+func (c *compiler) lowerActions() error {
+	for _, a := range c.f.Actions {
+		fields := c.mblFieldsUsed(a)
+		if len(fields) == 0 {
+			la, err := c.lowerAction(a, a.Name, nil)
+			if err != nil {
+				return err
+			}
+			c.prog.AddAction(la)
+			continue
+		}
+		// Specialize over the cartesian product of alternatives — the
+		// action-instantiation strategy of Figs. 5 and 6.
+		spec := &ActionSpecInfo{Fields: fields}
+		for _, fn := range fields {
+			spec.AltCounts = append(spec.AltCounts, len(c.plan.MblFields[fn].Alts))
+		}
+		combo := make([]int, len(fields))
+		for {
+			binding := make(map[string]string, len(fields))
+			parts := make([]string, len(fields))
+			for i, fn := range fields {
+				alt := c.plan.MblFields[fn].Alts[combo[i]]
+				binding[fn] = alt
+				parts[i] = sanitize(alt)
+			}
+			vname := a.Name + "__" + strings.Join(parts, "__") + "_"
+			la, err := c.lowerAction(a, vname, binding)
+			if err != nil {
+				return err
+			}
+			c.prog.AddAction(la)
+			spec.Variants = append(spec.Variants, vname)
+			// Advance the combination, last index fastest (row-major, so
+			// VariantFor's Horner indexing matches).
+			i := len(combo) - 1
+			for i >= 0 {
+				combo[i]++
+				if combo[i] < spec.AltCounts[i] {
+					break
+				}
+				combo[i] = 0
+				i--
+			}
+			if i < 0 {
+				break
+			}
+		}
+		c.specs[a.Name] = spec
+	}
+	return nil
+}
+
+// resolveOperand maps a P4R argument to a p4 operand in the context of
+// an action declaration and a malleable-field binding.
+func (c *compiler) resolveOperand(arg p4r.Arg, decl *p4r.ActionDecl, binding map[string]string) (p4.Operand, error) {
+	switch arg.Kind {
+	case p4r.ArgConst:
+		return p4.ConstOp(arg.Value), nil
+	case p4r.ArgIdent:
+		if decl != nil {
+			for i, pn := range decl.Params {
+				if pn == arg.Ident {
+					return p4.ParamOp(i, pn), nil
+				}
+			}
+		}
+		if id, ok := c.prog.Schema.Lookup(arg.Ident); ok {
+			return p4.FieldOp(id, arg.Ident), nil
+		}
+		return p4.Operand{}, fmt.Errorf("line %d: unknown field or parameter %q", arg.Line, arg.Ident)
+	case p4r.ArgMblRef:
+		if mv, ok := c.plan.MblValues[arg.Mbl]; ok {
+			id := c.prog.Schema.MustID(mv.MetaField)
+			return p4.FieldOp(id, mv.MetaField), nil
+		}
+		if _, ok := c.plan.MblFields[arg.Mbl]; ok {
+			alt, bound := binding[arg.Mbl]
+			if !bound {
+				return p4.Operand{}, fmt.Errorf("line %d: malleable field ${%s} used outside a specializable context", arg.Line, arg.Mbl)
+			}
+			id := c.prog.Schema.MustID(alt)
+			return p4.FieldOp(id, alt), nil
+		}
+		return p4.Operand{}, fmt.Errorf("line %d: unknown malleable ${%s}", arg.Line, arg.Mbl)
+	}
+	return p4.Operand{}, fmt.Errorf("line %d: bad argument", arg.Line)
+}
+
+// resolveDst resolves an argument that must denote a writable field.
+func (c *compiler) resolveDst(arg p4r.Arg, binding map[string]string) (packet.FieldID, string, error) {
+	switch arg.Kind {
+	case p4r.ArgIdent:
+		if id, ok := c.prog.Schema.Lookup(arg.Ident); ok {
+			return id, arg.Ident, nil
+		}
+		return 0, "", fmt.Errorf("line %d: unknown destination field %q", arg.Line, arg.Ident)
+	case p4r.ArgMblRef:
+		if _, isVal := c.plan.MblValues[arg.Mbl]; isVal {
+			return 0, "", fmt.Errorf("line %d: malleable value ${%s} cannot be assigned in the data plane (values are set by reactions)", arg.Line, arg.Mbl)
+		}
+		if _, isField := c.plan.MblFields[arg.Mbl]; isField {
+			alt, bound := binding[arg.Mbl]
+			if !bound {
+				return 0, "", fmt.Errorf("line %d: malleable field ${%s} used outside a specializable context", arg.Line, arg.Mbl)
+			}
+			return c.prog.Schema.MustID(alt), alt, nil
+		}
+		return 0, "", fmt.Errorf("line %d: unknown malleable ${%s}", arg.Line, arg.Mbl)
+	}
+	return 0, "", fmt.Errorf("line %d: destination must be a field", arg.Line)
+}
+
+func (c *compiler) registerName(arg p4r.Arg) (string, error) {
+	if arg.Kind != p4r.ArgIdent {
+		return "", fmt.Errorf("line %d: register name expected", arg.Line)
+	}
+	if _, ok := c.prog.Registers[arg.Ident]; !ok {
+		return "", fmt.Errorf("line %d: unknown register %q", arg.Line, arg.Ident)
+	}
+	return arg.Ident, nil
+}
+
+var aluOps = map[string]p4.ALUOp{
+	"add": p4.ALUAdd, "subtract": p4.ALUSub,
+	"bit_and": p4.ALUAnd, "bit_or": p4.ALUOr, "bit_xor": p4.ALUXor,
+	"shift_left": p4.ALUShl, "shift_right": p4.ALUShr,
+	"min": p4.ALUMin, "max": p4.ALUMax,
+}
+
+func (c *compiler) lowerAction(decl *p4r.ActionDecl, name string, binding map[string]string) (*p4.Action, error) {
+	a := &p4.Action{Name: name}
+	widths := make([]int, len(decl.Params))
+	for i := range widths {
+		widths[i] = 32 // default; refined below from usage
+	}
+	noteParamWidth := func(op p4.Operand, w int) {
+		if op.Kind == p4.OpParam && w > 0 && widths[op.Param] < w {
+			widths[op.Param] = w
+		}
+	}
+	fieldWidth := func(id packet.FieldID) int { return c.prog.Schema.Width(id) }
+
+	for _, call := range decl.Body {
+		argc := func(n int) error {
+			if len(call.Args) != n {
+				return fmt.Errorf("line %d: %s takes %d arguments, got %d", call.Line, call.Name, n, len(call.Args))
+			}
+			return nil
+		}
+		switch call.Name {
+		case "modify_field":
+			if err := argc(2); err != nil {
+				return nil, err
+			}
+			dst, dstName, err := c.resolveDst(call.Args[0], binding)
+			if err != nil {
+				return nil, err
+			}
+			src, err := c.resolveOperand(call.Args[1], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			noteParamWidth(src, fieldWidth(dst))
+			a.Body = append(a.Body, p4.ModifyField{Dst: dst, DstName: dstName, Src: src})
+		case "add", "subtract", "bit_and", "bit_or", "bit_xor", "shift_left", "shift_right", "min", "max":
+			if err := argc(3); err != nil {
+				return nil, err
+			}
+			dst, dstName, err := c.resolveDst(call.Args[0], binding)
+			if err != nil {
+				return nil, err
+			}
+			x, err := c.resolveOperand(call.Args[1], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			y, err := c.resolveOperand(call.Args[2], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			noteParamWidth(x, fieldWidth(dst))
+			noteParamWidth(y, fieldWidth(dst))
+			a.Body = append(a.Body, p4.ALU{Op: aluOps[call.Name], Dst: dst, DstName: dstName, A: x, B: y})
+		case "add_to_field", "subtract_from_field":
+			if err := argc(2); err != nil {
+				return nil, err
+			}
+			dst, dstName, err := c.resolveDst(call.Args[0], binding)
+			if err != nil {
+				return nil, err
+			}
+			v, err := c.resolveOperand(call.Args[1], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			op := p4.ALUAdd
+			if call.Name == "subtract_from_field" {
+				op = p4.ALUSub
+			}
+			noteParamWidth(v, fieldWidth(dst))
+			a.Body = append(a.Body, p4.ALU{Op: op, Dst: dst, DstName: dstName, A: p4.FieldOp(dst, dstName), B: v})
+		case "drop":
+			if err := argc(0); err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, p4.Drop{})
+		case "no_op":
+			if err := argc(0); err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, p4.NoOp{})
+		case "recirculate":
+			if err := argc(0); err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, p4.Recirculate{})
+		case "register_read":
+			if err := argc(3); err != nil {
+				return nil, err
+			}
+			dst, dstName, err := c.resolveDst(call.Args[0], binding)
+			if err != nil {
+				return nil, err
+			}
+			reg, err := c.registerName(call.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			idx, err := c.resolveOperand(call.Args[2], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, p4.RegisterRead{Dst: dst, DstName: dstName, Reg: reg, Index: idx})
+		case "register_write":
+			if err := argc(3); err != nil {
+				return nil, err
+			}
+			reg, err := c.registerName(call.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			idx, err := c.resolveOperand(call.Args[1], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			val, err := c.resolveOperand(call.Args[2], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			noteParamWidth(val, c.prog.Registers[reg].Width)
+			a.Body = append(a.Body, p4.RegisterWrite{Reg: reg, Index: idx, Value: val})
+		case "register_increment":
+			if err := argc(3); err != nil {
+				return nil, err
+			}
+			reg, err := c.registerName(call.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			idx, err := c.resolveOperand(call.Args[1], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			by, err := c.resolveOperand(call.Args[2], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, p4.RegisterIncrement{Reg: reg, Index: idx, By: by})
+		case "count":
+			if err := argc(2); err != nil {
+				return nil, err
+			}
+			reg, err := c.registerName(call.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			idx, err := c.resolveOperand(call.Args[1], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, p4.RegisterIncrement{Reg: reg, Index: idx, By: p4.ConstOp(1)})
+		case "count_bytes":
+			if err := argc(2); err != nil {
+				return nil, err
+			}
+			reg, err := c.registerName(call.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			idx, err := c.resolveOperand(call.Args[1], decl, binding)
+			if err != nil {
+				return nil, err
+			}
+			plen := c.prog.Schema.MustID(p4.FieldPacketLen)
+			a.Body = append(a.Body, p4.RegisterIncrement{Reg: reg, Index: idx, By: p4.FieldOp(plen, p4.FieldPacketLen)})
+		case "modify_field_with_hash_based_offset":
+			if err := argc(4); err != nil {
+				return nil, err
+			}
+			dst, dstName, err := c.resolveDst(call.Args[0], binding)
+			if err != nil {
+				return nil, err
+			}
+			if call.Args[1].Kind != p4r.ArgConst || call.Args[3].Kind != p4r.ArgConst {
+				return nil, fmt.Errorf("line %d: hash base and size must be constants", call.Line)
+			}
+			if call.Args[2].Kind != p4r.ArgIdent {
+				return nil, fmt.Errorf("line %d: hash calculation name expected", call.Line)
+			}
+			a.Body = append(a.Body, p4.ModifyFieldWithHash{
+				Dst: dst, DstName: dstName,
+				Base: call.Args[1].Value, Hash: call.Args[2].Ident, Size: call.Args[3].Value,
+			})
+		default:
+			return nil, fmt.Errorf("line %d: unknown primitive %q", call.Line, call.Name)
+		}
+	}
+	for i, pn := range decl.Params {
+		a.Params = append(a.Params, p4.Param{Name: pn, Width: widths[i]})
+	}
+	return a, nil
+}
+
+// ---- Table lowering (Figs. 5, 6 and §5.1.2) ----
+
+var matchKindOf = map[string]p4.MatchKind{
+	"exact": p4.MatchExact, "ternary": p4.MatchTernary, "lpm": p4.MatchLPM, "range": p4.MatchRange,
+}
+
+func (c *compiler) lowerTables() error {
+	for _, t := range c.f.Tables {
+		tbl := &p4.Table{Name: t.Name, Malleable: t.Malleable}
+		info := &MblTableInfo{Table: t.Name, SelectorCol: make(map[string]int), VVCol: -1, ActionSpec: make(map[string]*ActionSpecInfo)}
+		needsInfo := t.Malleable
+		var selectorOrder []string
+		expansion := 1
+		seenMbl := map[string]bool{}
+
+		noteMbl := func(name string) {
+			if !seenMbl[name] {
+				seenMbl[name] = true
+				selectorOrder = append(selectorOrder, name)
+				expansion *= len(c.plan.MblFields[name].Alts)
+			}
+		}
+
+		for _, rk := range t.Reads {
+			uk := UserKey{MatchType: rk.MatchType}
+			info.ColOffset = append(info.ColOffset, len(tbl.Keys))
+			switch rk.Target.Kind {
+			case p4r.ArgIdent:
+				id, ok := c.prog.Schema.Lookup(rk.Target.Ident)
+				if !ok {
+					return fmt.Errorf("table %s: unknown match field %q", t.Name, rk.Target.Ident)
+				}
+				uk.FieldName = rk.Target.Ident
+				uk.Width = c.prog.Schema.Width(id)
+				mk := p4.MatchKey{
+					FieldName: rk.Target.Ident, Field: id, Width: uk.Width, Kind: matchKindOf[rk.MatchType],
+				}
+				if rk.HasMask {
+					mk.StaticMask = rk.Mask
+				}
+				tbl.Keys = append(tbl.Keys, mk)
+			case p4r.ArgMblRef:
+				if mv, isVal := c.plan.MblValues[rk.Target.Mbl]; isVal {
+					// Matching on a malleable value is matching its metadata.
+					id := c.prog.Schema.MustID(mv.MetaField)
+					uk.FieldName = mv.MetaField
+					uk.Width = mv.Width
+					tbl.Keys = append(tbl.Keys, p4.MatchKey{
+						FieldName: mv.MetaField, Field: id, Width: mv.Width, Kind: matchKindOf[rk.MatchType],
+					})
+					break
+				}
+				mf, isField := c.plan.MblFields[rk.Target.Mbl]
+				if !isField {
+					return fmt.Errorf("table %s: unknown malleable ${%s}", t.Name, rk.Target.Mbl)
+				}
+				if rk.MatchType == "range" {
+					return fmt.Errorf("table %s: range match on malleable field ${%s} is not supported", t.Name, mf.Name)
+				}
+				// Fig. 6: one ternary column per alternative. Exact user
+				// matches become ternary to admit the wildcard.
+				uk.MblField = mf.Name
+				uk.Width = mf.Width
+				needsInfo = true
+				noteMbl(mf.Name)
+				for _, alt := range mf.Alts {
+					id := c.prog.Schema.MustID(alt)
+					kind := p4.MatchTernary
+					if rk.MatchType == "lpm" {
+						kind = p4.MatchLPM
+					}
+					mk := p4.MatchKey{
+						FieldName: alt, Field: id, Width: mf.Width, Kind: kind,
+					}
+					if rk.HasMask {
+						mk.StaticMask = rk.Mask
+					}
+					tbl.Keys = append(tbl.Keys, mk)
+				}
+			default:
+				return fmt.Errorf("table %s: invalid match key", t.Name)
+			}
+			info.Keys = append(info.Keys, uk)
+		}
+
+		for _, an := range t.Actions {
+			if spec, ok := c.specs[an]; ok {
+				needsInfo = true
+				info.ActionSpec[an] = spec
+				for _, fn := range spec.Fields {
+					noteMbl(fn)
+				}
+				tbl.ActionNames = append(tbl.ActionNames, spec.Variants...)
+				continue
+			}
+			if _, ok := c.prog.Actions[an]; !ok {
+				return fmt.Errorf("table %s: unknown action %q", t.Name, an)
+			}
+			tbl.ActionNames = append(tbl.ActionNames, an)
+		}
+
+		// Selector columns, in order of first use.
+		for _, fn := range selectorOrder {
+			mf := c.plan.MblFields[fn]
+			id := c.prog.Schema.MustID(mf.Selector)
+			info.SelectorCol[fn] = len(tbl.Keys)
+			tbl.Keys = append(tbl.Keys, p4.MatchKey{
+				FieldName: mf.Selector, Field: id, Width: c.prog.Schema.Width(id), Kind: p4.MatchExact,
+			})
+		}
+
+		if t.Default != nil {
+			if _, specialized := c.specs[t.Default.Action]; specialized {
+				return fmt.Errorf("table %s: default action %q uses malleable fields, which is not supported (install a low-priority entry instead)", t.Name, t.Default.Action)
+			}
+			if _, ok := c.prog.Actions[t.Default.Action]; !ok {
+				return fmt.Errorf("table %s: unknown default action %q", t.Name, t.Default.Action)
+			}
+			tbl.DefaultAction = &p4.ActionCall{Action: t.Default.Action, Data: append([]uint64(nil), t.Default.Args...)}
+		}
+
+		if t.Malleable {
+			// §5.1.2: vv as an exact-match column; every entry doubled.
+			vvID := c.prog.Schema.MustID(VVField)
+			info.VVCol = len(tbl.Keys)
+			tbl.Keys = append(tbl.Keys, p4.MatchKey{FieldName: VVField, Field: vvID, Width: 1, Kind: p4.MatchExact})
+		}
+
+		if t.Size > 0 {
+			gen := t.Size * expansion
+			if t.Malleable {
+				gen *= 2
+			}
+			tbl.Size = gen
+		}
+		info.GenKeyCount = len(tbl.Keys)
+		c.prog.AddTable(tbl)
+		if needsInfo {
+			c.plan.MblTables[t.Name] = info
+		}
+	}
+	return nil
+}
+
+// ---- Control flow ----
+
+func (c *compiler) condOperand(arg p4r.Arg) (p4.Operand, error) {
+	switch arg.Kind {
+	case p4r.ArgConst:
+		return p4.ConstOp(arg.Value), nil
+	case p4r.ArgIdent:
+		id, ok := c.prog.Schema.Lookup(arg.Ident)
+		if !ok {
+			return p4.Operand{}, fmt.Errorf("unknown field %q in condition", arg.Ident)
+		}
+		return p4.FieldOp(id, arg.Ident), nil
+	case p4r.ArgMblRef:
+		if mv, ok := c.plan.MblValues[arg.Mbl]; ok {
+			return p4.FieldOp(c.prog.Schema.MustID(mv.MetaField), mv.MetaField), nil
+		}
+		if _, ok := c.plan.MblFields[arg.Mbl]; ok {
+			carrier, err := c.carrierFor(arg.Mbl)
+			if err != nil {
+				return p4.Operand{}, err
+			}
+			return p4.FieldOp(c.prog.Schema.MustID(carrier), carrier), nil
+		}
+		return p4.Operand{}, fmt.Errorf("unknown malleable ${%s} in condition", arg.Mbl)
+	}
+	return p4.Operand{}, fmt.Errorf("bad condition operand")
+}
+
+var cmpOps = map[string]p4.CmpOp{
+	"==": p4.CmpEQ, "!=": p4.CmpNE, "<": p4.CmpLT, "<=": p4.CmpLE, ">": p4.CmpGT, ">=": p4.CmpGE,
+}
+
+func (c *compiler) lowerStmts(stmts []p4r.Stmt) ([]p4.ControlStmt, error) {
+	var out []p4.ControlStmt
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case p4r.ApplyStmt:
+			if _, ok := c.prog.Tables[st.Table]; !ok {
+				return nil, fmt.Errorf("apply of unknown table %q", st.Table)
+			}
+			out = append(out, p4.Apply{Table: st.Table})
+		case p4r.IfStmt:
+			l, err := c.condOperand(st.Cond.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := c.condOperand(st.Cond.Right)
+			if err != nil {
+				return nil, err
+			}
+			then, err := c.lowerStmts(st.Then)
+			if err != nil {
+				return nil, err
+			}
+			els, err := c.lowerStmts(st.Else)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p4.If{
+				Cond: p4.CondExpr{Left: l, Op: cmpOps[st.Cond.Op], Right: r},
+				Then: then, Else: els,
+			})
+		}
+	}
+	return out, nil
+}
+
+func (c *compiler) buildControlFlow() error {
+	userIng, err := c.lowerStmts(c.f.Ingress)
+	if err != nil {
+		return fmt.Errorf("ingress: %w", err)
+	}
+	userEgr, err := c.lowerStmts(c.f.Egress)
+	if err != nil {
+		return fmt.Errorf("egress: %w", err)
+	}
+	var ing []p4.ControlStmt
+	for _, it := range c.plan.InitTables {
+		ing = append(ing, p4.Apply{Table: it.Table})
+	}
+	// Carrier loaders run right after init (they read selectors the init
+	// tables just loaded). Deterministic order: sorted by malleable name.
+	var loaders []string
+	for name, mf := range c.plan.MblFields {
+		if mf.LoaderTable != "" {
+			loaders = append(loaders, name)
+		}
+	}
+	sort.Strings(loaders)
+	for _, name := range loaders {
+		ing = append(ing, p4.Apply{Table: c.plan.MblFields[name].LoaderTable})
+	}
+	ing = append(ing, userIng...)
+	for _, rxn := range c.plan.Reactions {
+		if len(rxn.IngSlots) > 0 {
+			ing = append(ing, p4.Apply{Table: measTableName(rxn.Name, "ing")})
+		}
+	}
+	egr := append([]p4.ControlStmt(nil), userEgr...)
+	for _, rxn := range c.plan.Reactions {
+		if len(rxn.EgrSlots) > 0 {
+			egr = append(egr, p4.Apply{Table: measTableName(rxn.Name, "egr")})
+		}
+	}
+	c.prog.Ingress = ing
+	c.prog.Egress = egr
+	return nil
+}

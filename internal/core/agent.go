@@ -1,0 +1,540 @@
+// Package core implements the Mantis control-plane agent — the paper's
+// primary contribution (§6).
+//
+// The agent runs as a simulated process on the switch CPU. Its life is
+// split into the two phases of the paper:
+//
+//   - Prologue: initialize malleables (master init default action,
+//     vv-keyed entries of any additional init tables), install static
+//     loader entries, memoize driver descriptors for the operations the
+//     dialogue repeats, compile reaction bodies, and run user setup.
+//
+//   - Dialogue: a (optionally paced) loop that, per iteration, flips
+//     the measurement version bit, polls each reaction's parameters
+//     from the checkpoint copies, executes the reactions, and commits
+//     their effects with the serializable three-phase protocol:
+//     prepares target the shadow (vv^1) copies, a single master
+//     init-table update atomically flips vv together with all malleable
+//     value/field changes, and the mirror step re-applies the changes
+//     to the now-shadow copy.
+//
+// Reactions come in two forms: the C-like bodies embedded in .p4r
+// source (interpreted by internal/rcl — the analogue of the paper's
+// dynamically loaded .so files) and native Go functions registered
+// against a reaction's polling declaration.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/driver"
+	"repro/internal/p4"
+	"repro/internal/rcl"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// Options configures an Agent.
+type Options struct {
+	// Pacing inserts a sleep between dialogue iterations, trading
+	// reaction latency for CPU utilization (Fig. 11). Zero = busy loop.
+	Pacing time.Duration
+	// SkipIdleCommit omits the vv commit and shadow fill on iterations
+	// where no reaction staged any change. The paper's pseudocode always
+	// commits; this is the measure-only optimization used by the
+	// microbenchmarks.
+	SkipIdleCommit bool
+	// MaxIterations stops the dialogue after this many iterations
+	// (0 = run until Stop).
+	MaxIterations uint64
+	// LatencySamples caps the retained per-iteration latency samples.
+	LatencySamples int
+	// Prologue, if set, runs at the end of the prologue phase (user
+	// initialization: populating initial table entries etc.).
+	Prologue func(p *sim.Proc, a *Agent) error
+	// AfterIteration, if set, runs after each dialogue iteration.
+	AfterIteration func(p *sim.Proc, a *Agent)
+}
+
+// Stats aggregates dialogue-loop metrics.
+type Stats struct {
+	Iterations     uint64
+	Commits        uint64
+	ReactionErrors uint64
+	// Busy is the total virtual time spent inside iterations (excludes
+	// pacing sleeps); divide by elapsed time for CPU utilization.
+	Busy time.Duration
+	// LastIteration is the latency of the most recent iteration.
+	LastIteration time.Duration
+	// Latencies holds up to LatencySamples per-iteration latencies.
+	Latencies []time.Duration
+}
+
+// BuiltinFunc is a host function callable from reaction bodies.
+type BuiltinFunc func(p *sim.Proc, a *Agent, args []rcl.Arg) (int64, error)
+
+// runtimeReaction pairs a plan reaction with its executable body.
+type runtimeReaction struct {
+	info   *compiler.ReactionInfo
+	prog   *rcl.Program   // interpreted body (nil if native)
+	native NativeReaction // native override (nil if interpreted)
+}
+
+// Agent is one Mantis control-plane instance driving one pipeline.
+type Agent struct {
+	sim  *sim.Simulator
+	drv  *driver.Driver
+	plan *compiler.Plan
+	opts Options
+
+	vv, mv uint64
+	// initData mirrors the currently-committed action data of each init
+	// table, indexed like plan.InitTables.
+	initData [][]uint64
+	// initHandles[t][v] is the entry handle of non-master init table t
+	// (t>0) for version v.
+	initHandles map[int][2]rmt.EntryHandle
+
+	mblCache   map[string]uint64
+	pendingMbl map[string]uint64
+
+	tables   map[string]*tableManager
+	regCache map[string]*regCacheState
+
+	reactions []*runtimeReaction
+	natives   map[string]NativeReaction
+	builtins  map[string]BuiltinFunc
+
+	proc       *sim.Proc
+	stopReq    bool
+	started    bool
+	inReaction bool
+	// pendingSwaps holds reaction reloads staged by SwapReaction; the
+	// dialogue loop links them in between iterations (§7's dynamic
+	// loading of new .so files without interrupting switch operations).
+	pendingSwaps []reactionSwap
+	// batchedReads selects one driver transaction per reaction poll
+	// (default) vs one per range — the batching ablation.
+	batchedReads bool
+	err          error
+	stats        Stats
+}
+
+// NewAgent creates an agent for a compiled plan over a driver.
+func NewAgent(s *sim.Simulator, drv *driver.Driver, plan *compiler.Plan, opts Options) *Agent {
+	if opts.LatencySamples == 0 {
+		opts.LatencySamples = 4096
+	}
+	a := &Agent{
+		sim:         s,
+		drv:         drv,
+		plan:        plan,
+		opts:        opts,
+		initHandles: make(map[int][2]rmt.EntryHandle),
+		mblCache:    make(map[string]uint64),
+		pendingMbl:  make(map[string]uint64),
+		tables:      make(map[string]*tableManager),
+		regCache:    make(map[string]*regCacheState),
+		natives:     make(map[string]NativeReaction),
+		builtins:    make(map[string]BuiltinFunc),
+	}
+	a.batchedReads = true
+	for name, info := range plan.MblTables {
+		a.tables[name] = newTableManager(a, info)
+	}
+	a.registerDefaultBuiltins()
+	return a
+}
+
+// Plan returns the compiled plan the agent operates.
+func (a *Agent) Plan() *compiler.Plan { return a.plan }
+
+// Driver returns the agent's driver.
+func (a *Agent) Driver() *driver.Driver { return a.drv }
+
+// Stats returns a copy of the dialogue statistics.
+func (a *Agent) Stats() Stats {
+	st := a.stats
+	st.Latencies = append([]time.Duration(nil), a.stats.Latencies...)
+	return st
+}
+
+// Err returns the error that stopped the agent, if any.
+func (a *Agent) Err() error { return a.err }
+
+// VV and MV expose the current version bits (for tests and debugging).
+func (a *Agent) VV() uint64 { return a.vv }
+
+// MV returns the current measurement version bit.
+func (a *Agent) MV() uint64 { return a.mv }
+
+// Mbl returns the last committed value of a malleable (the alt index
+// for malleable fields).
+func (a *Agent) Mbl(name string) (uint64, bool) {
+	v, ok := a.mblCache[name]
+	return v, ok
+}
+
+// Table returns the user-level handle of a malleable table.
+func (a *Agent) Table(name string) (*TableHandle, error) {
+	tm, ok := a.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("core: table %q is not malleable (no runtime info)", name)
+	}
+	return &TableHandle{tm: tm}, nil
+}
+
+// RegisterNativeReaction replaces the interpreted body of the named
+// plan reaction with a Go function. Must be called before Start.
+func (a *Agent) RegisterNativeReaction(name string, fn NativeReaction) error {
+	if a.started {
+		return fmt.Errorf("core: agent already started")
+	}
+	for _, r := range a.plan.Reactions {
+		if r.Name == name {
+			a.natives[name] = fn
+			return nil
+		}
+	}
+	return fmt.Errorf("core: no reaction %q in plan", name)
+}
+
+// RegisterBuiltin adds a host function callable from reaction bodies.
+func (a *Agent) RegisterBuiltin(name string, fn BuiltinFunc) {
+	a.builtins[name] = fn
+}
+
+// Start spawns the agent process (prologue then dialogue loop).
+func (a *Agent) Start() {
+	if a.started {
+		panic("core: agent started twice")
+	}
+	a.started = true
+	a.proc = a.sim.Spawn("mantis-agent", a.run)
+}
+
+// Stop requests the dialogue loop to exit after the current iteration.
+func (a *Agent) Stop() { a.stopReq = true }
+
+// reactionSwap is a staged reaction reload.
+type reactionSwap struct {
+	name      string
+	native    NativeReaction
+	body      string
+	rerunInit bool
+}
+
+// SwapReaction replaces a running reaction's body without stopping the
+// agent — the paper's dynamic-loading path: the swap takes effect after
+// the current dialogue iteration completes. Exactly one of native or
+// body must be provided; rerunInit re-executes the user prologue hook
+// after linking.
+func (a *Agent) SwapReaction(name string, native NativeReaction, body string, rerunInit bool) error {
+	if (native == nil) == (body == "") {
+		return fmt.Errorf("core: SwapReaction needs exactly one of a native function or a body")
+	}
+	found := false
+	for _, r := range a.plan.Reactions {
+		if r.Name == name {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: no reaction %q", name)
+	}
+	a.pendingSwaps = append(a.pendingSwaps, reactionSwap{name: name, native: native, body: body, rerunInit: rerunInit})
+	return nil
+}
+
+// applySwaps links staged reaction reloads. Runs on the agent process
+// between dialogue iterations.
+func (a *Agent) applySwaps(p *sim.Proc) error {
+	swaps := a.pendingSwaps
+	a.pendingSwaps = nil
+	for _, sw := range swaps {
+		for _, rr := range a.reactions {
+			if rr.info.Name != sw.name {
+				continue
+			}
+			if sw.native != nil {
+				rr.native = sw.native
+				rr.prog = nil
+			} else {
+				prog, err := rcl.Compile(sw.body)
+				if err != nil {
+					return fmt.Errorf("swap %s: %w", sw.name, err)
+				}
+				rr.prog = prog
+				rr.native = nil
+			}
+			if sw.rerunInit && a.opts.Prologue != nil {
+				if err := a.opts.Prologue(p, a); err != nil {
+					return fmt.Errorf("swap %s: re-running prologue: %w", sw.name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SetBatchedReads toggles batched measurement polling (ablation; on by
+// default).
+func (a *Agent) SetBatchedReads(on bool) { a.batchedReads = on }
+
+func (a *Agent) run(p *sim.Proc) {
+	if err := a.prologue(p); err != nil {
+		a.err = fmt.Errorf("prologue: %w", err)
+		return
+	}
+	for !a.stopReq {
+		if err := a.iteration(p); err != nil {
+			a.err = fmt.Errorf("dialogue iteration %d: %w", a.stats.Iterations, err)
+			return
+		}
+		if len(a.pendingSwaps) > 0 {
+			if err := a.applySwaps(p); err != nil {
+				a.err = err
+				return
+			}
+		}
+		if a.opts.AfterIteration != nil {
+			a.opts.AfterIteration(p, a)
+		}
+		if a.opts.MaxIterations > 0 && a.stats.Iterations >= a.opts.MaxIterations {
+			return
+		}
+		if a.opts.Pacing > 0 {
+			p.Sleep(a.opts.Pacing)
+		} else {
+			// A busy loop still yields so same-time data plane events run.
+			p.Yield()
+		}
+	}
+}
+
+// ---- Prologue ----
+
+func (a *Agent) prologue(p *sim.Proc) error {
+	// Seed malleable cache and init data from the plan.
+	a.initData = make([][]uint64, len(a.plan.InitTables))
+	for t, it := range a.plan.InitTables {
+		data := make([]uint64, len(it.Params))
+		for i, ip := range it.Params {
+			data[i] = ip.Init
+			switch ip.Kind {
+			case compiler.InitValue, compiler.InitField:
+				a.mblCache[ip.Mbl] = ip.Init
+			}
+		}
+		a.initData[t] = data
+	}
+
+	// Master init table: configure via default action.
+	if len(a.plan.InitTables) > 0 {
+		master := a.plan.InitTables[0]
+		if err := a.drv.SetDefaultAction(p, master.Table, &p4.ActionCall{
+			Action: master.Action, Data: append([]uint64(nil), a.initData[0]...),
+		}); err != nil {
+			return err
+		}
+		a.drv.Memoize(master.Table, 0)
+	}
+	// Non-master init tables: one entry per version.
+	for t := 1; t < len(a.plan.InitTables); t++ {
+		it := a.plan.InitTables[t]
+		var handles [2]rmt.EntryHandle
+		for v := uint64(0); v < 2; v++ {
+			h, err := a.drv.AddEntry(p, it.Table, rmt.Entry{
+				Keys: []rmt.KeySpec{rmt.ExactKey(v)}, Action: it.Action,
+				Data: append([]uint64(nil), a.initData[t]...),
+			})
+			if err != nil {
+				return err
+			}
+			handles[v] = h
+			a.drv.Memoize(it.Table, h)
+		}
+		a.initHandles[t] = handles
+	}
+
+	// Static entries (carrier loaders).
+	for _, se := range a.plan.StaticEntries {
+		if _, err := a.drv.AddEntry(p, se.Table, se.Entry); err != nil {
+			return err
+		}
+	}
+
+	// Reaction bodies: native overrides win; otherwise compile the
+	// embedded C-like body.
+	for _, info := range a.plan.Reactions {
+		rr := &runtimeReaction{info: info}
+		if fn, ok := a.natives[info.Name]; ok {
+			rr.native = fn
+		} else {
+			prog, err := rcl.Compile(info.Body)
+			if err != nil {
+				return fmt.Errorf("reaction %s: %w", info.Name, err)
+			}
+			rr.prog = prog
+		}
+		a.reactions = append(a.reactions, rr)
+		for _, rp := range info.RegParams {
+			if _, ok := a.regCache[rp.Orig]; !ok {
+				a.regCache[rp.Orig] = newRegCacheState(rp)
+			}
+		}
+	}
+
+	if a.opts.Prologue != nil {
+		if err := a.opts.Prologue(p, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- Dialogue ----
+
+// masterData builds the master init table's action data for the given
+// version bits, applying any pending malleable writes whose slot lives
+// in the master.
+func (a *Agent) masterData(vv, mv uint64, applyPending bool) []uint64 {
+	master := a.plan.InitTables[0]
+	data := append([]uint64(nil), a.initData[0]...)
+	for i, ip := range master.Params {
+		switch ip.Kind {
+		case compiler.InitVV:
+			data[i] = vv
+		case compiler.InitMV:
+			data[i] = mv
+		case compiler.InitValue, compiler.InitField:
+			if applyPending {
+				if v, ok := a.pendingMbl[ip.Mbl]; ok {
+					data[i] = v
+				}
+			}
+		}
+	}
+	return data
+}
+
+func (a *Agent) updateMaster(p *sim.Proc, data []uint64) error {
+	master := a.plan.InitTables[0]
+	return a.drv.SetDefaultAction(p, master.Table, &p4.ActionCall{Action: master.Action, Data: data})
+}
+
+// iteration executes one turn of the dialogue loop, mirroring the §6
+// pseudocode.
+func (a *Agent) iteration(p *sim.Proc) error {
+	start := p.Now()
+
+	// 1. Flip the measurement version; the old working copy becomes the
+	// checkpoint the control plane may read at leisure (Fig. 9).
+	checkpoint := a.mv
+	if a.plan.UsesMV && len(a.plan.InitTables) > 0 {
+		if err := a.updateMaster(p, a.masterData(a.vv, a.mv^1, false)); err != nil {
+			return err
+		}
+		a.mv ^= 1
+	}
+
+	// 2. Poll and run each reaction. Parameters are polled immediately
+	// before their reaction for freshness (§4.2).
+	for _, rr := range a.reactions {
+		if err := a.runReaction(p, rr, checkpoint); err != nil {
+			a.stats.ReactionErrors++
+			return err
+		}
+	}
+
+	// 3. Commit staged effects serializably (§5.1).
+	hasChanges := len(a.pendingMbl) > 0
+	for _, tm := range a.tables {
+		if tm.pendingMirrors() > 0 {
+			hasChanges = true
+		}
+	}
+	if a.plan.UsesVV && len(a.plan.InitTables) > 0 && (hasChanges || !a.opts.SkipIdleCommit) {
+		if err := a.commit(p); err != nil {
+			return err
+		}
+		a.stats.Commits++
+	}
+
+	a.stats.Iterations++
+	lat := p.Now().Sub(start)
+	a.stats.LastIteration = lat
+	a.stats.Busy += lat
+	if len(a.stats.Latencies) < a.opts.LatencySamples {
+		a.stats.Latencies = append(a.stats.Latencies, lat)
+	}
+	return nil
+}
+
+// commit performs prepare (non-master init shadow updates), the atomic
+// master flip, and the mirror/fill-shadow phase.
+func (a *Agent) commit(p *sim.Proc) error {
+	newVV := a.vv ^ 1
+
+	// Prepare: stage non-master init-table changes in their shadow
+	// (vv^1) entries. (Malleable-table entry prepares already happened
+	// inside the reaction's table calls.)
+	type nonMasterChange struct {
+		t    int
+		data []uint64
+	}
+	var nmChanges []nonMasterChange
+	for t := 1; t < len(a.plan.InitTables); t++ {
+		it := a.plan.InitTables[t]
+		changed := false
+		data := append([]uint64(nil), a.initData[t]...)
+		for i, ip := range it.Params {
+			if ip.Kind != compiler.InitValue && ip.Kind != compiler.InitField {
+				continue
+			}
+			if v, ok := a.pendingMbl[ip.Mbl]; ok {
+				data[i] = v
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		if err := a.drv.ModifyEntry(p, it.Table, a.initHandles[t][newVV], it.Action, data); err != nil {
+			return err
+		}
+		nmChanges = append(nmChanges, nonMasterChange{t, data})
+	}
+
+	// Commit: one atomic master update flips vv and applies all pending
+	// master-resident malleable changes together (§5.1.1); the master is
+	// always updated last (§5.1.2).
+	newMaster := a.masterData(newVV, a.mv, true)
+	if err := a.updateMaster(p, newMaster); err != nil {
+		return err
+	}
+	a.initData[0] = newMaster
+	oldVV := a.vv
+	a.vv = newVV
+	for name, v := range a.pendingMbl {
+		a.mblCache[name] = v
+	}
+	a.pendingMbl = make(map[string]uint64)
+
+	// Mirror: re-apply to the now-shadow copies so a future flip is safe.
+	for _, ch := range nmChanges {
+		it := a.plan.InitTables[ch.t]
+		if err := a.drv.ModifyEntry(p, it.Table, a.initHandles[ch.t][oldVV], it.Action, ch.data); err != nil {
+			return err
+		}
+		a.initData[ch.t] = ch.data
+	}
+	for _, tm := range a.tables {
+		if err := tm.fillShadow(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/driver"
+	"repro/internal/sim"
+)
+
+// MultiAgent runs one Agent per pipeline. The paper notes that a switch
+// with multiple disjoint linecards or pipelines — each with distinct
+// register state — is handled by spawning one Mantis agent per
+// component (§4 "a separate instance of the Mantis agent will run for
+// each", §6 "these can be handled by spawning multiple Mantis agent
+// threads"). Each agent owns its pipeline's driver; reactions see only
+// their own pipeline's registers and stage updates only to it.
+type MultiAgent struct {
+	Agents []*Agent
+}
+
+// NewMultiAgent creates one agent per driver, all running the same
+// compiled plan. The opts apply to every agent; per-agent reaction
+// registration happens through Agent(i).
+func NewMultiAgent(s *sim.Simulator, drivers []*driver.Driver, plan *compiler.Plan, opts Options) (*MultiAgent, error) {
+	if len(drivers) == 0 {
+		return nil, fmt.Errorf("core: MultiAgent needs at least one pipeline driver")
+	}
+	m := &MultiAgent{}
+	for _, d := range drivers {
+		m.Agents = append(m.Agents, NewAgent(s, d, plan, opts))
+	}
+	return m, nil
+}
+
+// Agent returns the agent of pipeline i.
+func (m *MultiAgent) Agent(i int) *Agent { return m.Agents[i] }
+
+// RegisterNativeReaction registers fn on every pipeline's agent; fn
+// receives the pipeline index so reactions can act per-pipe.
+func (m *MultiAgent) RegisterNativeReaction(name string, fn func(pipe int, ctx *Ctx) error) error {
+	for i, a := range m.Agents {
+		i := i
+		if err := a.RegisterNativeReaction(name, func(ctx *Ctx) error { return fn(i, ctx) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start starts every pipeline agent.
+func (m *MultiAgent) Start() {
+	for _, a := range m.Agents {
+		a.Start()
+	}
+}
+
+// Stop stops every pipeline agent.
+func (m *MultiAgent) Stop() {
+	for _, a := range m.Agents {
+		a.Stop()
+	}
+}
+
+// Err returns the first pipeline error, annotated with its index.
+func (m *MultiAgent) Err() error {
+	for i, a := range m.Agents {
+		if err := a.Err(); err != nil {
+			return fmt.Errorf("pipeline %d: %w", i, err)
+		}
+	}
+	return nil
+}

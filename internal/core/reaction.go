@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/driver"
+	"repro/internal/packet"
+	"repro/internal/rcl"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// NativeReaction is a reaction body written in Go instead of the
+// embedded C-like language. It receives the same polled parameters and
+// may stage the same malleable/table updates; the agent applies them
+// with identical serializability guarantees.
+type NativeReaction func(ctx *Ctx) error
+
+// Ctx exposes one reaction invocation's polled parameters and staged
+// update operations.
+type Ctx struct {
+	agent *Agent
+	proc  *sim.Proc
+	rxn   *runtimeReaction
+
+	fields map[string]uint64
+	regs   map[string][]uint64
+}
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.proc.Now() }
+
+// Proc returns the agent process (for advanced driver access).
+func (c *Ctx) Proc() *sim.Proc { return c.proc }
+
+// Field returns a polled ing/egr field parameter by its P4R name.
+func (c *Ctx) Field(name string) uint64 { return c.fields[name] }
+
+// Reg returns a polled register parameter: a slice of length hi+1 whose
+// [lo..hi] cells hold the freshest serializable values.
+func (c *Ctx) Reg(name string) []uint64 { return c.regs[name] }
+
+// Mbl returns the visible value of a malleable (pending write from this
+// iteration, else last committed).
+func (c *Ctx) Mbl(name string) uint64 {
+	if v, ok := c.agent.pendingMbl[name]; ok {
+		return v
+	}
+	return c.agent.mblCache[name]
+}
+
+// SetMbl stages a write to a malleable value (or a malleable field's
+// alt index); it commits atomically with the iteration's vv flip.
+func (c *Ctx) SetMbl(name string, v uint64) error {
+	return c.agent.stageMblWrite(name, v)
+}
+
+// Table returns a reaction-scoped handle of a malleable table whose
+// operations participate in the three-phase protocol.
+func (c *Ctx) Table(name string) (*RxnTable, error) {
+	th, err := c.agent.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return &RxnTable{th: th, p: c.proc}, nil
+}
+
+// SetHashSeed reprograms a hash calculation's seed (used by the hash
+// polarization use case). Hash seeds are not vv-protected.
+func (c *Ctx) SetHashSeed(name string, seed uint64) error {
+	return c.agent.drv.SetHashSeed(c.proc, name, seed)
+}
+
+// RxnTable is a TableHandle bound to the reaction's process.
+type RxnTable struct {
+	th *TableHandle
+	p  *sim.Proc
+}
+
+// AddEntry stages a user entry add.
+func (t *RxnTable) AddEntry(e UserEntry) (UserHandle, error) { return t.th.AddEntry(t.p, e) }
+
+// ModifyEntry stages a user entry modification.
+func (t *RxnTable) ModifyEntry(h UserHandle, action string, data []uint64) error {
+	return t.th.ModifyEntry(t.p, h, action, data)
+}
+
+// DeleteEntry stages a user entry removal.
+func (t *RxnTable) DeleteEntry(h UserHandle) error { return t.th.DeleteEntry(t.p, h) }
+
+// stageMblWrite validates and stages a malleable write.
+func (a *Agent) stageMblWrite(name string, v uint64) error {
+	if mv, ok := a.plan.MblValues[name]; ok {
+		a.pendingMbl[name] = v & packet.Mask(mv.Width)
+		return nil
+	}
+	if mf, ok := a.plan.MblFields[name]; ok {
+		if v >= uint64(len(mf.Alts)) {
+			return fmt.Errorf("core: malleable field %s: alt index %d out of range [0,%d)", name, v, len(mf.Alts))
+		}
+		a.pendingMbl[name] = v
+		return nil
+	}
+	return fmt.Errorf("core: unknown malleable %q", name)
+}
+
+// ---- Measurement polling (§4.2, §5.2) ----
+
+// regCacheState implements the timestamp-guarded cache that fixes the
+// alternating-stale-read anomaly of §5.2: a checkpoint cell only
+// replaces the cached value when its timestamp register advanced.
+type regCacheState struct {
+	rp     compiler.RegParamInfo
+	vals   []uint64    // freshest known value per original index
+	lastTs [2][]uint64 // last seen ts per copy per index
+}
+
+func newRegCacheState(rp compiler.RegParamInfo) *regCacheState {
+	return &regCacheState{
+		rp:     rp,
+		vals:   make([]uint64, rp.N),
+		lastTs: [2][]uint64{make([]uint64, rp.PaddedN), make([]uint64, rp.PaddedN)},
+	}
+}
+
+func (rc *regCacheState) merge(copyIdx uint64, lo int, dup, ts []uint64) {
+	for i := range dup {
+		idx := lo + i
+		if ts[i] != rc.lastTs[copyIdx][idx] {
+			rc.lastTs[copyIdx][idx] = ts[i]
+			rc.vals[idx] = dup[i]
+		}
+	}
+}
+
+// pollReaction reads one reaction's parameters from the checkpoint
+// copies in a single batched driver transaction and binds them.
+func (a *Agent) pollReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64) (map[string]uint64, map[string][]uint64, error) {
+	info := rr.info
+	var reqs []driver.ReadReq
+	slotCount := 0
+	for _, slots := range [][]compiler.MeasSlot{info.IngSlots, info.EgrSlots} {
+		for _, s := range slots {
+			reqs = append(reqs, driver.ReadReq{Reg: s.Register, Lo: checkpoint, Hi: checkpoint + 1})
+			slotCount++
+		}
+	}
+	for _, rp := range info.RegParams {
+		base := checkpoint * uint64(rp.PaddedN)
+		reqs = append(reqs,
+			driver.ReadReq{Reg: rp.Dup, Lo: base + uint64(rp.Lo), Hi: base + uint64(rp.Hi) + 1},
+			driver.ReadReq{Reg: rp.Ts, Lo: base + uint64(rp.Lo), Hi: base + uint64(rp.Hi) + 1},
+		)
+	}
+
+	fields := make(map[string]uint64)
+	regs := make(map[string][]uint64)
+	if len(reqs) > 0 {
+		read := a.drv.BatchRead
+		if !a.batchedReads {
+			read = a.drv.UnbatchedRead
+		}
+		vals, err := read(p, reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		i := 0
+		for _, slots := range [][]compiler.MeasSlot{info.IngSlots, info.EgrSlots} {
+			for _, s := range slots {
+				word := vals[i][0]
+				i++
+				for _, f := range s.Fields {
+					fields[f.Param] = (word >> uint(f.Shift)) & packet.Mask(f.Width)
+				}
+			}
+		}
+		for _, rp := range info.RegParams {
+			dup, ts := vals[i], vals[i+1]
+			i += 2
+			rc := a.regCache[rp.Orig]
+			rc.merge(checkpoint, rp.Lo, dup, ts)
+			out := make([]uint64, rp.Hi+1)
+			copy(out, rc.vals[:rp.Hi+1])
+			regs[rp.Var] = out
+		}
+	}
+	return fields, regs, nil
+}
+
+// runReaction polls parameters and executes the body (native or
+// interpreted).
+func (a *Agent) runReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64) error {
+	fields, regs, err := a.pollReaction(p, rr, checkpoint)
+	if err != nil {
+		return err
+	}
+	a.inReaction = true
+	defer func() { a.inReaction = false }()
+	if rr.native != nil {
+		ctx := &Ctx{agent: a, proc: p, rxn: rr, fields: fields, regs: regs}
+		return rr.native(ctx)
+	}
+	params := make(map[string]any)
+	for _, slots := range [][]compiler.MeasSlot{rr.info.IngSlots, rr.info.EgrSlots} {
+		for _, s := range slots {
+			for _, f := range s.Fields {
+				params[f.Var] = int64(fields[f.Param])
+			}
+		}
+	}
+	for _, rp := range rr.info.RegParams {
+		params[rp.Var] = regs[rp.Var]
+	}
+	for _, mp := range rr.info.MblParams {
+		params[mp.Var] = int64(a.mblCache[mp.Name])
+	}
+	host := &rclHost{agent: a, proc: p}
+	return rr.prog.Exec(host, params)
+}
+
+// ---- rcl host binding ----
+
+// rclHost adapts the agent to the reaction language's Host interface.
+type rclHost struct {
+	agent *Agent
+	proc  *sim.Proc
+}
+
+func (h *rclHost) ReadMbl(name string) (int64, error) {
+	if v, ok := h.agent.pendingMbl[name]; ok {
+		return int64(v), nil
+	}
+	if v, ok := h.agent.mblCache[name]; ok {
+		return int64(v), nil
+	}
+	return 0, fmt.Errorf("unknown malleable ${%s}", name)
+}
+
+func (h *rclHost) WriteMbl(name string, v int64) error {
+	return h.agent.stageMblWrite(name, uint64(v))
+}
+
+func (h *rclHost) TableOp(table, method string, args []rcl.Arg) (int64, error) {
+	tm, ok := h.agent.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("unknown malleable table %q", table)
+	}
+	info := tm.info
+	switch method {
+	case "addEntry":
+		// addEntry(key..., "action", data...)
+		nkeys := len(info.Keys)
+		if len(args) < nkeys+1 {
+			return 0, fmt.Errorf("%s.addEntry needs %d keys and an action name", table, nkeys)
+		}
+		spec := UserEntry{}
+		for i := 0; i < nkeys; i++ {
+			if args[i].IsStr {
+				return 0, fmt.Errorf("%s.addEntry: key %d must be numeric", table, i)
+			}
+			spec.Keys = append(spec.Keys, rmt.ExactKey(uint64(args[i].I)))
+		}
+		if !args[nkeys].IsStr {
+			return 0, fmt.Errorf("%s.addEntry: argument %d must be the action name", table, nkeys)
+		}
+		spec.Action = args[nkeys].S
+		for _, a := range args[nkeys+1:] {
+			if a.IsStr {
+				return 0, fmt.Errorf("%s.addEntry: action data must be numeric", table)
+			}
+			spec.Data = append(spec.Data, uint64(a.I))
+		}
+		hdl, err := tm.addEntry(h.proc, spec)
+		return int64(hdl), err
+	case "modEntry":
+		if len(args) < 2 || args[0].IsStr || !args[1].IsStr {
+			return 0, fmt.Errorf("%s.modEntry(handle, \"action\", data...)", table)
+		}
+		var data []uint64
+		for _, a := range args[2:] {
+			if a.IsStr {
+				return 0, fmt.Errorf("%s.modEntry: action data must be numeric", table)
+			}
+			data = append(data, uint64(a.I))
+		}
+		return 0, tm.modifyEntry(h.proc, UserHandle(args[0].I), args[1].S, data)
+	case "delEntry":
+		if len(args) != 1 || args[0].IsStr {
+			return 0, fmt.Errorf("%s.delEntry(handle)", table)
+		}
+		return 0, tm.deleteEntry(h.proc, UserHandle(args[0].I))
+	default:
+		return 0, fmt.Errorf("unknown table method %s.%s", table, method)
+	}
+}
+
+func (h *rclHost) Call(name string, args []rcl.Arg) (int64, error) {
+	fn, ok := h.agent.builtins[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown builtin %q", name)
+	}
+	return fn(h.proc, h.agent, args)
+}
+
+// registerDefaultBuiltins installs the host functions every reaction
+// can call.
+func (a *Agent) registerDefaultBuiltins() {
+	a.builtins["now"] = func(p *sim.Proc, _ *Agent, _ []rcl.Arg) (int64, error) {
+		return int64(p.Now()), nil
+	}
+	a.builtins["set_hash_seed"] = func(p *sim.Proc, ag *Agent, args []rcl.Arg) (int64, error) {
+		if len(args) != 2 || !args[0].IsStr || args[1].IsStr {
+			return 0, fmt.Errorf("set_hash_seed(\"calc\", seed)")
+		}
+		return 0, ag.drv.SetHashSeed(p, args[0].S, uint64(args[1].I))
+	}
+	a.builtins["port_count"] = func(_ *sim.Proc, ag *Agent, _ []rcl.Arg) (int64, error) {
+		return int64(ag.drv.Switch().Config().NumPorts), nil
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compiler"
+	"repro/internal/p4"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// UserHandle identifies a user-level entry in a malleable table. One
+// user entry maps to several concrete data-plane entries: one per
+// combination of malleable-field alternatives, times two versions for
+// vv-protected tables.
+type UserHandle uint64
+
+// UserEntry is a user-level entry specification against the table's
+// P4R-visible key columns (malleable-field columns take a single
+// KeySpec that is replicated across the alternatives).
+type UserEntry struct {
+	Keys     []rmt.KeySpec
+	Priority int
+	Action   string
+	Data     []uint64
+}
+
+// tableManager owns the user-to-concrete entry mapping for one
+// malleable (or alt-expanded) table and implements the three-phase
+// prepare/commit/mirror protocol of §5.1.2.
+type tableManager struct {
+	agent *Agent
+	info  *compiler.MblTableInfo
+
+	entries    map[UserHandle]*userEntry
+	nextHandle UserHandle
+
+	// mirror holds closures to run in the fill-shadow phase (step 3),
+	// re-applying this iteration's changes to the now-shadow copy.
+	mirror []func(p *sim.Proc) error
+}
+
+type userEntry struct {
+	spec UserEntry
+	// concrete[v] holds the installed rmt handles for version v. For
+	// non-vv tables only concrete[0] is used.
+	concrete [2][]rmt.EntryHandle
+	// combos caches the alt combinations, aligned with concrete[v].
+	combos [][]int
+}
+
+func newTableManager(a *Agent, info *compiler.MblTableInfo) *tableManager {
+	return &tableManager{agent: a, info: info, entries: make(map[UserHandle]*userEntry)}
+}
+
+// expandFields returns the malleable fields involved in this table's
+// expansion, ordered by selector column for determinism.
+func (tm *tableManager) expandFields() []string {
+	fields := make([]string, 0, len(tm.info.SelectorCol))
+	for f := range tm.info.SelectorCol {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool {
+		return tm.info.SelectorCol[fields[i]] < tm.info.SelectorCol[fields[j]]
+	})
+	return fields
+}
+
+// combos enumerates all alt combinations over the expansion fields.
+func (tm *tableManager) allCombos() [][]int {
+	fields := tm.expandFields()
+	if len(fields) == 0 {
+		return [][]int{nil}
+	}
+	counts := make([]int, len(fields))
+	for i, f := range fields {
+		counts[i] = len(tm.agent.plan.MblFields[f].Alts)
+	}
+	var out [][]int
+	combo := make([]int, len(fields))
+	for {
+		out = append(out, append([]int(nil), combo...))
+		i := len(combo) - 1
+		for i >= 0 {
+			combo[i]++
+			if combo[i] < counts[i] {
+				break
+			}
+			combo[i] = 0
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// concreteEntry builds the generated-table entry for one user entry,
+// one alt combination, and one vv version.
+func (tm *tableManager) concreteEntry(spec UserEntry, fields []string, combo []int, version uint64) (rmt.Entry, error) {
+	if len(spec.Keys) != len(tm.info.Keys) {
+		return rmt.Entry{}, fmt.Errorf("table %s: entry has %d user keys, want %d", tm.info.Table, len(spec.Keys), len(tm.info.Keys))
+	}
+	altOf := map[string]int{}
+	for i, f := range fields {
+		altOf[f] = combo[i]
+	}
+	gen := make([]rmt.KeySpec, tm.info.GenKeyCount)
+	for i := range gen {
+		gen[i] = rmt.WildcardKey()
+	}
+	for ui, uk := range tm.info.Keys {
+		off := tm.info.ColOffset[ui]
+		if uk.MblField == "" {
+			gen[off] = spec.Keys[ui]
+			continue
+		}
+		// Fig. 6: the active alternative's column carries the user key
+		// (ternary full-mask for user-exact); the others stay wildcard.
+		alt := altOf[uk.MblField]
+		gen[off+alt] = spec.Keys[ui]
+	}
+	for f, col := range tm.info.SelectorCol {
+		gen[col] = rmt.ExactKey(uint64(altOf[f]))
+	}
+	if tm.info.VVCol >= 0 {
+		gen[tm.info.VVCol] = rmt.ExactKey(version)
+	}
+	action := spec.Action
+	if as, ok := tm.info.ActionSpec[spec.Action]; ok {
+		alts := make([]int, len(as.Fields))
+		for i, f := range as.Fields {
+			alts[i] = altOf[f]
+		}
+		action = as.VariantFor(alts)
+	}
+	return rmt.Entry{Keys: gen, Priority: spec.Priority, Action: action, Data: spec.Data}, nil
+}
+
+// versioned reports whether the table carries the vv column.
+func (tm *tableManager) versioned() bool { return tm.info.VVCol >= 0 }
+
+// addEntry prepares a new user entry: concrete entries are installed
+// for the shadow version (vv^1) immediately; installation for the
+// primary version is deferred to the mirror phase. For unversioned
+// tables the entries install directly.
+func (tm *tableManager) addEntry(p *sim.Proc, spec UserEntry) (UserHandle, error) {
+	if _, ok := tm.agent.plan.Prog.Actions[spec.Action]; !ok {
+		if _, specialized := tm.info.ActionSpec[spec.Action]; !specialized {
+			return 0, fmt.Errorf("table %s: unknown action %q", tm.info.Table, spec.Action)
+		}
+	}
+	fields := tm.expandFields()
+	combos := tm.allCombos()
+	ue := &userEntry{spec: spec, combos: combos}
+	tm.nextHandle++
+	h := tm.nextHandle
+
+	install := func(p *sim.Proc, version uint64) error {
+		handles := make([]rmt.EntryHandle, 0, len(combos))
+		for _, combo := range combos {
+			e, err := tm.concreteEntry(spec, fields, combo, version)
+			if err != nil {
+				return err
+			}
+			rh, err := tm.agent.drv.AddEntry(p, tm.info.Table, e)
+			if err != nil {
+				return err
+			}
+			handles = append(handles, rh)
+		}
+		ue.concrete[version] = handles
+		return nil
+	}
+
+	if !tm.versioned() {
+		if err := install(p, 0); err != nil {
+			return 0, err
+		}
+		tm.entries[h] = ue
+		return h, nil
+	}
+	shadow := tm.agent.vv ^ 1
+	if err := install(p, shadow); err != nil {
+		return 0, err
+	}
+	tm.entries[h] = ue
+	if !tm.agent.inReaction {
+		// Outside a reaction (prologue or ad-hoc): install both copies
+		// immediately; there is no pending commit to mirror after.
+		return h, install(p, shadow^1)
+	}
+	// Phase 3 (mirror): install the other copy after commit.
+	tm.mirror = append(tm.mirror, func(p *sim.Proc) error {
+		return install(p, shadow^1)
+	})
+	return h, nil
+}
+
+// modifyEntry rebinds a user entry's action/data via three-phase update.
+func (tm *tableManager) modifyEntry(p *sim.Proc, h UserHandle, action string, data []uint64) error {
+	ue, ok := tm.entries[h]
+	if !ok {
+		return fmt.Errorf("table %s: no user entry %d", tm.info.Table, h)
+	}
+	fields := tm.expandFields()
+	newSpec := ue.spec
+	newSpec.Action = action
+	newSpec.Data = append([]uint64(nil), data...)
+
+	apply := func(p *sim.Proc, version uint64) error {
+		for i, combo := range ue.combos {
+			e, err := tm.concreteEntry(newSpec, fields, combo, version)
+			if err != nil {
+				return err
+			}
+			if err := tm.agent.drv.ModifyEntry(p, tm.info.Table, ue.concrete[version][i], e.Action, e.Data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if !tm.versioned() {
+		if err := apply(p, 0); err != nil {
+			return err
+		}
+		ue.spec = newSpec
+		return nil
+	}
+	shadow := tm.agent.vv ^ 1
+	if err := apply(p, shadow); err != nil {
+		return err
+	}
+	ue.spec = newSpec
+	if !tm.agent.inReaction {
+		return apply(p, shadow^1)
+	}
+	tm.mirror = append(tm.mirror, func(p *sim.Proc) error {
+		return apply(p, shadow^1)
+	})
+	return nil
+}
+
+// deleteEntry removes a user entry: the shadow copy is deleted in the
+// prepare phase, the old primary after commit (§5.1.2).
+func (tm *tableManager) deleteEntry(p *sim.Proc, h UserHandle) error {
+	ue, ok := tm.entries[h]
+	if !ok {
+		return fmt.Errorf("table %s: no user entry %d", tm.info.Table, h)
+	}
+	remove := func(p *sim.Proc, version uint64) error {
+		for _, rh := range ue.concrete[version] {
+			if err := tm.agent.drv.DeleteEntry(p, tm.info.Table, rh); err != nil {
+				return err
+			}
+		}
+		ue.concrete[version] = nil
+		return nil
+	}
+	if !tm.versioned() {
+		if err := remove(p, 0); err != nil {
+			return err
+		}
+		delete(tm.entries, h)
+		return nil
+	}
+	shadow := tm.agent.vv ^ 1
+	if err := remove(p, shadow); err != nil {
+		return err
+	}
+	if !tm.agent.inReaction {
+		if err := remove(p, shadow^1); err != nil {
+			return err
+		}
+		delete(tm.entries, h)
+		return nil
+	}
+	tm.mirror = append(tm.mirror, func(p *sim.Proc) error {
+		if err := remove(p, shadow^1); err != nil {
+			return err
+		}
+		delete(tm.entries, h)
+		return nil
+	})
+	return nil
+}
+
+// fillShadow runs the deferred mirror operations (phase 3).
+func (tm *tableManager) fillShadow(p *sim.Proc) error {
+	ops := tm.mirror
+	tm.mirror = nil
+	for _, op := range ops {
+		if err := op(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pendingMirrors reports whether the table has staged changes awaiting
+// commit.
+func (tm *tableManager) pendingMirrors() int { return len(tm.mirror) }
+
+// TableHandle is the user-facing API of a malleable table.
+type TableHandle struct {
+	tm *tableManager
+}
+
+// AddEntry installs a user entry (serializably, when invoked from a
+// reaction).
+func (th *TableHandle) AddEntry(p *sim.Proc, e UserEntry) (UserHandle, error) {
+	return th.tm.addEntry(p, e)
+}
+
+// ModifyEntry rebinds a user entry's action and data.
+func (th *TableHandle) ModifyEntry(p *sim.Proc, h UserHandle, action string, data []uint64) error {
+	return th.tm.modifyEntry(p, h, action, data)
+}
+
+// DeleteEntry removes a user entry.
+func (th *TableHandle) DeleteEntry(p *sim.Proc, h UserHandle) error {
+	return th.tm.deleteEntry(p, h)
+}
+
+// SetDefault replaces the table's default action. Only valid for
+// unversioned tables (a versioned default cannot match on vv).
+func (th *TableHandle) SetDefault(p *sim.Proc, call *p4.ActionCall) error {
+	if th.tm.versioned() {
+		return fmt.Errorf("table %s: default actions on vv-protected tables are fixed; install entries instead", th.tm.info.Table)
+	}
+	return th.tm.agent.drv.SetDefaultAction(p, th.tm.info.Table, call)
+}
+
+// Entries returns the user-level entries (sorted by handle).
+func (th *TableHandle) Entries() []UserEntry {
+	hs := make([]UserHandle, 0, len(th.tm.entries))
+	for h := range th.tm.entries {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	out := make([]UserEntry, len(hs))
+	for i, h := range hs {
+		out[i] = th.tm.entries[h].spec
+	}
+	return out
+}

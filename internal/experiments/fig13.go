@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compiler"
+)
+
+// Fig13Row is one point of the malleable-field TCAM-usage study: a
+// K-bit malleable field with A alternatives, used by tblWriteX (5-tuple
+// match, writes ${X}) and tblReadX (5-tuple + ${X} match, reads ${X}).
+type Fig13Row struct {
+	Alts      int
+	Width     int
+	Occupancy int
+	// WriteTCAMBits / ReadTCAMBits are the generated tables' TCAM usage.
+	WriteTCAMBits int
+	ReadTCAMBits  int
+}
+
+// fig13Src generates the benchmark program for a given width and alt
+// count: the malleable field's alternatives are K-bit header fields.
+func fig13Src(width, alts int) string {
+	var b strings.Builder
+	b.WriteString("header_type h_t {\n  fields {\n")
+	b.WriteString("    srcAddr : 32; dstAddr : 32; srcPort : 16; dstPort : 16; proto : 8;\n")
+	for i := 0; i < alts; i++ {
+		fmt.Fprintf(&b, "    alt%d : %d;\n", i, width)
+	}
+	fmt.Fprintf(&b, "    out : %d;\n", width)
+	b.WriteString("  }\n}\nheader h_t h;\n")
+
+	fmt.Fprintf(&b, "malleable field X {\n  width : %d; init : h.alt0;\n  alts { ", width)
+	for i := 0; i < alts; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "h.alt%d", i)
+	}
+	b.WriteString(" }\n}\n")
+
+	b.WriteString(`
+action writeX(v) { modify_field(${X}, v); }
+action readX() { modify_field(h.out, ${X}); }
+
+malleable table tblWriteX {
+  reads {
+    h.srcAddr : ternary;
+    h.dstAddr : ternary;
+    h.srcPort : ternary;
+    h.dstPort : ternary;
+    h.proto : ternary;
+  }
+  actions { writeX; }
+  size : 1024;
+}
+malleable table tblReadX {
+  reads {
+    h.srcAddr : ternary;
+    h.dstAddr : ternary;
+    h.srcPort : ternary;
+    h.dstPort : ternary;
+    h.proto : ternary;
+    ${X} : exact;
+  }
+  actions { readX; }
+  size : 1024;
+}
+control ingress { apply(tblWriteX); apply(tblReadX); }
+`)
+	return b.String()
+}
+
+// RunFig13a sweeps the alternative count A at fixed width for both
+// occupancies (512 and 1024 user entries): tblWriteX grows linearly in
+// A, tblReadX asymptotically quadratically.
+func RunFig13a(width int) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, alts := range []int{2, 3, 4, 5, 6, 7, 8} {
+		for _, occ := range []int{512, 1024} {
+			row, err := fig13Point(width, alts, occ)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+// RunFig13b sweeps the field width K at fixed A: tblReadX usage is
+// proportional to K; tblWriteX is constant in K.
+func RunFig13b(alts int) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, width := range []int{8, 16, 32, 48, 64} {
+		row, err := fig13Point(width, alts, 1024)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func fig13Point(width, alts, occupancy int) (*Fig13Row, error) {
+	plan, err := compiler.CompileSource(fig13Src(width, alts), compiler.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	// Occupancy is user entries; the generated tables hold
+	// occupancy x A x 2 (alts x versions) concrete entries.
+	gen := occupancy * alts * 2
+	res := plan.Prog.EstimateResources(map[string]int{
+		"tblWriteX": gen,
+		"tblReadX":  gen,
+	})
+	row := &Fig13Row{Alts: alts, Width: width, Occupancy: occupancy}
+	for _, tr := range res.Tables {
+		switch tr.Name {
+		case "tblWriteX":
+			row.WriteTCAMBits = tr.Bits
+		case "tblReadX":
+			row.ReadTCAMBits = tr.Bits
+		}
+	}
+	return row, nil
+}
+
+// FormatFig13 renders the TCAM-usage tables.
+func FormatFig13(a []Fig13Row, b []Fig13Row) string {
+	var out strings.Builder
+	out.WriteString("Fig 13a — TCAM usage vs alternatives (K=32)\n")
+	fmt.Fprintf(&out, "%5s %6s %10s %14s %14s\n", "alts", "width", "occupancy", "tblWriteX(Kb)", "tblReadX(Kb)")
+	for _, r := range a {
+		fmt.Fprintf(&out, "%5d %6d %10d %14.0f %14.0f\n", r.Alts, r.Width, r.Occupancy,
+			float64(r.WriteTCAMBits)/1024, float64(r.ReadTCAMBits)/1024)
+	}
+	out.WriteString("\nFig 13b — TCAM usage vs field width (A=4, occupancy 1024)\n")
+	fmt.Fprintf(&out, "%5s %6s %10s %14s %14s\n", "alts", "width", "occupancy", "tblWriteX(Kb)", "tblReadX(Kb)")
+	for _, r := range b {
+		fmt.Fprintf(&out, "%5d %6d %10d %14.0f %14.0f\n", r.Alts, r.Width, r.Occupancy,
+			float64(r.WriteTCAMBits)/1024, float64(r.ReadTCAMBits)/1024)
+	}
+	return out.String()
+}

@@ -1,0 +1,193 @@
+// Package netsim provides the network-level simulation around the
+// switch model: hosts attached to switch ports over links with
+// bandwidth and propagation delay, a compact TCP implementation (slow
+// start, AIMD congestion avoidance, duplicate-ACK fast retransmit, RTO
+// fallback), a constant-rate UDP flooder, and heartbeat generators.
+//
+// These stand in for the paper's testbed servers: Fig. 15's 250
+// legitimate TCP senders plus a DPDK UDP blaster, and Fig. 16's
+// heartbeat generators at T_s = 1 µs.
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// FieldMap names the schema fields netsim reads/writes on packets. The
+// program under test defines these headers; netsim fills them.
+type FieldMap struct {
+	Src   string // e.g. "ipv4.srcAddr"
+	Dst   string // e.g. "ipv4.dstAddr"
+	Proto string // e.g. "ipv4.protocol"
+	Seq   string // data sequence number
+	Ack   string // cumulative ACK number
+	IsAck string // 1 for ACK segments
+	// ECN, if non-empty, is a 1-bit congestion-experienced field the
+	// switch may set and the receiver echoes on ACKs (DCTCP-style).
+	ECN string
+}
+
+// Protocol numbers used in traces.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// Host is an endpoint attached to one switch port.
+type Host struct {
+	net  *Network
+	Port int
+	Addr uint32
+	// Rx is invoked for every packet delivered to this host.
+	Rx func(pkt *packet.Packet)
+	// linkBusyUntil paces the host's uplink.
+	linkBusyUntil sim.Time
+}
+
+// Network wires hosts to a switch.
+type Network struct {
+	Sim *sim.Simulator
+	Sw  *rmt.Switch
+	// LinkBandwidth is the host uplink rate in bits per second.
+	LinkBandwidth float64
+	// Propagation is the one-way link delay.
+	Propagation time.Duration
+
+	hosts map[int]*Host // by port
+}
+
+// New wires a network around sw. It takes over sw.Tx.
+func New(s *sim.Simulator, sw *rmt.Switch, linkBW float64, prop time.Duration) *Network {
+	n := &Network{Sim: s, Sw: sw, LinkBandwidth: linkBW, Propagation: prop, hosts: make(map[int]*Host)}
+	sw.Tx = func(portN int, pkt *packet.Packet) {
+		h, ok := n.hosts[portN]
+		if !ok || h.Rx == nil {
+			return
+		}
+		s.Schedule(prop, func() { h.Rx(pkt) })
+	}
+	return n
+}
+
+// AddHost attaches a host to a switch port.
+func (n *Network) AddHost(port int, addr uint32) *Host {
+	h := &Host{net: n, Port: port, Addr: addr}
+	n.hosts[port] = h
+	return h
+}
+
+// Host returns the host on a port, or nil.
+func (n *Network) Host(port int) *Host { return n.hosts[port] }
+
+// Send transmits a packet from the host into the switch, modeling
+// uplink serialization and propagation. Sends queue behind each other
+// on the host's link.
+func (h *Host) Send(pkt *packet.Packet) {
+	now := h.net.Sim.Now()
+	start := now
+	if h.linkBusyUntil > start {
+		start = h.linkBusyUntil
+	}
+	ser := time.Duration(float64(pkt.Size*8) / h.net.LinkBandwidth * float64(time.Second))
+	if ser <= 0 {
+		ser = time.Nanosecond
+	}
+	done := start.Add(ser)
+	h.linkBusyUntil = done
+	arrive := done.Add(h.net.Propagation)
+	h.net.Sim.At(arrive, func() { h.net.Sw.Inject(h.Port, pkt) })
+}
+
+// ---- UDP flooder ----
+
+// Flooder blasts fixed-size UDP packets at a constant rate, the
+// DPDK-blaster stand-in of Fig. 15.
+type Flooder struct {
+	host   *Host
+	fm     FieldMap
+	schema *packet.Schema
+	Dst    uint32
+	Rate   float64 // bits per second
+	Size   int
+	ticker *sim.Ticker
+	Sent   uint64
+}
+
+// NewFlooder creates a flooder on h targeting dst at rate bps.
+func NewFlooder(h *Host, schema *packet.Schema, fm FieldMap, dst uint32, rate float64, size int) *Flooder {
+	return &Flooder{host: h, fm: fm, schema: schema, Dst: dst, Rate: rate, Size: size}
+}
+
+// Start begins flooding at the configured rate.
+func (f *Flooder) Start() {
+	interval := time.Duration(float64(f.Size*8) / f.Rate * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	f.ticker = f.host.net.Sim.Every(interval, func() {
+		pkt := f.schema.New()
+		pkt.Size = f.Size
+		pkt.SetName(f.fm.Src, uint64(f.host.Addr))
+		pkt.SetName(f.fm.Dst, uint64(f.Dst))
+		pkt.SetName(f.fm.Proto, ProtoUDP)
+		f.host.Send(pkt)
+		f.Sent++
+	})
+}
+
+// Stop halts the flood.
+func (f *Flooder) Stop() {
+	if f.ticker != nil {
+		f.ticker.Stop()
+	}
+}
+
+// ---- Heartbeats ----
+
+// Heartbeater emits small, high-priority heartbeat packets every
+// period — the gray-failure detector's signal source (§8.3.2).
+type Heartbeater struct {
+	host   *Host
+	schema *packet.Schema
+	fm     FieldMap
+	Dst    uint32
+	Period time.Duration
+	ticker *sim.Ticker
+	Sent   uint64
+	// Enabled gates emission; clearing it emulates a gray failure where
+	// the link stays up but traffic silently dies.
+	Enabled bool
+}
+
+// NewHeartbeater creates a heartbeat source on h.
+func NewHeartbeater(h *Host, schema *packet.Schema, fm FieldMap, dst uint32, period time.Duration) *Heartbeater {
+	return &Heartbeater{host: h, schema: schema, fm: fm, Dst: dst, Period: period, Enabled: true}
+}
+
+// Start begins emitting heartbeats.
+func (hb *Heartbeater) Start() {
+	hb.ticker = hb.host.net.Sim.Every(hb.Period, func() {
+		if !hb.Enabled {
+			return
+		}
+		pkt := hb.schema.New()
+		pkt.Size = 64
+		pkt.Priority = 7
+		pkt.SetName(hb.fm.Src, uint64(hb.host.Addr))
+		pkt.SetName(hb.fm.Dst, uint64(hb.Dst))
+		pkt.SetName(hb.fm.Proto, 0xFD) // heartbeat protocol tag
+		hb.host.Send(pkt)
+		hb.Sent++
+	})
+}
+
+// Stop halts the generator entirely.
+func (hb *Heartbeater) Stop() {
+	if hb.ticker != nil {
+		hb.ticker.Stop()
+	}
+}

@@ -1,0 +1,410 @@
+package p4
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+// buildTestProgram constructs a small two-table program used across the
+// tests: a forwarding table writing egress_spec and a counting table
+// incrementing a register indexed by ingress port.
+func buildTestProgram(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram("test")
+	p.DefineStandardMetadata()
+	src := p.Schema.Define("ipv4.srcAddr", 32)
+	dst := p.Schema.Define("ipv4.dstAddr", 32)
+	egr := p.Schema.MustID(FieldEgressSpec)
+	inp := p.Schema.MustID(FieldIngressPort)
+	plen := p.Schema.MustID(FieldPacketLen)
+
+	p.AddRegister(&Register{Name: "port_bytes", Width: 64, Instances: 64})
+
+	p.AddAction(&Action{
+		Name:   "set_egress",
+		Params: []Param{{Name: "port", Width: 16}},
+		Body: []Primitive{
+			ModifyField{Dst: egr, DstName: FieldEgressSpec, Src: ParamOp(0, "port")},
+		},
+	})
+	p.AddAction(&Action{Name: "do_drop", Body: []Primitive{Drop{}}})
+	p.AddAction(&Action{
+		Name: "count_bytes",
+		Body: []Primitive{
+			RegisterIncrement{Reg: "port_bytes", Index: FieldOp(inp, FieldIngressPort), By: FieldOp(plen, FieldPacketLen)},
+		},
+	})
+
+	p.AddTable(&Table{
+		Name: "forward",
+		Keys: []MatchKey{
+			{FieldName: "ipv4.dstAddr", Field: dst, Width: 32, Kind: MatchLPM},
+		},
+		ActionNames:   []string{"set_egress", "do_drop"},
+		DefaultAction: &ActionCall{Action: "do_drop"},
+		Size:          1024,
+	})
+	p.AddTable(&Table{
+		Name:          "counter_tbl",
+		ActionNames:   []string{"count_bytes"},
+		DefaultAction: &ActionCall{Action: "count_bytes"},
+		Size:          1,
+	})
+	p.Ingress = []ControlStmt{Apply{Table: "forward"}, Apply{Table: "counter_tbl"}}
+	p.Egress = nil
+	_ = src
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p
+}
+
+func TestValidateOK(t *testing.T) { buildTestProgram(t) }
+
+func TestValidateUnknownAction(t *testing.T) {
+	p := NewProgram("bad")
+	p.DefineStandardMetadata()
+	p.AddTable(&Table{Name: "t", ActionNames: []string{"ghost"}})
+	p.Ingress = []ControlStmt{Apply{Table: "t"}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("err = %v, want unknown action", err)
+	}
+}
+
+func TestValidateUnknownTableInFlow(t *testing.T) {
+	p := NewProgram("bad")
+	p.Ingress = []ControlStmt{Apply{Table: "missing"}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestValidateDefaultActionArity(t *testing.T) {
+	p := NewProgram("bad")
+	p.AddAction(&Action{Name: "a", Params: []Param{{Name: "x", Width: 8}}})
+	p.AddTable(&Table{Name: "t", ActionNames: []string{"a"}, DefaultAction: &ActionCall{Action: "a"}})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "takes 1 args") {
+		t.Fatalf("err = %v, want arity error", err)
+	}
+}
+
+func TestValidateUnknownRegister(t *testing.T) {
+	p := NewProgram("bad")
+	f := p.Schema.Define("m.x", 32)
+	p.AddAction(&Action{Name: "a", Body: []Primitive{
+		RegisterWrite{Reg: "nope", Index: ConstOp(0), Value: FieldOp(f, "m.x")},
+	}})
+	p.AddTable(&Table{Name: "t", ActionNames: []string{"a"}})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v, want unknown register", err)
+	}
+}
+
+func TestDuplicateTablePanics(t *testing.T) {
+	p := NewProgram("dup")
+	p.AddTable(&Table{Name: "t"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddTable did not panic")
+		}
+	}()
+	p.AddTable(&Table{Name: "t"})
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		op   ALUOp
+		a, b uint64
+		want uint64
+	}{
+		{ALUAdd, 3, 4, 7},
+		{ALUSub, 10, 4, 6},
+		{ALUAnd, 0xFF, 0x0F, 0x0F},
+		{ALUOr, 0xF0, 0x0F, 0xFF},
+		{ALUXor, 0xFF, 0x0F, 0xF0},
+		{ALUShl, 1, 4, 16},
+		{ALUShr, 16, 4, 1},
+		{ALUMin, 5, 9, 5},
+		{ALUMax, 5, 9, 9},
+	}
+	for _, c := range cases {
+		if got := c.op.apply(c.a, c.b); got != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tbl := &Table{Keys: []MatchKey{
+		{Width: 32, Kind: MatchExact},
+		{Width: 16, Kind: MatchTernary},
+	}}
+	if !tbl.HasTernary() {
+		t.Fatal("HasTernary = false")
+	}
+	if tbl.KeyWidthBits() != 48 {
+		t.Fatalf("KeyWidthBits = %d", tbl.KeyWidthBits())
+	}
+	exact := &Table{Keys: []MatchKey{{Width: 8, Kind: MatchExact}}}
+	if exact.HasTernary() {
+		t.Fatal("exact table reports ternary")
+	}
+}
+
+func TestStageAllocationDependency(t *testing.T) {
+	p := buildTestProgram(t)
+	// forward writes egress_spec; counter_tbl reads ingress_port &
+	// packet_length only, so they are independent and share stage 1.
+	res := p.EstimateResources(nil)
+	if res.IngressStages != 1 {
+		t.Fatalf("IngressStages = %d, want 1 (independent tables share)", res.IngressStages)
+	}
+}
+
+func TestStageAllocationChain(t *testing.T) {
+	p := NewProgram("chain")
+	p.DefineStandardMetadata()
+	a := p.Schema.Define("m.a", 32)
+	bf := p.Schema.Define("m.b", 32)
+	p.AddAction(&Action{Name: "wa", Body: []Primitive{ModifyField{Dst: a, DstName: "m.a", Src: ConstOp(1)}}})
+	p.AddAction(&Action{Name: "rb", Body: []Primitive{ModifyField{Dst: bf, DstName: "m.b", Src: FieldOp(a, "m.a")}}})
+	p.AddTable(&Table{Name: "t1", ActionNames: []string{"wa"}, DefaultAction: &ActionCall{Action: "wa"}, Size: 1})
+	p.AddTable(&Table{Name: "t2", Keys: []MatchKey{{FieldName: "m.a", Field: a, Width: 32, Kind: MatchExact}},
+		ActionNames: []string{"rb"}, Size: 8})
+	p.Ingress = []ControlStmt{Apply{Table: "t1"}, Apply{Table: "t2"}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := p.EstimateResources(nil)
+	if res.IngressStages != 2 {
+		t.Fatalf("IngressStages = %d, want 2 (t2 matches field t1 writes)", res.IngressStages)
+	}
+}
+
+func TestResourceAccounting(t *testing.T) {
+	p := buildTestProgram(t)
+	res := p.EstimateResources(nil)
+	if res.NumTables != 2 || res.NumRegisters != 1 {
+		t.Fatalf("tables=%d regs=%d", res.NumTables, res.NumRegisters)
+	}
+	// forward: LPM -> TCAM; only the match key (value+mask) lives in
+	// TCAM: 2*32 bits x 1024 entries.
+	wantTCAM := 2 * 32 * 1024
+	if res.TCAMBits != wantTCAM {
+		t.Fatalf("TCAMBits = %d, want %d", res.TCAMBits, wantTCAM)
+	}
+	// SRAM: forward's action data (16b x 1024) + counter_tbl (0) +
+	// register 64x64.
+	if res.SRAMBits != 16*1024+64*64 {
+		t.Fatalf("SRAMBits = %d, want %d", res.SRAMBits, 16*1024+64*64)
+	}
+}
+
+func TestResourceOccupancyOverride(t *testing.T) {
+	p := buildTestProgram(t)
+	full := p.EstimateResources(nil).TCAMBits
+	half := p.EstimateResources(map[string]int{"forward": 512}).TCAMBits
+	if half*2 != full {
+		t.Fatalf("occupancy override: half=%d full=%d", half, full)
+	}
+}
+
+func TestMetadataBits(t *testing.T) {
+	p := NewProgram("meta")
+	p.Schema.Define("p4r_meta_.value_var", 16)
+	p.Schema.Define("p4r_meta_.alt", 1)
+	p.Schema.Define("hdr.x", 32)
+	res := p.EstimateResources(nil)
+	if res.MetadataBits != 17 {
+		t.Fatalf("MetadataBits = %d, want 17", res.MetadataBits)
+	}
+}
+
+func TestResourcesDelta(t *testing.T) {
+	a := Resources{Stages: 5, NumTables: 10, SRAMBits: 1000, TCAMBits: 200, MetadataBits: 64}
+	b := Resources{Stages: 3, NumTables: 8, SRAMBits: 400, TCAMBits: 200, MetadataBits: 0}
+	d := a.Delta(b)
+	if d.Stages != 2 || d.NumTables != 2 || d.SRAMBits != 600 || d.TCAMBits != 0 || d.MetadataBits != 64 {
+		t.Fatalf("Delta = %+v", d)
+	}
+}
+
+func TestPrintContainsDeclarations(t *testing.T) {
+	p := buildTestProgram(t)
+	out := p.Print()
+	for _, want := range []string{
+		"table forward", "reads {", "ipv4.dstAddr : lpm",
+		"action set_egress(port)", "register port_bytes",
+		"apply(forward);", "control ingress",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q", want)
+		}
+	}
+	if p.LineCount() < 20 {
+		t.Fatalf("LineCount = %d, suspiciously small", p.LineCount())
+	}
+}
+
+func TestPrintControlIf(t *testing.T) {
+	p := NewProgram("iftest")
+	f := p.Schema.Define("m.x", 8)
+	p.AddAction(&Action{Name: "nop", Body: []Primitive{NoOp{}}})
+	p.AddTable(&Table{Name: "t", ActionNames: []string{"nop"}})
+	p.Ingress = []ControlStmt{
+		If{
+			Cond: CondExpr{Left: FieldOp(f, "m.x"), Op: CmpGT, Right: ConstOp(3)},
+			Then: []ControlStmt{Apply{Table: "t"}},
+		},
+	}
+	out := p.Print()
+	if !strings.Contains(out, "if (m.x > 3)") {
+		t.Fatalf("missing if condition in:\n%s", out)
+	}
+}
+
+func TestFlattenAppliesIncludesBranches(t *testing.T) {
+	p := NewProgram("flat")
+	f := p.Schema.Define("m.x", 8)
+	stmts := []ControlStmt{
+		Apply{Table: "a"},
+		If{
+			Cond: CondExpr{Left: FieldOp(f, "m.x"), Op: CmpEQ, Right: ConstOp(0)},
+			Then: []ControlStmt{Apply{Table: "b"}},
+			Else: []ControlStmt{Apply{Table: "c"}},
+		},
+	}
+	got := flattenApplies(stmts)
+	want := []string{"a", "b", "c"}
+	if len(got) != 3 {
+		t.Fatalf("flattenApplies = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flattenApplies = %v, want %v", got, want)
+		}
+	}
+}
+
+type fakeEnv struct {
+	fields map[packet.FieldID]uint64
+	regs   map[string]map[uint64]uint64
+	params []uint64
+	drops  int
+	recirc int
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{fields: map[packet.FieldID]uint64{}, regs: map[string]map[uint64]uint64{}}
+}
+func (e *fakeEnv) Get(id packet.FieldID) uint64    { return e.fields[id] }
+func (e *fakeEnv) Set(id packet.FieldID, v uint64) { e.fields[id] = v }
+func (e *fakeEnv) RegRead(r string, i uint64) uint64 {
+	return e.regs[r][i]
+}
+func (e *fakeEnv) RegWrite(r string, i uint64, v uint64) {
+	if e.regs[r] == nil {
+		e.regs[r] = map[uint64]uint64{}
+	}
+	e.regs[r][i] = v
+}
+func (e *fakeEnv) Hash(string) uint64 { return 42 }
+func (e *fakeEnv) Drop()              { e.drops++ }
+func (e *fakeEnv) Param(i int) uint64 { return e.params[i] }
+func (e *fakeEnv) Recirculate()       { e.recirc++ }
+
+func TestPrimitiveExec(t *testing.T) {
+	env := newFakeEnv()
+	env.params = []uint64{99}
+	ModifyField{Dst: 1, Src: ParamOp(0, "p")}.Exec(env)
+	if env.fields[1] != 99 {
+		t.Fatal("ModifyField from param failed")
+	}
+	ALU{Op: ALUAdd, Dst: 2, A: FieldOp(1, ""), B: ConstOp(1)}.Exec(env)
+	if env.fields[2] != 100 {
+		t.Fatal("ALU add failed")
+	}
+	RegisterWrite{Reg: "r", Index: ConstOp(3), Value: FieldOp(2, "")}.Exec(env)
+	RegisterIncrement{Reg: "r", Index: ConstOp(3), By: ConstOp(5)}.Exec(env)
+	RegisterRead{Dst: 4, Reg: "r", Index: ConstOp(3)}.Exec(env)
+	if env.fields[4] != 105 {
+		t.Fatalf("register round trip = %d, want 105", env.fields[4])
+	}
+	Drop{}.Exec(env)
+	if env.drops != 1 {
+		t.Fatal("Drop not recorded")
+	}
+	ModifyFieldWithHash{Dst: 5, Hash: "h", Base: 10, Size: 8}.Exec(env)
+	if env.fields[5] != 10+42%8 {
+		t.Fatalf("hash offset = %d", env.fields[5])
+	}
+	ModifyFieldWithHash{Dst: 6, Hash: "h", Size: 0}.Exec(env)
+	if env.fields[6] != 42 {
+		t.Fatal("raw hash value not stored")
+	}
+	Recirculate{}.Exec(env)
+	if env.recirc != 1 {
+		t.Fatal("Recirculate not propagated")
+	}
+}
+
+// Property: ALU add/sub are inverses modulo 2^64 for any operands.
+func TestPropertyALUAddSubInverse(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return ALUSub.apply(ALUAdd.apply(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min/max ordering invariant.
+func TestPropertyMinMax(t *testing.T) {
+	f := func(a, b uint64) bool {
+		lo, hi := ALUMin.apply(a, b), ALUMax.apply(a, b)
+		return lo <= hi && (lo == a || lo == b) && (hi == a || hi == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterStageViolations(t *testing.T) {
+	p := NewProgram("stages")
+	p.DefineStandardMetadata()
+	a := p.Schema.Define("m.a", 32)
+	p.AddRegister(&Register{Name: "shared", Width: 32, Instances: 4})
+	// t1 writes m.a and touches the register; t2 matches m.a (forcing a
+	// later stage) and touches the same register: violation.
+	p.AddAction(&Action{Name: "w1", Body: []Primitive{
+		ModifyField{Dst: a, DstName: "m.a", Src: ConstOp(1)},
+		RegisterIncrement{Reg: "shared", Index: ConstOp(0), By: ConstOp(1)},
+	}})
+	p.AddAction(&Action{Name: "w2", Body: []Primitive{
+		RegisterIncrement{Reg: "shared", Index: ConstOp(1), By: ConstOp(1)},
+	}})
+	p.AddTable(&Table{Name: "t1", ActionNames: []string{"w1"}, DefaultAction: &ActionCall{Action: "w1"}, Size: 1})
+	p.AddTable(&Table{Name: "t2", Keys: []MatchKey{{FieldName: "m.a", Field: a, Width: 32, Kind: MatchExact}},
+		ActionNames: []string{"w2"}, Size: 4})
+	p.Ingress = []ControlStmt{Apply{Table: "t1"}, Apply{Table: "t2"}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := p.RegisterStageViolations()
+	if len(v) != 1 || v[0].Register != "shared" {
+		t.Fatalf("violations = %+v", v)
+	}
+	if v[0].Stages["t1"] == v[0].Stages["t2"] {
+		t.Fatalf("stages should differ: %+v", v[0].Stages)
+	}
+}
+
+func TestNoStageViolationSingleTable(t *testing.T) {
+	p := buildTestProgram(t)
+	if v := p.RegisterStageViolations(); len(v) != 0 {
+		t.Fatalf("unexpected violations: %+v", v)
+	}
+}

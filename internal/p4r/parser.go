@@ -1,0 +1,897 @@
+package p4r
+
+import (
+	"fmt"
+)
+
+// Parser is a recursive-descent parser for P4R source with one token of
+// lookahead.
+type Parser struct {
+	lx  *Lexer
+	cur Token
+	f   *File
+}
+
+// Parse parses a complete P4R source file.
+func Parse(src string) (*File, error) {
+	p := &Parser{lx: NewLexer(src), f: &File{}}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	for p.cur.Kind != TokEOF {
+		if err := p.parseTopLevel(); err != nil {
+			return nil, err
+		}
+	}
+	return p.f, nil
+}
+
+func (p *Parser) next() error {
+	tok, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	p.cur = tok
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d:%d: %s", p.cur.Line, p.cur.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	if p.cur.Kind != TokIdent {
+		return Token{}, p.errf("expected identifier, got %s", p.cur)
+	}
+	tok := p.cur
+	return tok, p.next()
+}
+
+func (p *Parser) expectNumber() (uint64, error) {
+	if p.cur.Kind != TokNumber {
+		return 0, p.errf("expected number, got %s", p.cur)
+	}
+	v := p.cur.Num
+	return v, p.next()
+}
+
+func (p *Parser) expectPunct(text string) error {
+	if p.cur.Kind != TokPunct || p.cur.Text != text {
+		return p.errf("expected %q, got %s", text, p.cur)
+	}
+	return p.next()
+}
+
+func (p *Parser) isPunct(text string) bool {
+	return p.cur.Kind == TokPunct && p.cur.Text == text
+}
+
+func (p *Parser) acceptPunct(text string) (bool, error) {
+	if p.isPunct(text) {
+		return true, p.next()
+	}
+	return false, nil
+}
+
+// keyNumber parses `key : <number> ;` where the key identifier was
+// already consumed.
+func (p *Parser) keyNumber() (uint64, error) {
+	if err := p.expectPunct(":"); err != nil {
+		return 0, err
+	}
+	v, err := p.expectNumber()
+	if err != nil {
+		return 0, err
+	}
+	return v, p.expectPunct(";")
+}
+
+func (p *Parser) parseTopLevel() error {
+	if p.cur.Kind != TokIdent {
+		return p.errf("expected declaration, got %s", p.cur)
+	}
+	switch p.cur.Text {
+	case "header_type":
+		return p.parseHeaderType()
+	case "header", "metadata":
+		return p.parseInstance()
+	case "register":
+		return p.parseRegister()
+	case "field_list":
+		return p.parseFieldList()
+	case "field_list_calculation":
+		return p.parseFieldListCalc()
+	case "action":
+		return p.parseAction()
+	case "table":
+		if err := p.next(); err != nil {
+			return err
+		}
+		return p.parseTable(false)
+	case "malleable":
+		return p.parseMalleable()
+	case "reaction":
+		return p.parseReaction()
+	case "control":
+		return p.parseControl()
+	default:
+		return p.errf("unknown declaration %q", p.cur.Text)
+	}
+}
+
+func (p *Parser) parseHeaderType() error {
+	line := p.cur.Line
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	ht := &HeaderType{Name: name.Text, Line: line}
+	// fields { name : width; ... }
+	kw, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if kw.Text != "fields" {
+		return p.errf("expected 'fields' in header_type %s", name.Text)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.isPunct("}") {
+		fname, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		w, err := p.keyNumber()
+		if err != nil {
+			return err
+		}
+		ht.Fields = append(ht.Fields, FieldDef{Name: fname.Text, Width: int(w)})
+	}
+	if err := p.next(); err != nil { // consume inner }
+		return err
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return err
+	}
+	p.f.HeaderTypes = append(p.f.HeaderTypes, ht)
+	return nil
+}
+
+func (p *Parser) parseInstance() error {
+	meta := p.cur.Text == "metadata"
+	line := p.cur.Line
+	if err := p.next(); err != nil {
+		return err
+	}
+	typ, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	p.f.Instances = append(p.f.Instances, &Instance{
+		TypeName: typ.Text, Name: name.Text, Metadata: meta, Line: line,
+	})
+	return nil
+}
+
+func (p *Parser) parseRegister() error {
+	line := p.cur.Line
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	r := &RegisterDecl{Name: name.Text, Line: line}
+	for !p.isPunct("}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		v, err := p.keyNumber()
+		if err != nil {
+			return err
+		}
+		switch key.Text {
+		case "width":
+			r.Width = int(v)
+		case "instance_count":
+			r.InstanceCount = int(v)
+		default:
+			return p.errf("unknown register attribute %q", key.Text)
+		}
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	if r.Width == 0 {
+		return fmt.Errorf("line %d: register %s missing width", line, r.Name)
+	}
+	if r.InstanceCount == 0 {
+		r.InstanceCount = 1
+	}
+	p.f.Registers = append(p.f.Registers, r)
+	return nil
+}
+
+// parseArg parses an identifier, number, or ${mbl} reference.
+func (p *Parser) parseArg() (Arg, error) {
+	switch p.cur.Kind {
+	case TokIdent:
+		a := Arg{Kind: ArgIdent, Ident: p.cur.Text, Line: p.cur.Line}
+		return a, p.next()
+	case TokNumber:
+		a := Arg{Kind: ArgConst, Value: p.cur.Num, Line: p.cur.Line}
+		return a, p.next()
+	case TokMblRef:
+		a := Arg{Kind: ArgMblRef, Mbl: p.cur.Text, Line: p.cur.Line}
+		return a, p.next()
+	default:
+		return Arg{}, p.errf("expected argument, got %s", p.cur)
+	}
+}
+
+func (p *Parser) parseFieldList() error {
+	line := p.cur.Line
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	fl := &FieldList{Name: name.Text, Line: line}
+	for !p.isPunct("}") {
+		a, err := p.parseArg()
+		if err != nil {
+			return err
+		}
+		fl.Entries = append(fl.Entries, a)
+		if ok, err := p.acceptPunct(";"); err != nil {
+			return err
+		} else if !ok {
+			if _, err := p.acceptPunct(","); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	p.f.FieldLists = append(p.f.FieldLists, fl)
+	return nil
+}
+
+func (p *Parser) parseFieldListCalc() error {
+	line := p.cur.Line
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	c := &FieldListCalc{Name: name.Text, Line: line}
+	for !p.isPunct("}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch key.Text {
+		case "input":
+			if err := p.expectPunct("{"); err != nil {
+				return err
+			}
+			in, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			c.Input = in.Text
+			if _, err := p.acceptPunct(";"); err != nil {
+				return err
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return err
+			}
+		case "algorithm":
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			algo, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			c.Algorithm = algo.Text
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		case "output_width":
+			w, err := p.keyNumber()
+			if err != nil {
+				return err
+			}
+			c.OutputWidth = int(w)
+		default:
+			return p.errf("unknown field_list_calculation attribute %q", key.Text)
+		}
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	p.f.Calcs = append(p.f.Calcs, c)
+	return nil
+}
+
+func (p *Parser) parseAction() error {
+	line := p.cur.Line
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	a := &ActionDecl{Name: name.Text, Line: line}
+	for !p.isPunct(")") {
+		param, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		a.Params = append(a.Params, param.Text)
+		if _, err := p.acceptPunct(","); err != nil {
+			return err
+		}
+	}
+	if err := p.next(); err != nil { // consume )
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.isPunct("}") {
+		prim, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		call := PrimCall{Name: prim.Text, Line: prim.Line}
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		for !p.isPunct(")") {
+			arg, err := p.parseArg()
+			if err != nil {
+				return err
+			}
+			call.Args = append(call.Args, arg)
+			if _, err := p.acceptPunct(","); err != nil {
+				return err
+			}
+		}
+		if err := p.next(); err != nil { // consume )
+			return err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+		a.Body = append(a.Body, call)
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	p.f.Actions = append(p.f.Actions, a)
+	return nil
+}
+
+var matchTypes = map[string]bool{"exact": true, "ternary": true, "lpm": true, "range": true}
+
+func (p *Parser) parseTable(malleable bool) error {
+	line := p.cur.Line
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	t := &TableDecl{Name: name.Text, Malleable: malleable, Line: line}
+	for !p.isPunct("}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch key.Text {
+		case "reads":
+			if err := p.expectPunct("{"); err != nil {
+				return err
+			}
+			for !p.isPunct("}") {
+				target, err := p.parseArg()
+				if err != nil {
+					return err
+				}
+				if target.Kind == ArgConst {
+					return p.errf("table %s: read key cannot be a constant", t.Name)
+				}
+				rk := ReadKey{Target: target, Line: target.Line}
+				if p.cur.Kind == TokIdent && p.cur.Text == "mask" {
+					if err := p.next(); err != nil {
+						return err
+					}
+					m, err := p.expectNumber()
+					if err != nil {
+						return err
+					}
+					rk.Mask, rk.HasMask = m, true
+				}
+				if err := p.expectPunct(":"); err != nil {
+					return err
+				}
+				mt, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				if !matchTypes[mt.Text] {
+					return p.errf("table %s: unknown match type %q", t.Name, mt.Text)
+				}
+				if err := p.expectPunct(";"); err != nil {
+					return err
+				}
+				rk.MatchType = mt.Text
+				t.Reads = append(t.Reads, rk)
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+		case "actions":
+			if err := p.expectPunct("{"); err != nil {
+				return err
+			}
+			for !p.isPunct("}") {
+				an, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(";"); err != nil {
+					return err
+				}
+				t.Actions = append(t.Actions, an.Text)
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+		case "default_action":
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			an, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			d := &DefaultCall{Action: an.Text}
+			if ok, err := p.acceptPunct("("); err != nil {
+				return err
+			} else if ok {
+				for !p.isPunct(")") {
+					v, err := p.expectNumber()
+					if err != nil {
+						return err
+					}
+					d.Args = append(d.Args, v)
+					if _, err := p.acceptPunct(","); err != nil {
+						return err
+					}
+				}
+				if err := p.next(); err != nil {
+					return err
+				}
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			t.Default = d
+		case "size":
+			v, err := p.keyNumber()
+			if err != nil {
+				return err
+			}
+			t.Size = int(v)
+		default:
+			return p.errf("unknown table attribute %q", key.Text)
+		}
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	p.f.Tables = append(p.f.Tables, t)
+	return nil
+}
+
+func (p *Parser) parseMalleable() error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	kind, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	switch kind.Text {
+	case "value":
+		return p.parseMblValue()
+	case "field":
+		return p.parseMblField()
+	case "table":
+		return p.parseTable(true)
+	default:
+		return p.errf("malleable %q: expected value, field, or table", kind.Text)
+	}
+}
+
+func (p *Parser) parseMblValue() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	line := name.Line
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	m := &MblValue{Name: name.Text, Line: line}
+	for !p.isPunct("}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		v, err := p.keyNumber()
+		if err != nil {
+			return err
+		}
+		switch key.Text {
+		case "width":
+			m.Width = int(v)
+		case "init":
+			m.Init = v
+		default:
+			return p.errf("unknown malleable value attribute %q", key.Text)
+		}
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	if m.Width == 0 {
+		return fmt.Errorf("line %d: malleable value %s missing width", line, m.Name)
+	}
+	p.f.MblValues = append(p.f.MblValues, m)
+	return nil
+}
+
+func (p *Parser) parseMblField() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	line := name.Line
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	m := &MblField{Name: name.Text, Line: line}
+	for !p.isPunct("}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch key.Text {
+		case "width":
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			v, err := p.expectNumber()
+			if err != nil {
+				return err
+			}
+			m.Width = int(v)
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		case "init":
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			f, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			m.Init = f.Text
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		case "alts":
+			if err := p.expectPunct("{"); err != nil {
+				return err
+			}
+			for !p.isPunct("}") {
+				f, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				m.Alts = append(m.Alts, f.Text)
+				if _, err := p.acceptPunct(","); err != nil {
+					return err
+				}
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+			// optional trailing ;
+			if _, err := p.acceptPunct(";"); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unknown malleable field attribute %q", key.Text)
+		}
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	if m.Width == 0 {
+		return fmt.Errorf("line %d: malleable field %s missing width", line, m.Name)
+	}
+	if len(m.Alts) == 0 {
+		return fmt.Errorf("line %d: malleable field %s has no alts", line, m.Name)
+	}
+	if m.Init == "" {
+		m.Init = m.Alts[0]
+	}
+	if m.InitAltIndex() < 0 {
+		return fmt.Errorf("line %d: malleable field %s: init %q not in alts", line, m.Name, m.Init)
+	}
+	p.f.MblFields = append(p.f.MblFields, m)
+	return nil
+}
+
+func (p *Parser) parseReaction() error {
+	line := p.cur.Line
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	r := &Reaction{Name: name.Text, Line: line}
+	for !p.isPunct(")") {
+		param, err := p.parseReactionParam()
+		if err != nil {
+			return err
+		}
+		r.Params = append(r.Params, param)
+		if _, err := p.acceptPunct(","); err != nil {
+			return err
+		}
+	}
+	if err := p.next(); err != nil { // consume )
+		return err
+	}
+	if !p.isPunct("{") {
+		return p.errf("expected reaction body, got %s", p.cur)
+	}
+	// The lexer sits just past the '{' of the body: capture raw C-like
+	// source up to the matching brace and hand it to the reaction
+	// language (internal/rcl) later.
+	body, err := p.lx.captureBraceBlock()
+	if err != nil {
+		return err
+	}
+	r.Body = body
+	if err := p.next(); err != nil {
+		return err
+	}
+	p.f.Reactions = append(p.f.Reactions, r)
+	return nil
+}
+
+func (p *Parser) parseReactionParam() (ReactionParam, error) {
+	kindTok, err := p.expectIdent()
+	if err != nil {
+		return ReactionParam{}, err
+	}
+	rp := ReactionParam{Line: kindTok.Line}
+	switch kindTok.Text {
+	case "ing":
+		rp.Kind = ParamIng
+	case "egr":
+		rp.Kind = ParamEgr
+	case "reg":
+		rp.Kind = ParamReg
+	default:
+		return ReactionParam{}, p.errf("reaction parameter must start with ing, egr, or reg (got %q)", kindTok.Text)
+	}
+	if rp.Kind == ParamReg {
+		name, err := p.expectIdent()
+		if err != nil {
+			return ReactionParam{}, err
+		}
+		rp.Target = name.Text
+		if ok, err := p.acceptPunct("["); err != nil {
+			return ReactionParam{}, err
+		} else if ok {
+			lo, err := p.expectNumber()
+			if err != nil {
+				return ReactionParam{}, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return ReactionParam{}, err
+			}
+			hi, err := p.expectNumber()
+			if err != nil {
+				return ReactionParam{}, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return ReactionParam{}, err
+			}
+			rp.Lo, rp.Hi = int(lo), int(hi)
+			if rp.Hi < rp.Lo {
+				return ReactionParam{}, fmt.Errorf("line %d: register slice [%d:%d] inverted", rp.Line, rp.Lo, rp.Hi)
+			}
+		} else {
+			rp.Lo, rp.Hi = 0, -1 // full array, resolved at compile time
+		}
+		return rp, nil
+	}
+	arg, err := p.parseArg()
+	if err != nil {
+		return ReactionParam{}, err
+	}
+	switch arg.Kind {
+	case ArgIdent:
+		rp.Target = arg.Ident
+	case ArgMblRef:
+		rp.Target = arg.Mbl
+		rp.IsMbl = true
+	default:
+		return ReactionParam{}, p.errf("reaction parameter cannot be a constant")
+	}
+	return rp, nil
+}
+
+func (p *Parser) parseControl() error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	which, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if which.Text != "ingress" && which.Text != "egress" {
+		return p.errf("control must be ingress or egress, got %q", which.Text)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	stmts, err := p.parseStmts()
+	if err != nil {
+		return err
+	}
+	if which.Text == "ingress" {
+		p.f.Ingress = append(p.f.Ingress, stmts...)
+	} else {
+		p.f.Egress = append(p.f.Egress, stmts...)
+	}
+	return nil
+}
+
+// parseStmts parses statements until the closing '}' (consumed).
+func (p *Parser) parseStmts() ([]Stmt, error) {
+	var out []Stmt
+	for !p.isPunct("}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, p.next()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	kw, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	switch kw.Text {
+	case "apply":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return ApplyStmt{Table: name.Text}, nil
+	case "if":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		left, err := p.parseArg()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur.Kind != TokPunct {
+			return nil, p.errf("expected comparison operator, got %s", p.cur)
+		}
+		op := p.cur.Text
+		switch op {
+		case "==", "!=", "<", "<=", ">", ">=":
+		default:
+			return nil, p.errf("unknown comparison operator %q", op)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseArg()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmts()
+		if err != nil {
+			return nil, err
+		}
+		st := IfStmt{Cond: CondExpr{Left: left, Op: op, Right: right}, Then: then}
+		if p.cur.Kind == TokIdent && p.cur.Text == "else" {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("{"); err != nil {
+				return nil, err
+			}
+			els, err := p.parseStmts()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	default:
+		return nil, p.errf("unknown statement %q", kw.Text)
+	}
+}

@@ -1,0 +1,156 @@
+// Package packet defines the packet representation shared by the RMT
+// switch model and the network simulator.
+//
+// A Packet is a flat vector of header and metadata field values, indexed
+// by FieldID. The mapping from dotted P4 names (e.g. "ipv4.srcAddr" or
+// "p4r_meta_.value_var") to FieldIDs lives in a Schema, which is built
+// once per compiled program. Resolving names to integer indices at
+// compile time keeps the per-packet hot path free of map lookups and
+// string hashing — the same reason hardware pipelines operate on a fixed
+// packet header vector (PHV).
+package packet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FieldID indexes a field within a Schema's packet layout.
+type FieldID int
+
+// Invalid is the zero-value sentinel for an unresolved field.
+const Invalid FieldID = -1
+
+// Schema maps dotted field names to packet-vector slots. A Schema is
+// immutable once packets have been created from it; Define must not be
+// called concurrently with packet processing.
+type Schema struct {
+	names  []string
+	widths []int
+	index  map[string]FieldID
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{index: make(map[string]FieldID)}
+}
+
+// Define registers a field with the given dotted name and bit width
+// (1..64) and returns its ID. Defining an existing name with the same
+// width returns the existing ID; redefining with a different width
+// panics, since that is always a compiler bug.
+func (s *Schema) Define(name string, width int) FieldID {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("packet: field %q has unsupported width %d", name, width))
+	}
+	if id, ok := s.index[name]; ok {
+		if s.widths[id] != width {
+			panic(fmt.Sprintf("packet: field %q redefined with width %d (was %d)", name, width, s.widths[id]))
+		}
+		return id
+	}
+	id := FieldID(len(s.names))
+	s.names = append(s.names, name)
+	s.widths = append(s.widths, width)
+	s.index[name] = id
+	return id
+}
+
+// Lookup resolves a field name, reporting whether it exists.
+func (s *Schema) Lookup(name string) (FieldID, bool) {
+	id, ok := s.index[name]
+	return id, ok
+}
+
+// MustID resolves a field name, panicking if it is not defined.
+func (s *Schema) MustID(name string) FieldID {
+	id, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("packet: unknown field %q", name))
+	}
+	return id
+}
+
+// Width returns the bit width of the field.
+func (s *Schema) Width(id FieldID) int { return s.widths[id] }
+
+// Name returns the dotted name of the field.
+func (s *Schema) Name(id FieldID) string { return s.names[id] }
+
+// NumFields reports how many fields the schema defines.
+func (s *Schema) NumFields() int { return len(s.names) }
+
+// Names returns all defined field names in sorted order.
+func (s *Schema) Names() []string {
+	out := append([]string(nil), s.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Mask returns the value mask for a field of the given width.
+func Mask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+// Packet is a unit of traffic moving through the simulated network and
+// switch pipelines. Field values are always stored masked to their
+// declared width.
+type Packet struct {
+	schema *Schema
+	fields []uint64
+
+	// Size is the wire size in bytes, used for byte counters and link
+	// serialization delay.
+	Size int
+	// IngressPort is the switch port the packet arrived on.
+	IngressPort int
+	// EgressPort is the port chosen by the ingress pipeline; -1 until set.
+	EgressPort int
+	// Dropped marks the packet as discarded.
+	Dropped bool
+	// Recirculations counts trips back through the pipeline.
+	Recirculations int
+	// Priority selects the egress queue (higher is more urgent).
+	Priority int
+	// Payload carries opaque simulator context (e.g. the netsim flow that
+	// emitted the packet); the data plane never inspects it.
+	Payload any
+}
+
+// New creates a zero-filled packet for this schema.
+func (s *Schema) New() *Packet {
+	return &Packet{
+		schema:     s,
+		fields:     make([]uint64, len(s.names)),
+		EgressPort: -1,
+	}
+}
+
+// Schema returns the schema the packet was created from.
+func (p *Packet) Schema() *Schema { return p.schema }
+
+// Get returns the value of a field.
+func (p *Packet) Get(id FieldID) uint64 { return p.fields[id] }
+
+// Set stores v into the field, masked to the field's width.
+func (p *Packet) Set(id FieldID, v uint64) {
+	p.fields[id] = v & Mask(p.schema.widths[id])
+}
+
+// GetName and SetName are conveniences for tests and scenario setup; the
+// data-plane hot path resolves IDs ahead of time.
+func (p *Packet) GetName(name string) uint64 { return p.fields[p.schema.MustID(name)] }
+
+// SetName stores a value by field name.
+func (p *Packet) SetName(name string, v uint64) { p.Set(p.schema.MustID(name), v) }
+
+// Clone returns a deep copy of the packet (Payload is copied by
+// reference).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.fields = append([]uint64(nil), p.fields...)
+	return &q
+}

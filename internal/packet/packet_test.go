@@ -1,0 +1,154 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefineAndLookup(t *testing.T) {
+	s := NewSchema()
+	a := s.Define("ipv4.srcAddr", 32)
+	b := s.Define("ipv4.dstAddr", 32)
+	if a == b {
+		t.Fatal("distinct fields share an ID")
+	}
+	if id, ok := s.Lookup("ipv4.srcAddr"); !ok || id != a {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("Lookup found undefined field")
+	}
+	if s.NumFields() != 2 {
+		t.Fatalf("NumFields = %d", s.NumFields())
+	}
+}
+
+func TestDefineIdempotent(t *testing.T) {
+	s := NewSchema()
+	a := s.Define("x", 16)
+	if s.Define("x", 16) != a {
+		t.Fatal("re-Define returned new ID")
+	}
+}
+
+func TestDefineWidthConflictPanics(t *testing.T) {
+	s := NewSchema()
+	s.Define("x", 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width conflict did not panic")
+		}
+	}()
+	s.Define("x", 32)
+}
+
+func TestDefineBadWidthPanics(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() { recover() }()
+			NewSchema().Define("x", w)
+			t.Fatalf("width %d did not panic", w)
+		}()
+	}
+}
+
+func TestSetMasksToWidth(t *testing.T) {
+	s := NewSchema()
+	f := s.Define("h.small", 4)
+	p := s.New()
+	p.Set(f, 0xFF)
+	if got := p.Get(f); got != 0xF {
+		t.Fatalf("Get = %#x, want 0xF", got)
+	}
+}
+
+func TestSet64BitField(t *testing.T) {
+	s := NewSchema()
+	f := s.Define("h.big", 64)
+	p := s.New()
+	p.Set(f, ^uint64(0))
+	if p.Get(f) != ^uint64(0) {
+		t.Fatal("64-bit value truncated")
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := map[int]uint64{1: 1, 8: 0xFF, 16: 0xFFFF, 32: 0xFFFFFFFF, 64: ^uint64(0)}
+	for w, want := range cases {
+		if Mask(w) != want {
+			t.Errorf("Mask(%d) = %#x, want %#x", w, Mask(w), want)
+		}
+	}
+}
+
+func TestGetSetByName(t *testing.T) {
+	s := NewSchema()
+	s.Define("eth.type", 16)
+	p := s.New()
+	p.SetName("eth.type", 0x0800)
+	if p.GetName("eth.type") != 0x0800 {
+		t.Fatal("name round trip failed")
+	}
+}
+
+func TestMustIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustID on unknown field did not panic")
+		}
+	}()
+	NewSchema().MustID("ghost")
+}
+
+func TestClone(t *testing.T) {
+	s := NewSchema()
+	f := s.Define("a", 32)
+	p := s.New()
+	p.Set(f, 7)
+	p.Size = 100
+	q := p.Clone()
+	q.Set(f, 9)
+	if p.Get(f) != 7 {
+		t.Fatal("Clone aliases field storage")
+	}
+	if q.Size != 100 {
+		t.Fatal("Clone lost scalar state")
+	}
+}
+
+func TestNewPacketDefaults(t *testing.T) {
+	s := NewSchema()
+	p := s.New()
+	if p.EgressPort != -1 {
+		t.Fatalf("EgressPort = %d, want -1", p.EgressPort)
+	}
+	if p.Dropped {
+		t.Fatal("new packet is dropped")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := NewSchema()
+	s.Define("z", 8)
+	s.Define("a", 8)
+	names := s.Names()
+	if names[0] != "a" || names[1] != "z" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+// Property: Set then Get is identity modulo the width mask, for any
+// width in [1,64].
+func TestPropertySetGetMasked(t *testing.T) {
+	f := func(v uint64, w8 uint8) bool {
+		w := int(w8%64) + 1
+		s := NewSchema()
+		id := s.Define("f", w)
+		p := s.New()
+		p.Set(id, v)
+		return p.Get(id) == v&Mask(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

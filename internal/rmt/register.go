@@ -1,0 +1,62 @@
+package rmt
+
+import (
+	"fmt"
+
+	"repro/internal/p4"
+	"repro/internal/packet"
+)
+
+// registerInstance is the runtime storage of one stateful register
+// array. Values are always stored masked to the declared width, matching
+// hardware behaviour where a W-bit register silently wraps.
+type registerInstance struct {
+	def  *p4.Register
+	vals []uint64
+	mask uint64
+}
+
+func newRegisterInstance(def *p4.Register) *registerInstance {
+	return &registerInstance{
+		def:  def,
+		vals: make([]uint64, def.Instances),
+		mask: packet.Mask(def.Width),
+	}
+}
+
+// read is the data-plane path: out-of-range indices wrap (hardware
+// truncates the index to the address width rather than faulting).
+func (r *registerInstance) read(idx uint64) uint64 {
+	return r.vals[idx%uint64(len(r.vals))]
+}
+
+// write is the data-plane path with wrapping index semantics.
+func (r *registerInstance) write(idx uint64, v uint64) {
+	r.vals[idx%uint64(len(r.vals))] = v & r.mask
+}
+
+// readChecked is the control-plane path: drivers reject out-of-range
+// indices with an error rather than wrapping.
+func (r *registerInstance) readChecked(idx uint64) (uint64, error) {
+	if idx >= uint64(len(r.vals)) {
+		return 0, fmt.Errorf("rmt: register %s index %d out of range [0,%d)", r.def.Name, idx, len(r.vals))
+	}
+	return r.vals[idx], nil
+}
+
+func (r *registerInstance) writeChecked(idx uint64, v uint64) error {
+	if idx >= uint64(len(r.vals)) {
+		return fmt.Errorf("rmt: register %s index %d out of range [0,%d)", r.def.Name, idx, len(r.vals))
+	}
+	r.vals[idx] = v & r.mask
+	return nil
+}
+
+func (r *registerInstance) readRange(lo, hi uint64) ([]uint64, error) {
+	if lo > hi || hi > uint64(len(r.vals)) {
+		return nil, fmt.Errorf("rmt: register %s range [%d,%d) out of bounds [0,%d)", r.def.Name, lo, hi, len(r.vals))
+	}
+	out := make([]uint64, hi-lo)
+	copy(out, r.vals[lo:hi])
+	return out, nil
+}

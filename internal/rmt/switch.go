@@ -1,0 +1,558 @@
+// Package rmt models a Reconfigurable Match Table (RMT) switch ASIC: the
+// execution substrate the Mantis paper targets (a Tofino-based
+// Wedge100BF-32X in the original evaluation).
+//
+// The model executes a p4.Program over packets on a shared virtual
+// clock. It reproduces the properties the paper's mechanisms depend on:
+//
+//   - Packets traverse a pipeline with a fixed latency; packets that
+//     entered before a configuration change complete under the old
+//     configuration (the model processes each packet's pipeline pass
+//     atomically, which is the per-packet consistency real ASICs give).
+//   - Control-plane operations mutate exactly one table entry, default
+//     action, or register cell at a time — single-entry atomicity, the
+//     primitive Mantis builds its serializable three-phase protocol on.
+//   - Stateful SRAM registers are readable/writable from the data plane
+//     and pollable from the control plane.
+//   - Egress ports have finite queues drained at link bandwidth, so
+//     queue depth, loss, and congestion are observable — required by the
+//     hash-polarization and RL use cases.
+//
+// Latency and contention of the control channel (PCIe) are modeled in
+// internal/driver, which wraps the instantaneous mutators defined here.
+package rmt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/p4"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Config sets the physical parameters of the modeled switch.
+type Config struct {
+	// NumPorts is the number of front-panel ports.
+	NumPorts int
+	// QueueCapacity is the per-port egress queue depth, in packets.
+	QueueCapacity int
+	// PipelineLatency is the time from ingress MAC to egress queue
+	// admission (100s of ns on real hardware).
+	PipelineLatency time.Duration
+	// PortBandwidth is the drain rate of each port in bits per second.
+	PortBandwidth float64
+	// RecirculationLatency is the extra delay of one recirculation pass.
+	RecirculationLatency time.Duration
+	// MaxRecirculations bounds recirculation loops (safety net).
+	MaxRecirculations int
+	// IngressCapacityPPS bounds the packet rate the ingress pipeline can
+	// process (0 = unlimited). Recirculated packets consume the same
+	// capacity as fresh arrivals — the cost §2 quantifies ("recirculating
+	// every packet twice drops usable throughput to 38%").
+	IngressCapacityPPS float64
+}
+
+// DefaultConfig matches the paper's testbed scale: a 32x25Gbps switch.
+func DefaultConfig() Config {
+	return Config{
+		NumPorts:             32,
+		QueueCapacity:        256,
+		PipelineLatency:      400 * time.Nanosecond,
+		PortBandwidth:        25e9,
+		RecirculationLatency: 400 * time.Nanosecond,
+		MaxRecirculations:    4,
+	}
+}
+
+// Stats aggregates switch-level counters.
+type Stats struct {
+	RxPackets     uint64
+	TxPackets     uint64
+	IngressDrops  uint64 // dropped by a data-plane drop() action
+	QueueDrops    uint64 // tail drops at full egress queues
+	PortDownDrops uint64
+	Recirculated  uint64
+}
+
+// port models one egress port: a FIFO queue drained at link bandwidth.
+type port struct {
+	queue   []*packet.Packet
+	up      bool
+	busy    bool
+	txBytes uint64
+	txPkts  uint64
+	// bandwidth overrides Config.PortBandwidth when > 0.
+	bandwidth float64
+}
+
+// Switch is a running RMT switch instance executing one program.
+type Switch struct {
+	sim  *sim.Simulator
+	prog *p4.Program
+	cfg  Config
+
+	tables    map[string]*tableInstance
+	registers map[string]*registerInstance
+	hashSeeds map[string]uint64
+
+	ports []*port
+
+	// Tx is invoked when a packet leaves a port (after egress pipeline
+	// and serialization). The netsim layer wires this to links.
+	Tx func(portN int, pkt *packet.Packet)
+
+	stats Stats
+
+	// configWrites counts control-plane mutations, for diagnostics.
+	configWrites uint64
+
+	// ingressBusyUntil serializes pipeline admission when
+	// IngressCapacityPPS is set.
+	ingressBusyUntil sim.Time
+
+	// cached standard-metadata field IDs
+	fIngressPort, fEgressSpec, fPacketLen packet.FieldID
+	fTimestamp, fEnqQdepth, fEgressPort   packet.FieldID
+	fPriority                             packet.FieldID
+}
+
+// New instantiates a switch running prog. The program must validate.
+func New(s *sim.Simulator, prog *p4.Program, cfg Config) (*Switch, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("rmt: invalid program: %w", err)
+	}
+	if cfg.NumPorts <= 0 {
+		return nil, fmt.Errorf("rmt: NumPorts must be positive")
+	}
+	sw := &Switch{
+		sim:       s,
+		prog:      prog,
+		cfg:       cfg,
+		tables:    make(map[string]*tableInstance),
+		registers: make(map[string]*registerInstance),
+		hashSeeds: make(map[string]uint64),
+	}
+	for name, def := range prog.Tables {
+		sw.tables[name] = newTableInstance(prog, def)
+	}
+	for name, def := range prog.Registers {
+		sw.registers[name] = newRegisterInstance(def)
+	}
+	sw.ports = make([]*port, cfg.NumPorts)
+	for i := range sw.ports {
+		sw.ports[i] = &port{up: true}
+	}
+	mustID := func(name string) packet.FieldID { return prog.Schema.MustID(name) }
+	sw.fIngressPort = mustID(p4.FieldIngressPort)
+	sw.fEgressSpec = mustID(p4.FieldEgressSpec)
+	sw.fPacketLen = mustID(p4.FieldPacketLen)
+	sw.fTimestamp = mustID(p4.FieldTimestamp)
+	sw.fEnqQdepth = mustID(p4.FieldEnqQdepth)
+	sw.fEgressPort = mustID(p4.FieldEgressPort)
+	sw.fPriority = mustID(p4.FieldPriority)
+	return sw, nil
+}
+
+// Program returns the loaded program.
+func (sw *Switch) Program() *p4.Program { return sw.prog }
+
+// Config returns the switch configuration.
+func (sw *Switch) Config() Config { return sw.cfg }
+
+// Stats returns a copy of the aggregate counters.
+func (sw *Switch) Stats() Stats { return sw.stats }
+
+// Now returns the current virtual time (convenience for callers holding
+// only the switch).
+func (sw *Switch) Now() sim.Time { return sw.sim.Now() }
+
+// SetPortUp raises or lowers a port. Packets destined to a down port are
+// dropped at the traffic manager.
+func (sw *Switch) SetPortUp(portN int, up bool) {
+	sw.ports[portN].up = up
+}
+
+// SetPortBandwidth overrides one port's drain rate (bits per second),
+// e.g. to model a 10 Gbps bottleneck on an otherwise 25 Gbps switch.
+func (sw *Switch) SetPortBandwidth(portN int, bps float64) {
+	sw.ports[portN].bandwidth = bps
+}
+
+// PortUp reports the port's administrative state.
+func (sw *Switch) PortUp(portN int) bool { return sw.ports[portN].up }
+
+// QueueDepth returns the instantaneous egress queue occupancy of a port,
+// in packets.
+func (sw *Switch) QueueDepth(portN int) int { return len(sw.ports[portN].queue) }
+
+// PortTxBytes returns the cumulative bytes transmitted by a port.
+func (sw *Switch) PortTxBytes(portN int) uint64 { return sw.ports[portN].txBytes }
+
+// Inject delivers a packet to the switch on the given ingress port at
+// the current virtual time. Processing of the ingress pipeline happens
+// immediately (atomically with respect to other events); queueing and
+// egress follow on the virtual clock.
+func (sw *Switch) Inject(portN int, pkt *packet.Packet) {
+	sw.stats.RxPackets++
+	pkt.IngressPort = portN
+	sw.admit(pkt)
+}
+
+// admit schedules one ingress-pipeline pass, honoring the pipeline's
+// packet-rate capacity. Fresh arrivals and recirculations share the
+// capacity; the admission buffer is small (pipelines have no deep
+// ingress queues), so sustained overload drops — which is what divides
+// usable throughput by ~(N+1) when every packet takes N+1 passes.
+func (sw *Switch) admit(pkt *packet.Packet) {
+	if sw.cfg.IngressCapacityPPS <= 0 {
+		sw.runIngress(pkt)
+		return
+	}
+	slot := time.Duration(float64(time.Second) / sw.cfg.IngressCapacityPPS)
+	now := sw.sim.Now()
+	start := now
+	if sw.ingressBusyUntil > start {
+		start = sw.ingressBusyUntil
+	}
+	if backlog := int(start.Sub(now) / slot); backlog >= 64 {
+		pkt.Dropped = true
+		sw.stats.IngressDrops++
+		return
+	}
+	sw.ingressBusyUntil = start.Add(slot)
+	sw.sim.At(start, func() { sw.runIngress(pkt) })
+}
+
+func (sw *Switch) runIngress(pkt *packet.Packet) {
+	pkt.Set(sw.fIngressPort, uint64(pkt.IngressPort))
+	pkt.Set(sw.fPacketLen, uint64(pkt.Size))
+	pkt.Set(sw.fTimestamp, uint64(sw.sim.Now()))
+	pkt.Set(sw.fPriority, uint64(pkt.Priority))
+
+	env := execEnv{sw: sw, pkt: pkt}
+	sw.runControl(&env, sw.prog.Ingress)
+
+	if env.dropped {
+		pkt.Dropped = true
+		sw.stats.IngressDrops++
+		return
+	}
+	egress := int(pkt.Get(sw.fEgressSpec))
+	pkt.EgressPort = egress
+	recirc := env.recirculate
+	// Traffic-manager admission happens after the ingress pipeline delay.
+	sw.sim.Schedule(sw.cfg.PipelineLatency, func() { sw.enqueue(egress, pkt, recirc) })
+}
+
+func (sw *Switch) enqueue(portN int, pkt *packet.Packet, recirc bool) {
+	if portN < 0 || portN >= len(sw.ports) {
+		pkt.Dropped = true
+		sw.stats.IngressDrops++
+		return
+	}
+	p := sw.ports[portN]
+	if !p.up {
+		pkt.Dropped = true
+		sw.stats.PortDownDrops++
+		return
+	}
+	if len(p.queue) >= sw.cfg.QueueCapacity {
+		// Strict-priority admission: a higher-priority arrival may evict
+		// the lowest-priority tail packet (how heartbeats survive a
+		// congested port in the gray-failure use case).
+		victim := -1
+		for i := len(p.queue) - 1; i >= 0; i-- {
+			if p.queue[i].Priority < pkt.Priority {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			pkt.Dropped = true
+			sw.stats.QueueDrops++
+			return
+		}
+		p.queue[victim].Dropped = true
+		sw.stats.QueueDrops++
+		p.queue = append(p.queue[:victim], p.queue[victim+1:]...)
+	}
+	pkt.Set(sw.fEnqQdepth, uint64(len(p.queue)))
+	if recirc {
+		pkt.Recirculations++
+	}
+	// Insert in strict priority order (FIFO within a priority class).
+	pos := len(p.queue)
+	for pos > 0 && p.queue[pos-1].Priority < pkt.Priority {
+		pos--
+	}
+	p.queue = append(p.queue, nil)
+	copy(p.queue[pos+1:], p.queue[pos:])
+	p.queue[pos] = pkt
+	if !p.busy {
+		sw.drain(portN)
+	}
+}
+
+func (sw *Switch) drain(portN int) {
+	p := sw.ports[portN]
+	if len(p.queue) == 0 {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	pkt := p.queue[0]
+	p.queue = p.queue[1:]
+	bw := sw.cfg.PortBandwidth
+	if p.bandwidth > 0 {
+		bw = p.bandwidth
+	}
+	txTime := time.Duration(float64(pkt.Size*8) / bw * float64(time.Second))
+	if txTime <= 0 {
+		txTime = time.Nanosecond
+	}
+	sw.sim.Schedule(txTime, func() {
+		sw.finishEgress(portN, pkt)
+		sw.drain(portN)
+	})
+}
+
+func (sw *Switch) finishEgress(portN int, pkt *packet.Packet) {
+	pkt.Set(sw.fEgressPort, uint64(portN))
+	env := execEnv{sw: sw, pkt: pkt}
+	sw.runControl(&env, sw.prog.Egress)
+	if env.dropped {
+		pkt.Dropped = true
+		sw.stats.IngressDrops++
+		return
+	}
+	if env.recirculate && pkt.Recirculations < sw.cfg.MaxRecirculations {
+		sw.stats.Recirculated++
+		pkt.Recirculations++
+		sw.sim.Schedule(sw.cfg.RecirculationLatency, func() { sw.admit(pkt) })
+		return
+	}
+	p := sw.ports[portN]
+	p.txBytes += uint64(pkt.Size)
+	p.txPkts++
+	sw.stats.TxPackets++
+	if sw.Tx != nil {
+		sw.Tx(portN, pkt)
+	}
+}
+
+func (sw *Switch) runControl(env *execEnv, stmts []p4.ControlStmt) {
+	for _, s := range stmts {
+		if env.dropped {
+			return
+		}
+		switch st := s.(type) {
+		case p4.Apply:
+			sw.applyTable(env, st.Table)
+		case p4.If:
+			if evalCond(env, st.Cond) {
+				sw.runControl(env, st.Then)
+			} else {
+				sw.runControl(env, st.Else)
+			}
+		}
+	}
+}
+
+func evalCond(env *execEnv, c p4.CondExpr) bool {
+	l, r := c.Left.Value(env), c.Right.Value(env)
+	switch c.Op {
+	case p4.CmpEQ:
+		return l == r
+	case p4.CmpNE:
+		return l != r
+	case p4.CmpLT:
+		return l < r
+	case p4.CmpLE:
+		return l <= r
+	case p4.CmpGT:
+		return l > r
+	case p4.CmpGE:
+		return l >= r
+	}
+	return false
+}
+
+func (sw *Switch) applyTable(env *execEnv, name string) {
+	ti := sw.tables[name]
+	vals := make([]uint64, len(ti.def.Keys))
+	for i, k := range ti.def.Keys {
+		vals[i] = env.pkt.Get(k.Field)
+		if k.StaticMask != 0 {
+			vals[i] &= k.StaticMask
+		}
+	}
+	var call *p4.ActionCall
+	if e := ti.lookup(vals); e != nil {
+		call = &p4.ActionCall{Action: e.Action, Data: e.Data}
+	} else {
+		call = ti.defaultAction
+	}
+	if call == nil {
+		return
+	}
+	action := sw.prog.Actions[call.Action]
+	env.params = call.Data
+	for _, prim := range action.Body {
+		prim.Exec(env)
+	}
+	env.params = nil
+}
+
+// execEnv implements p4.Env for one packet's pipeline pass.
+type execEnv struct {
+	sw          *Switch
+	pkt         *packet.Packet
+	params      []uint64
+	dropped     bool
+	recirculate bool
+}
+
+func (e *execEnv) Get(id packet.FieldID) uint64    { return e.pkt.Get(id) }
+func (e *execEnv) Set(id packet.FieldID, v uint64) { e.pkt.Set(id, v) }
+func (e *execEnv) RegRead(reg string, idx uint64) uint64 {
+	return e.sw.registers[reg].read(idx)
+}
+func (e *execEnv) RegWrite(reg string, idx uint64, v uint64) {
+	e.sw.registers[reg].write(idx, v)
+}
+func (e *execEnv) Drop()              { e.dropped = true }
+func (e *execEnv) Param(i int) uint64 { return e.params[i] }
+func (e *execEnv) Recirculate()       { e.recirculate = true }
+
+func (e *execEnv) Hash(name string) uint64 {
+	h := e.sw.prog.Hashes[name]
+	seed := e.sw.hashSeeds[name]
+	var acc uint64 = 14695981039346656037 ^ seed // FNV offset basis, seed-mixed
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			acc ^= (v >> uint(8*i)) & 0xFF
+			acc *= 1099511628211
+		}
+	}
+	if h.Algo == p4.HashIdentity {
+		acc = seed
+		for _, f := range h.Fields {
+			acc = acc<<8 | (e.pkt.Get(f) & 0xFF)
+		}
+	} else {
+		for _, f := range h.Fields {
+			mix(e.pkt.Get(f))
+		}
+		if h.Algo == p4.HashCRC16 {
+			acc ^= acc >> 16
+		}
+	}
+	return acc & packet.Mask(h.Width)
+}
+
+// SetHashSeed rotates the seed of a hash calculation at runtime, the
+// mechanism behind shifting ECMP hash functions (use case #3).
+func (sw *Switch) SetHashSeed(name string, seed uint64) error {
+	if _, ok := sw.prog.Hashes[name]; !ok {
+		return fmt.Errorf("rmt: unknown hash calculation %q", name)
+	}
+	sw.hashSeeds[name] = seed
+	sw.configWrites++
+	return nil
+}
+
+// ---- Control-plane access points ----
+//
+// Each method below is a single atomic mutation or read of switch state,
+// the granularity real drivers provide over PCIe. Latency, batching, and
+// contention are modeled by internal/driver on top of these.
+
+// AddEntry installs a table entry and returns its handle.
+func (sw *Switch) AddEntry(table string, e Entry) (EntryHandle, error) {
+	ti, ok := sw.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("rmt: unknown table %q", table)
+	}
+	sw.configWrites++
+	return ti.add(e)
+}
+
+// ModifyEntry rebinds an entry's action and data.
+func (sw *Switch) ModifyEntry(table string, h EntryHandle, action string, data []uint64) error {
+	ti, ok := sw.tables[table]
+	if !ok {
+		return fmt.Errorf("rmt: unknown table %q", table)
+	}
+	sw.configWrites++
+	return ti.modify(h, action, data)
+}
+
+// DeleteEntry removes an entry.
+func (sw *Switch) DeleteEntry(table string, h EntryHandle) error {
+	ti, ok := sw.tables[table]
+	if !ok {
+		return fmt.Errorf("rmt: unknown table %q", table)
+	}
+	sw.configWrites++
+	return ti.del(h)
+}
+
+// SetDefaultAction replaces a table's miss action.
+func (sw *Switch) SetDefaultAction(table string, call *p4.ActionCall) error {
+	ti, ok := sw.tables[table]
+	if !ok {
+		return fmt.Errorf("rmt: unknown table %q", table)
+	}
+	sw.configWrites++
+	return ti.setDefault(call)
+}
+
+// Entries returns a snapshot of a table's installed entries.
+func (sw *Switch) Entries(table string) ([]Entry, error) {
+	ti, ok := sw.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("rmt: unknown table %q", table)
+	}
+	return ti.entries(), nil
+}
+
+// TableCounters returns hit/miss counters for a table.
+func (sw *Switch) TableCounters(table string) (hits, misses uint64, err error) {
+	ti, ok := sw.tables[table]
+	if !ok {
+		return 0, 0, fmt.Errorf("rmt: unknown table %q", table)
+	}
+	return ti.Hits, ti.Misses, nil
+}
+
+// RegRead reads one register cell from the control plane.
+func (sw *Switch) RegRead(reg string, idx uint64) (uint64, error) {
+	ri, ok := sw.registers[reg]
+	if !ok {
+		return 0, fmt.Errorf("rmt: unknown register %q", reg)
+	}
+	return ri.readChecked(idx)
+}
+
+// RegReadRange reads cells [lo, hi) of a register array.
+func (sw *Switch) RegReadRange(reg string, lo, hi uint64) ([]uint64, error) {
+	ri, ok := sw.registers[reg]
+	if !ok {
+		return nil, fmt.Errorf("rmt: unknown register %q", reg)
+	}
+	return ri.readRange(lo, hi)
+}
+
+// RegWrite writes one register cell from the control plane.
+func (sw *Switch) RegWrite(reg string, idx uint64, v uint64) error {
+	ri, ok := sw.registers[reg]
+	if !ok {
+		return fmt.Errorf("rmt: unknown register %q", reg)
+	}
+	sw.configWrites++
+	return ri.writeChecked(idx, v)
+}
+
+// ConfigWrites reports the number of control-plane mutations applied.
+func (sw *Switch) ConfigWrites() uint64 { return sw.configWrites }

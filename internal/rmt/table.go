@@ -1,0 +1,277 @@
+package rmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/p4"
+)
+
+// EntryHandle identifies an installed table entry for later modify or
+// delete operations, mirroring the entry handles of switch driver APIs.
+type EntryHandle uint64
+
+// KeySpec is the match specification of one key column of an entry. The
+// interpretation depends on the column's MatchKind:
+//
+//   - exact:   packet value == Value
+//   - ternary: packet value & Mask == Value & Mask
+//   - lpm:     ternary with a contiguous prefix Mask (see LPMKey)
+//   - range:   Lo <= packet value <= Hi
+type KeySpec struct {
+	Value uint64
+	Mask  uint64
+	Lo    uint64
+	Hi    uint64
+}
+
+// ExactKey returns a KeySpec matching exactly v.
+func ExactKey(v uint64) KeySpec { return KeySpec{Value: v, Mask: ^uint64(0)} }
+
+// TernaryKey returns a KeySpec matching v under mask. A zero mask is a
+// wildcard.
+func TernaryKey(v, mask uint64) KeySpec { return KeySpec{Value: v, Mask: mask} }
+
+// WildcardKey matches any value.
+func WildcardKey() KeySpec { return KeySpec{} }
+
+// LPMKey returns a KeySpec matching the top prefixLen bits of v within a
+// width-bit field.
+func LPMKey(v uint64, prefixLen, width int) KeySpec {
+	if prefixLen <= 0 {
+		return KeySpec{}
+	}
+	if prefixLen > width {
+		prefixLen = width
+	}
+	mask := (^uint64(0) << uint(width-prefixLen)) & ((1 << uint(width)) - 1)
+	if width == 64 {
+		mask = ^uint64(0) << uint(64-prefixLen)
+	}
+	return KeySpec{Value: v & mask, Mask: mask}
+}
+
+// RangeKey returns a KeySpec matching values in [lo, hi].
+func RangeKey(lo, hi uint64) KeySpec { return KeySpec{Lo: lo, Hi: hi} }
+
+// Entry is an installed table entry.
+type Entry struct {
+	Handle   EntryHandle
+	Keys     []KeySpec
+	Priority int
+	Action   string
+	Data     []uint64
+}
+
+// tableInstance is the runtime state of one match-action table.
+type tableInstance struct {
+	def      *p4.Table
+	prog     *p4.Program
+	allExact bool
+
+	byHandle map[EntryHandle]*Entry
+	// exactIdx indexes entries by encoded key for all-exact tables.
+	exactIdx map[string]*Entry
+	// ordered holds entries in match-priority order for TCAM tables.
+	ordered []*Entry
+
+	defaultAction *p4.ActionCall
+	nextHandle    EntryHandle
+
+	// Hits and Misses count lookups for observability.
+	Hits, Misses uint64
+}
+
+func newTableInstance(prog *p4.Program, def *p4.Table) *tableInstance {
+	ti := &tableInstance{
+		def:      def,
+		prog:     prog,
+		allExact: !def.HasTernary(),
+		byHandle: make(map[EntryHandle]*Entry),
+	}
+	if ti.allExact {
+		ti.exactIdx = make(map[string]*Entry)
+	}
+	if def.DefaultAction != nil {
+		da := *def.DefaultAction
+		ti.defaultAction = &da
+	}
+	return ti
+}
+
+func (ti *tableInstance) encodeExact(keys []KeySpec) string {
+	buf := make([]byte, 8*len(keys))
+	for i, k := range keys {
+		binary.BigEndian.PutUint64(buf[i*8:], k.Value)
+	}
+	return string(buf)
+}
+
+func (ti *tableInstance) encodeLookup(vals []uint64) string {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(buf[i*8:], v)
+	}
+	return string(buf)
+}
+
+func (ti *tableInstance) validate(e *Entry) error {
+	if len(e.Keys) != len(ti.def.Keys) {
+		return fmt.Errorf("table %s: entry has %d key columns, want %d", ti.def.Name, len(e.Keys), len(ti.def.Keys))
+	}
+	allowed := false
+	for _, an := range ti.def.ActionNames {
+		if an == e.Action {
+			allowed = true
+			break
+		}
+	}
+	if !allowed {
+		return fmt.Errorf("table %s: action %q not allowed", ti.def.Name, e.Action)
+	}
+	a := ti.prog.Actions[e.Action]
+	if len(e.Data) != len(a.Params) {
+		return fmt.Errorf("table %s: action %s takes %d args, got %d", ti.def.Name, e.Action, len(a.Params), len(e.Data))
+	}
+	return nil
+}
+
+// add installs an entry and returns its handle. For all-exact tables a
+// duplicate key is rejected the way hardware drivers reject it.
+func (ti *tableInstance) add(e Entry) (EntryHandle, error) {
+	if err := ti.validate(&e); err != nil {
+		return 0, err
+	}
+	if ti.def.Size > 0 && len(ti.byHandle) >= ti.def.Size {
+		return 0, fmt.Errorf("table %s: full (%d entries)", ti.def.Name, ti.def.Size)
+	}
+	if ti.allExact {
+		key := ti.encodeExact(e.Keys)
+		if _, dup := ti.exactIdx[key]; dup {
+			return 0, fmt.Errorf("table %s: duplicate exact entry", ti.def.Name)
+		}
+		ti.nextHandle++
+		e.Handle = ti.nextHandle
+		stored := e
+		ti.byHandle[e.Handle] = &stored
+		ti.exactIdx[key] = &stored
+		return e.Handle, nil
+	}
+	ti.nextHandle++
+	e.Handle = ti.nextHandle
+	stored := e
+	ti.byHandle[e.Handle] = &stored
+	ti.ordered = append(ti.ordered, &stored)
+	ti.sortEntries()
+	return e.Handle, nil
+}
+
+func (ti *tableInstance) sortEntries() {
+	sort.SliceStable(ti.ordered, func(i, j int) bool {
+		if ti.ordered[i].Priority != ti.ordered[j].Priority {
+			return ti.ordered[i].Priority > ti.ordered[j].Priority
+		}
+		return ti.ordered[i].Handle < ti.ordered[j].Handle
+	})
+}
+
+// modify rebinds an entry's action and data without touching its keys,
+// the common fast path of Mantis reactions.
+func (ti *tableInstance) modify(h EntryHandle, action string, data []uint64) error {
+	e, ok := ti.byHandle[h]
+	if !ok {
+		return fmt.Errorf("table %s: no entry with handle %d", ti.def.Name, h)
+	}
+	probe := Entry{Keys: e.Keys, Action: action, Data: data}
+	if err := ti.validate(&probe); err != nil {
+		return err
+	}
+	e.Action = action
+	e.Data = append([]uint64(nil), data...)
+	return nil
+}
+
+func (ti *tableInstance) del(h EntryHandle) error {
+	e, ok := ti.byHandle[h]
+	if !ok {
+		return fmt.Errorf("table %s: no entry with handle %d", ti.def.Name, h)
+	}
+	delete(ti.byHandle, h)
+	if ti.allExact {
+		delete(ti.exactIdx, ti.encodeExact(e.Keys))
+		return nil
+	}
+	for i, x := range ti.ordered {
+		if x.Handle == h {
+			ti.ordered = append(ti.ordered[:i], ti.ordered[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func (ti *tableInstance) setDefault(call *p4.ActionCall) error {
+	if call != nil {
+		a, ok := ti.prog.Actions[call.Action]
+		if !ok {
+			return fmt.Errorf("table %s: unknown default action %q", ti.def.Name, call.Action)
+		}
+		if len(call.Data) != len(a.Params) {
+			return fmt.Errorf("table %s: default action %s takes %d args, got %d",
+				ti.def.Name, call.Action, len(a.Params), len(call.Data))
+		}
+	}
+	ti.defaultAction = call
+	return nil
+}
+
+func matchKey(kind p4.MatchKind, spec KeySpec, v uint64) bool {
+	switch kind {
+	case p4.MatchExact:
+		return v == spec.Value
+	case p4.MatchTernary, p4.MatchLPM:
+		return v&spec.Mask == spec.Value&spec.Mask
+	case p4.MatchRange:
+		return v >= spec.Lo && v <= spec.Hi
+	}
+	return false
+}
+
+// lookup finds the matching entry for the given key column values, or
+// nil on a miss (caller then applies the default action).
+func (ti *tableInstance) lookup(vals []uint64) *Entry {
+	if ti.allExact {
+		if e, ok := ti.exactIdx[ti.encodeLookup(vals)]; ok {
+			ti.Hits++
+			return e
+		}
+		ti.Misses++
+		return nil
+	}
+	for _, e := range ti.ordered {
+		matched := true
+		for i, k := range ti.def.Keys {
+			if !matchKey(k.Kind, e.Keys[i], vals[i]) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			ti.Hits++
+			return e
+		}
+	}
+	ti.Misses++
+	return nil
+}
+
+// entries returns a snapshot of all installed entries sorted by handle.
+func (ti *tableInstance) entries() []Entry {
+	out := make([]Entry, 0, len(ti.byHandle))
+	for _, e := range ti.byHandle {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Handle < out[j].Handle })
+	return out
+}

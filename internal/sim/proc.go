@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a simulated sequential process (e.g. a control-plane thread).
+//
+// The event loop of a discrete-event simulator is inconvenient for code
+// that reads state, blocks for a device latency, then branches on the
+// result — exactly the shape of the Mantis agent's dialogue loop and of
+// a legacy control-plane application. Proc provides blocking-style
+// execution on top of the event queue: the process body runs in its own
+// goroutine, but control strictly alternates between the simulator and
+// at most one runnable process, so execution remains deterministic.
+//
+// A Proc may only interact with the simulation between Spawn and the
+// return of its body, and must block only via Sleep/WaitUntil.
+type Proc struct {
+	sim  *Simulator
+	name string
+	// resume wakes the process goroutine; yield returns control to the
+	// simulator goroutine.
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Spawn starts fn as a simulated process at the current virtual time.
+// fn begins executing when the scheduler reaches the spawn event.
+func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	s.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		p.handoff()
+	})
+	return p
+}
+
+// handoff transfers control from the simulator goroutine to the process
+// goroutine and waits for it to block or finish. Must be called from
+// the simulator goroutine (inside an event).
+func (p *Proc) handoff() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// block transfers control from the process goroutine back to the
+// simulator and waits to be resumed. Must be called from the process
+// goroutine.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.Now() }
+
+// Sim returns the underlying simulator. Scheduling events from within a
+// running process is safe: the simulator goroutine is parked while the
+// process runs.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Sleep suspends the process for d of virtual time. Other events (data
+// plane packets, other processes) run in the meantime.
+func (p *Proc) Sleep(d time.Duration) {
+	if p.done {
+		panic(fmt.Sprintf("sim: Sleep on finished proc %q", p.name))
+	}
+	if d <= 0 {
+		d = 0
+	}
+	p.sim.Schedule(d, p.handoff)
+	p.block()
+}
+
+// WaitUntil suspends the process until the absolute virtual time t. If
+// t is in the past it returns immediately.
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.sim.Now() {
+		return
+	}
+	p.Sleep(t.Sub(p.sim.Now()))
+}
+
+// Yield gives other same-time events a chance to run before continuing.
+func (p *Proc) Yield() { p.Sleep(0) }

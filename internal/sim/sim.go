@@ -1,0 +1,217 @@
+// Package sim provides a deterministic discrete-event simulation core.
+//
+// All Mantis components in this repository — the RMT switch model, the
+// simulated PCIe driver, the network simulator, and the Mantis agent's
+// dialogue loop — run against a shared virtual clock managed by a
+// Simulator. Virtual time has nanosecond resolution, which is required to
+// express the paper's latency scales faithfully: pipeline traversal is
+// measured in 100s of nanoseconds, PCIe round trips in microseconds, and
+// full reaction loops in 10s of microseconds.
+//
+// The simulator is intentionally single-threaded: events execute one at a
+// time in (time, sequence) order, so every run is exactly reproducible
+// given the same seed. Components that are conceptually concurrent (the
+// data plane, the Mantis agent, a legacy control plane) interleave by
+// scheduling events rather than by using goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations re-exported for readability at call sites.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to a duration since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events run FIFO
+	fn  func()
+	id  uint64
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending event queue.
+type Simulator struct {
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	nextID    uint64
+	cancelled map[uint64]bool
+	stopped   bool
+	rng       *rand.Rand
+	executed  uint64
+}
+
+// New returns a Simulator whose clock starts at 0 and whose deterministic
+// RNG is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		cancelled: make(map[uint64]bool),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero (run as soon as the current event completes).
+func (s *Simulator) Schedule(delay time.Duration, fn func()) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now.Add(delay), fn)
+}
+
+// At runs fn at the absolute virtual time t. Scheduling in the past is an
+// error in simulation logic; it is clamped to "now" to keep the clock
+// monotonic, since a discrete-event clock must never run backwards.
+func (s *Simulator) At(t Time, fn func()) EventID {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.nextID++
+	e := &event{at: t, seq: s.seq, fn: fn, id: s.nextID}
+	heap.Push(&s.queue, e)
+	return EventID(s.nextID)
+}
+
+// Cancel prevents a pending event from running. Cancelling an event that
+// already ran is a no-op.
+func (s *Simulator) Cancel(id EventID) { s.cancelled[uint64(id)] = true }
+
+// Pending reports the number of events waiting to run (including
+// cancelled ones not yet drained).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Executed reports how many events have run so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Stop makes Run return after the current event finishes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		s.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t (even if no event lands on it).
+func (s *Simulator) RunUntil(t Time) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped && s.queue[0].at <= t {
+		s.step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+func (s *Simulator) step() {
+	e := heap.Pop(&s.queue).(*event)
+	if s.cancelled[e.id] {
+		delete(s.cancelled, e.id)
+		return
+	}
+	if e.at > s.now {
+		s.now = e.at
+	}
+	s.executed++
+	e.fn()
+}
+
+// Every schedules fn to run repeatedly with the given period, starting
+// after one period. The returned Ticker can be stopped. A period of zero
+// or less panics: it would wedge the simulator at a single instant.
+func (s *Simulator) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	sim     *Simulator
+	period  time.Duration
+	fn      func()
+	pending EventID
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.sim.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels all future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.sim.Cancel(t.pending)
+}

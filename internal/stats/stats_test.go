@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(110, 100) != 0.1 {
+		t.Fatal("10% error")
+	}
+	if RelativeError(90, 100) != 0.1 {
+		t.Fatal("symmetric error")
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Fatal("0/0")
+	}
+	if !math.IsInf(RelativeError(5, 0), 1) {
+		t.Fatal("x/0")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// Balanced: identical values -> MAD 0.
+	if MAD([]float64{7, 7, 7, 7}) != 0 {
+		t.Fatal("uniform MAD")
+	}
+	// {1,2,3,4,9}: median 3, deviations {2,1,0,1,6}, median 1.
+	if MAD([]float64{1, 2, 3, 4, 9}) != 1 {
+		t.Fatal("MAD")
+	}
+	// An imbalanced port distribution has larger MAD than a balanced one.
+	balanced := MAD([]float64{100, 101, 99, 100})
+	skewed := MAD([]float64{10, 200, 15, 180})
+	if skewed <= balanced {
+		t.Fatalf("MAD skewed=%v balanced=%v", skewed, balanced)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Percentile(xs, 50) != 5 {
+		t.Fatalf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 100) != 10 || Percentile(xs, 0) != 1 {
+		t.Fatal("extremes")
+	}
+	if Percentile(xs, 99) != 10 {
+		t.Fatal("p99 of 10 samples")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty")
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	ds := []time.Duration{time.Microsecond, 3 * time.Microsecond, 2 * time.Microsecond}
+	s := SummarizeDurations(ds)
+	if s.Count != 3 || s.Mean != 2*time.Microsecond || s.Median != 2*time.Microsecond {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Min != time.Microsecond || s.Max != 3*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if SummarizeDurations(nil).Count != 0 {
+		t.Fatal("empty")
+	}
+	if s.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 || pts[0].X != 1 || pts[2].P != 1.0 {
+		t.Fatalf("cdf = %v", pts)
+	}
+	if pts[0].P <= 0 || pts[1].P != 2.0/3 {
+		t.Fatalf("cdf = %v", pts)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g := GeoMean([]float64{1, 100})
+	if math.Abs(g-10) > 1e-9 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if GeoMean([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero")
+	}
+}
+
+func TestTimeSeriesBucketize(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(100*time.Microsecond, 10)
+	ts.Add(150*time.Microsecond, 5)
+	ts.Add(900*time.Microsecond, 7)
+	starts, sums := ts.Bucketize(500 * time.Microsecond)
+	if len(starts) != 2 {
+		t.Fatalf("buckets = %v %v", starts, sums)
+	}
+	if sums[0] != 15 || sums[1] != 7 {
+		t.Fatalf("sums = %v", sums)
+	}
+	if s, v := new(TimeSeries).Bucketize(time.Second); s != nil || v != nil {
+		t.Fatal("empty series")
+	}
+}
+
+// Property: Percentile(xs, 100) is the max, Percentile(xs, 0) the min,
+// and percentiles are monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return Percentile(xs, 0) == s[0] &&
+			Percentile(xs, 100) == s[len(s)-1] &&
+			Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MAD is translation invariant.
+func TestPropertyMADTranslationInvariant(t *testing.T) {
+	f := func(raw []int16, shift int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, x := range raw {
+			a[i] = float64(x)
+			b[i] = float64(x) + float64(shift)
+		}
+		return math.Abs(MAD(a)-MAD(b)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
