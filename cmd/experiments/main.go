@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations")
+	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations,faults")
 	scale := flag.Float64("scale", 0.05, "fig14 trace scale relative to one full CAIDA block (8.9M packets)")
 	trials := flag.Int("trials", 5, "fig16 trials per parameter point")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -125,6 +125,13 @@ func main() {
 			return "", err
 		}
 		return experiments.FormatAblations(res), nil
+	})
+	step("faults", func() (string, error) {
+		rows, err := experiments.RunFaultSweep(*seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFaultSweep(rows), nil
 	})
 
 	if failed {

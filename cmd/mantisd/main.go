@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mantisd [-duration 10ms] [-pacing 0] [-pps 100000] program.p4r
+//	mantisd [-duration 10ms] [-pacing 0] [-pps 100000] [-faults transient] program.p4r
 package main
 
 import (
@@ -17,16 +17,39 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/faults"
 	"repro/internal/rmt"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// faultProfile maps the -faults flag value to an injector profile.
+func faultProfile(name string) (faults.Profile, bool) {
+	switch name {
+	case "", "none":
+		return faults.None(), name != ""
+	case "transient":
+		return faults.TransientErrors(), true
+	case "latency":
+		return faults.LatencySpikes(), true
+	case "partial":
+		return faults.PartialBatches(), true
+	case "stuck":
+		return faults.StuckChannel(), true
+	default:
+		fmt.Fprintf(os.Stderr, "mantisd: unknown fault profile %q (want none|transient|latency|partial|stuck)\n", name)
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
 
 func main() {
 	duration := flag.Duration("duration", 10*time.Millisecond, "virtual run time")
 	pacing := flag.Duration("pacing", 0, "dialogue pacing (0 = busy loop)")
 	pps := flag.Float64("pps", 100000, "synthetic traffic rate (packets/second)")
 	seed := flag.Int64("seed", 1, "random seed")
+	faultsFlag := flag.String("faults", "", "inject driver-channel faults: none|transient|latency|partial|stuck (enables agent recovery)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (independent of -seed)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -51,7 +74,18 @@ func main() {
 		os.Exit(1)
 	}
 	drv := driver.New(s, sw, driver.DefaultCostModel())
-	agent := core.NewAgent(s, drv, plan, core.Options{Pacing: *pacing})
+	var ch driver.Channel = drv
+	var inj *faults.Injector
+	opts := core.Options{Pacing: *pacing}
+	if prof, active := faultProfile(*faultsFlag); active {
+		inj = faults.Wrap(s, drv, prof, *faultSeed)
+		ch = inj
+		opts.Recovery = core.DefaultRecovery()
+		// Let the prologue install cleanly; faults start shortly after.
+		inj.SetEnabled(false)
+		s.Schedule(50*sim.Microsecond, func() { inj.SetEnabled(true) })
+	}
+	agent := core.NewAgent(s, ch, plan, opts)
 	agent.Start()
 
 	// Synthetic traffic: random field values at the requested rate.
@@ -90,6 +124,13 @@ func main() {
 		sst.RxPackets, sst.TxPackets, sst.IngressDrops, sst.QueueDrops)
 	fmt.Printf("driver:            %d table ops (%d memoized), %d reads (%d bytes)\n",
 		dst.TableOps, dst.MemoizedOps, dst.RegReads, dst.RegReadBytes)
+	if inj != nil {
+		fst := inj.FaultStats()
+		fmt.Printf("faults (%s):   %d ops, %d errors, %d spikes, %d partial batches, %d stuck waits (%v wedged)\n",
+			inj.Profile().Name, fst.Ops, fst.InjectedErrors, fst.InjectedSpikes, fst.PartialBatches, fst.StuckWaits, fst.StuckTime)
+		fmt.Printf("recovery:          %d retries, %d rollbacks, %d watchdog trips, %d abandoned, %d degraded, %d repair ops\n",
+			ast.Retries, ast.Rollbacks, ast.WatchdogTrips, ast.Abandoned, ast.Degraded, ast.RepairOps)
+	}
 	for _, rxn := range plan.Reactions {
 		fmt.Printf("reaction:          %s\n", rxn.Name)
 	}

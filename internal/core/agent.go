@@ -25,7 +25,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/compiler"
@@ -56,6 +59,10 @@ type Options struct {
 	Prologue func(p *sim.Proc, a *Agent) error
 	// AfterIteration, if set, runs after each dialogue iteration.
 	AfterIteration func(p *sim.Proc, a *Agent)
+	// Recovery configures fault tolerance for the dialogue loop. The
+	// zero value keeps the historical fail-fast behavior: any driver
+	// error stops the agent.
+	Recovery RecoveryOptions
 }
 
 // Stats aggregates dialogue-loop metrics.
@@ -63,6 +70,25 @@ type Stats struct {
 	Iterations     uint64
 	Commits        uint64
 	ReactionErrors uint64
+	// Retries counts driver operations reissued after a transient
+	// channel failure.
+	Retries uint64
+	// Rollbacks counts abandoned iterations whose staged shadow updates
+	// and pending malleable writes were rolled back.
+	Rollbacks uint64
+	// WatchdogTrips counts iterations abandoned by the deadline watchdog.
+	WatchdogTrips uint64
+	// Abandoned counts iterations abandoned for any recoverable reason
+	// (retries exhausted, watchdog, retry budget spent).
+	Abandoned uint64
+	// Degraded counts iterations where at least one reaction fell back
+	// to its last checkpointed measurement snapshot because polling
+	// failed (RecoveryOptions.DegradeOnPollFailure).
+	Degraded uint64
+	// RepairOps counts shadow-side operations that could not complete
+	// during rollback or mirror and were queued to drain before the
+	// next commit.
+	RepairOps uint64
 	// Busy is the total virtual time spent inside iterations (excludes
 	// pacing sleeps); divide by elapsed time for CPU utilization.
 	Busy time.Duration
@@ -80,12 +106,18 @@ type runtimeReaction struct {
 	info   *compiler.ReactionInfo
 	prog   *rcl.Program   // interpreted body (nil if native)
 	native NativeReaction // native override (nil if interpreted)
+	// lastFields/lastRegs hold the most recent successfully polled
+	// parameters — the degradation snapshot used when polling fails and
+	// RecoveryOptions.DegradeOnPollFailure is set. Nil until the first
+	// successful poll.
+	lastFields map[string]uint64
+	lastRegs   map[string][]uint64
 }
 
 // Agent is one Mantis control-plane instance driving one pipeline.
 type Agent struct {
 	sim  *sim.Simulator
-	drv  *driver.Driver
+	drv  driver.Channel
 	plan *compiler.Plan
 	opts Options
 
@@ -108,7 +140,6 @@ type Agent struct {
 	builtins  map[string]BuiltinFunc
 
 	proc       *sim.Proc
-	stopReq    bool
 	started    bool
 	inReaction bool
 	// pendingSwaps holds reaction reloads staged by SwapReaction; the
@@ -118,12 +149,29 @@ type Agent struct {
 	// batchedReads selects one driver transaction per reaction poll
 	// (default) vs one per range — the batching ablation.
 	batchedReads bool
-	err          error
 	stats        Stats
+
+	// stopReq and err may be touched from outside the simulation
+	// goroutine (Stop from a test's main goroutine, Err after Run
+	// returns), so they get atomic/mutex protection.
+	stopReq atomic.Bool
+	errMu   sync.Mutex
+	err     error
+
+	// Recovery state (see recovery.go). iterDeadline is the watchdog
+	// cutoff for the current iteration (0 = none); iterRetries counts
+	// retries spent inside it; iterDegraded marks that some reaction ran
+	// on a stale snapshot; pendingRepairs holds shadow-side operations
+	// that must complete before the next vv flip.
+	iterDeadline   sim.Time
+	iterRetries    int
+	iterDegraded   bool
+	pendingRepairs []chanOp
 }
 
-// NewAgent creates an agent for a compiled plan over a driver.
-func NewAgent(s *sim.Simulator, drv *driver.Driver, plan *compiler.Plan, opts Options) *Agent {
+// NewAgent creates an agent for a compiled plan over a driver channel
+// (a *driver.Driver, or any interposing layer such as faults.Injector).
+func NewAgent(s *sim.Simulator, drv driver.Channel, plan *compiler.Plan, opts Options) *Agent {
 	if opts.LatencySamples == 0 {
 		opts.LatencySamples = 4096
 	}
@@ -151,8 +199,8 @@ func NewAgent(s *sim.Simulator, drv *driver.Driver, plan *compiler.Plan, opts Op
 // Plan returns the compiled plan the agent operates.
 func (a *Agent) Plan() *compiler.Plan { return a.plan }
 
-// Driver returns the agent's driver.
-func (a *Agent) Driver() *driver.Driver { return a.drv }
+// Driver returns the agent's driver channel.
+func (a *Agent) Driver() driver.Channel { return a.drv }
 
 // Stats returns a copy of the dialogue statistics.
 func (a *Agent) Stats() Stats {
@@ -161,8 +209,19 @@ func (a *Agent) Stats() Stats {
 	return st
 }
 
-// Err returns the error that stopped the agent, if any.
-func (a *Agent) Err() error { return a.err }
+// Err returns the error that stopped the agent, if any. Safe to call
+// from any goroutine.
+func (a *Agent) Err() error {
+	a.errMu.Lock()
+	defer a.errMu.Unlock()
+	return a.err
+}
+
+func (a *Agent) setErr(err error) {
+	a.errMu.Lock()
+	a.err = err
+	a.errMu.Unlock()
+}
 
 // VV and MV expose the current version bits (for tests and debugging).
 func (a *Agent) VV() uint64 { return a.vv }
@@ -215,8 +274,14 @@ func (a *Agent) Start() {
 	a.proc = a.sim.Spawn("mantis-agent", a.run)
 }
 
-// Stop requests the dialogue loop to exit after the current iteration.
-func (a *Agent) Stop() { a.stopReq = true }
+// Stop requests the dialogue loop to exit. Safe to call from any
+// goroutine. The request is honored mid-iteration at the next reaction
+// or retry boundary; an iteration cut short is rolled back (its staged
+// changes are discarded) so the committed configuration stays
+// consistent, and Err() remains nil.
+func (a *Agent) Stop() { a.stopReq.Store(true) }
+
+func (a *Agent) stopRequested() bool { return a.stopReq.Load() }
 
 // reactionSwap is a staged reaction reload.
 type reactionSwap struct {
@@ -285,17 +350,33 @@ func (a *Agent) SetBatchedReads(on bool) { a.batchedReads = on }
 
 func (a *Agent) run(p *sim.Proc) {
 	if err := a.prologue(p); err != nil {
-		a.err = fmt.Errorf("prologue: %w", err)
+		a.setErr(fmt.Errorf("prologue: %w", err))
 		return
 	}
-	for !a.stopReq {
+	for !a.stopRequested() {
 		if err := a.iteration(p); err != nil {
-			a.err = fmt.Errorf("dialogue iteration %d: %w", a.stats.Iterations, err)
-			return
+			switch {
+			case errors.Is(err, ErrStopped):
+				// Stop honored mid-iteration: discard the partial
+				// iteration's staged changes and exit cleanly.
+				a.rollbackIteration(p)
+				return
+			case a.recoverable(err):
+				// Abandon the iteration: undo its staged shadow updates,
+				// keep the committed configuration, and continue the loop.
+				if errors.Is(err, ErrWatchdog) {
+					a.stats.WatchdogTrips++
+				}
+				a.stats.Abandoned++
+				a.rollbackIteration(p)
+			default:
+				a.setErr(fmt.Errorf("dialogue iteration %d: %w", a.stats.Iterations, err))
+				return
+			}
 		}
 		if len(a.pendingSwaps) > 0 {
 			if err := a.applySwaps(p); err != nil {
-				a.err = err
+				a.setErr(err)
 				return
 			}
 		}
@@ -334,7 +415,7 @@ func (a *Agent) prologue(p *sim.Proc) error {
 	// Master init table: configure via default action.
 	if len(a.plan.InitTables) > 0 {
 		master := a.plan.InitTables[0]
-		if err := a.drv.SetDefaultAction(p, master.Table, &p4.ActionCall{
+		if err := a.drvSetDefaultAction(p, master.Table, &p4.ActionCall{
 			Action: master.Action, Data: append([]uint64(nil), a.initData[0]...),
 		}); err != nil {
 			return err
@@ -346,7 +427,7 @@ func (a *Agent) prologue(p *sim.Proc) error {
 		it := a.plan.InitTables[t]
 		var handles [2]rmt.EntryHandle
 		for v := uint64(0); v < 2; v++ {
-			h, err := a.drv.AddEntry(p, it.Table, rmt.Entry{
+			h, err := a.drvAddEntry(p, it.Table, rmt.Entry{
 				Keys: []rmt.KeySpec{rmt.ExactKey(v)}, Action: it.Action,
 				Data: append([]uint64(nil), a.initData[t]...),
 			})
@@ -361,7 +442,7 @@ func (a *Agent) prologue(p *sim.Proc) error {
 
 	// Static entries (carrier loaders).
 	for _, se := range a.plan.StaticEntries {
-		if _, err := a.drv.AddEntry(p, se.Table, se.Entry); err != nil {
+		if _, err := a.drvAddEntry(p, se.Table, se.Entry); err != nil {
 			return err
 		}
 	}
@@ -422,16 +503,35 @@ func (a *Agent) masterData(vv, mv uint64, applyPending bool) []uint64 {
 
 func (a *Agent) updateMaster(p *sim.Proc, data []uint64) error {
 	master := a.plan.InitTables[0]
-	return a.drv.SetDefaultAction(p, master.Table, &p4.ActionCall{Action: master.Action, Data: data})
+	return a.drvSetDefaultAction(p, master.Table, &p4.ActionCall{Action: master.Action, Data: data})
 }
 
 // iteration executes one turn of the dialogue loop, mirroring the §6
 // pseudocode.
 func (a *Agent) iteration(p *sim.Proc) error {
 	start := p.Now()
+	if d := a.opts.Recovery.IterationDeadline; d > 0 {
+		a.iterDeadline = start.Add(d)
+	} else {
+		a.iterDeadline = 0
+	}
+	a.iterRetries = 0
+	a.iterDegraded = false
+
+	// 0. Settle repair debt from earlier failures before anything new is
+	// staged. Repairs rewrite shadow copies with committed data; running
+	// one after a reaction has staged fresh shadow updates would stomp
+	// them, so this must precede the reaction phase — and no vv flip may
+	// happen over an unconverged shadow. On failure the debt stays
+	// queued and the iteration is abandoned with nothing staged.
+	if err := a.drainRepairs(p); err != nil {
+		return err
+	}
 
 	// 1. Flip the measurement version; the old working copy becomes the
-	// checkpoint the control plane may read at leisure (Fig. 9).
+	// checkpoint the control plane may read at leisure (Fig. 9). If the
+	// flip fails, the iteration is abandoned before any poll: reading
+	// the still-working copy would break the snapshot isolation of §5.2.
 	checkpoint := a.mv
 	if a.plan.UsesMV && len(a.plan.InitTables) > 0 {
 		if err := a.updateMaster(p, a.masterData(a.vv, a.mv^1, false)); err != nil {
@@ -443,13 +543,21 @@ func (a *Agent) iteration(p *sim.Proc) error {
 	// 2. Poll and run each reaction. Parameters are polled immediately
 	// before their reaction for freshness (§4.2).
 	for _, rr := range a.reactions {
+		if a.stopRequested() {
+			return ErrStopped
+		}
 		if err := a.runReaction(p, rr, checkpoint); err != nil {
 			a.stats.ReactionErrors++
 			return err
 		}
 	}
 
-	// 3. Commit staged effects serializably (§5.1).
+	// 3. Commit staged effects serializably (§5.1). A stop requested by
+	// now abandons the staged changes instead of committing them: the
+	// caller asked the dialogue to cease, and rollback is always safe.
+	if a.stopRequested() {
+		return ErrStopped
+	}
 	hasChanges := len(a.pendingMbl) > 0
 	for _, tm := range a.tables {
 		if tm.pendingMirrors() > 0 {
@@ -464,6 +572,15 @@ func (a *Agent) iteration(p *sim.Proc) error {
 	}
 
 	a.stats.Iterations++
+	if a.iterDegraded {
+		a.stats.Degraded++
+	}
+	// The iteration's prepares are now committed (or there were none);
+	// the undo journals are obsolete.
+	for _, tm := range a.tables {
+		tm.undo = nil
+	}
+	a.iterDeadline = 0
 	lat := p.Now().Sub(start)
 	a.stats.LastIteration = lat
 	a.stats.Busy += lat
@@ -475,16 +592,19 @@ func (a *Agent) iteration(p *sim.Proc) error {
 
 // commit performs prepare (non-master init shadow updates), the atomic
 // master flip, and the mirror/fill-shadow phase.
+//
+// Failure discipline: vv flips if and only if the single master update
+// succeeds. A failure before the flip rolls the prepared shadow entries
+// back (they were never packet-visible) and abandons the iteration. A
+// failure after the flip cannot un-commit — the change is live — so the
+// unfinished mirror work is queued as repair debt and drained, with
+// retries, before any future flip.
 func (a *Agent) commit(p *sim.Proc) error {
 	newVV := a.vv ^ 1
 
 	// Prepare: stage non-master init-table changes in their shadow
 	// (vv^1) entries. (Malleable-table entry prepares already happened
 	// inside the reaction's table calls.)
-	type nonMasterChange struct {
-		t    int
-		data []uint64
-	}
 	var nmChanges []nonMasterChange
 	for t := 1; t < len(a.plan.InitTables); t++ {
 		it := a.plan.InitTables[t]
@@ -502,7 +622,8 @@ func (a *Agent) commit(p *sim.Proc) error {
 		if !changed {
 			continue
 		}
-		if err := a.drv.ModifyEntry(p, it.Table, a.initHandles[t][newVV], it.Action, data); err != nil {
+		if err := a.drvModifyEntry(p, it.Table, a.initHandles[t][newVV], it.Action, data); err != nil {
+			a.undoNonMaster(p, nmChanges, newVV)
 			return err
 		}
 		nmChanges = append(nmChanges, nonMasterChange{t, data})
@@ -513,6 +634,7 @@ func (a *Agent) commit(p *sim.Proc) error {
 	// always updated last (§5.1.2).
 	newMaster := a.masterData(newVV, a.mv, true)
 	if err := a.updateMaster(p, newMaster); err != nil {
+		a.undoNonMaster(p, nmChanges, newVV)
 		return err
 	}
 	a.initData[0] = newMaster
@@ -526,10 +648,16 @@ func (a *Agent) commit(p *sim.Proc) error {
 	// Mirror: re-apply to the now-shadow copies so a future flip is safe.
 	for _, ch := range nmChanges {
 		it := a.plan.InitTables[ch.t]
-		if err := a.drv.ModifyEntry(p, it.Table, a.initHandles[ch.t][oldVV], it.Action, ch.data); err != nil {
-			return err
-		}
 		a.initData[ch.t] = ch.data
+		if err := a.drvModifyEntry(p, it.Table, a.initHandles[ch.t][oldVV], it.Action, ch.data); err != nil {
+			if !a.opts.Recovery.Enabled() {
+				return err
+			}
+			table, h, action, data := it.Table, a.initHandles[ch.t][oldVV], it.Action, ch.data
+			a.queueRepair(chanOp{desc: "mirror init " + table, fn: func(p *sim.Proc) error {
+				return a.drv.ModifyEntry(p, table, h, action, data)
+			}})
+		}
 	}
 	for _, tm := range a.tables {
 		if err := tm.fillShadow(p); err != nil {
@@ -537,4 +665,28 @@ func (a *Agent) commit(p *sim.Proc) error {
 		}
 	}
 	return nil
+}
+
+// nonMasterChange records one prepared non-master init-table update.
+type nonMasterChange struct {
+	t    int
+	data []uint64
+}
+
+// undoNonMaster restores already-prepared non-master shadow entries to
+// their committed data after a pre-flip commit failure. If an undo
+// write itself fails, it is queued as repair debt — the dirty entry is
+// in a shadow copy, invisible to packets, and repairs drain before any
+// future flip could expose it.
+func (a *Agent) undoNonMaster(p *sim.Proc, changes []nonMasterChange, shadowVV uint64) {
+	for _, ch := range changes {
+		it := a.plan.InitTables[ch.t]
+		table, h, action := it.Table, a.initHandles[ch.t][shadowVV], it.Action
+		committed := append([]uint64(nil), a.initData[ch.t]...)
+		if err := a.drvModifyEntry(p, table, h, action, committed); err != nil {
+			a.queueRepair(chanOp{desc: "restore init " + table, fn: func(p *sim.Proc) error {
+				return a.drv.ModifyEntry(p, table, h, action, committed)
+			}})
+		}
+	}
 }

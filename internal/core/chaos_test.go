@@ -1,0 +1,293 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/driver"
+	"repro/internal/faults"
+	"repro/internal/packet"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// buildChaosRig is buildRig with a fault injector interposed between
+// the agent and the driver.
+func buildChaosRig(t testing.TB, src string, prof faults.Profile, seed int64, opts Options) (*rig, *faults.Injector) {
+	t.Helper()
+	plan, err := compiler.CompileSource(src, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	s := sim.New(1)
+	sw, err := rmt.New(s, plan.Prog, rmt.DefaultConfig())
+	if err != nil {
+		t.Fatalf("switch: %v", err)
+	}
+	drv := driver.New(s, sw, driver.DefaultCostModel())
+	inj := faults.Wrap(s, drv, prof, seed)
+	agent := NewAgent(s, inj, plan, opts)
+	return &rig{sim: s, sw: sw, drv: drv, plan: plan, agent: agent}, inj
+}
+
+// chaosScenario drives the two-table serializability workload (the
+// Figs. 7/8 setup of TestThreePhaseTableConsistency) under a fault
+// profile and returns (violations, packets, generations).
+func chaosScenario(t *testing.T, prof faults.Profile, seed int64, rec RecoveryOptions, run time.Duration) (*rig, *faults.Injector, int, int, uint64) {
+	t.Helper()
+	var h1, h2 UserHandle
+	r, inj := buildChaosRig(t, twoTableSrc, prof, seed, Options{
+		Recovery: rec,
+		Prologue: func(p *sim.Proc, a *Agent) error {
+			t1, _ := a.Table("t1")
+			t2, _ := a.Table("t2")
+			var err error
+			if h1, err = t1.AddEntry(p, UserEntry{Keys: []rmt.KeySpec{rmt.ExactKey(7)}, Action: "set1", Data: []uint64{0}}); err != nil {
+				return err
+			}
+			h2, err = t2.AddEntry(p, UserEntry{Keys: []rmt.KeySpec{rmt.ExactKey(7)}, Action: "set2", Data: []uint64{0}})
+			return err
+		},
+	})
+	gen := uint64(0)
+	if err := r.agent.RegisterNativeReaction("bump", func(ctx *Ctx) error {
+		gen++
+		t1, _ := ctx.Table("t1")
+		t2, _ := ctx.Table("t2")
+		if err := t1.ModifyEntry(h1, "set1", []uint64{gen}); err != nil {
+			return err
+		}
+		return t2.ModifyEntry(h2, "set2", []uint64{gen})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the prologue install cleanly; faults start shortly after. (A
+	// profile harsh enough to kill a non-redundant prologue is a boot
+	// failure, not a dialogue-robustness scenario.)
+	inj.SetEnabled(false)
+	r.sim.Schedule(50*sim.Microsecond, func() { inj.SetEnabled(true) })
+	r.agent.Start()
+
+	violations, packets := 0, 0
+	r.sw.Tx = func(_ int, pkt *packet.Packet) {
+		packets++
+		if pkt.GetName("hdr.o1") != pkt.GetName("hdr.o2") {
+			violations++
+		}
+	}
+	tick := r.sim.Every(150*sim.Nanosecond, func() {
+		r.inject(0, 64, map[string]uint64{"hdr.k": 7})
+	})
+	r.sim.RunFor(run)
+	tick.Stop()
+	r.agent.Stop()
+	r.sim.RunFor(time.Millisecond)
+	return r, inj, violations, packets, gen
+}
+
+// TestChaosSerializability is the chaos suite's core property: under
+// every fault profile, the recovering agent keeps making progress and
+// no packet ever observes a mixed (vv, config) snapshot.
+func TestChaosSerializability(t *testing.T) {
+	for _, prof := range faults.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			r, inj, violations, packets, gen := chaosScenario(t, prof, 1234, DefaultRecovery(), 4*time.Millisecond)
+			if err := r.agent.Err(); err != nil {
+				t.Fatalf("agent died under %s faults: %v", prof.Name, err)
+			}
+			st := r.agent.Stats()
+			if violations != 0 {
+				t.Fatalf("%d/%d packets observed inconsistent cross-table state under %s faults",
+					violations, packets, prof.Name)
+			}
+			if packets < 1000 || gen < 5 || st.Commits == 0 {
+				t.Fatalf("no progress under %s faults: packets=%d generations=%d commits=%d",
+					prof.Name, packets, gen, st.Commits)
+			}
+			fst := inj.FaultStats()
+			switch prof.Name {
+			case "transient":
+				if fst.InjectedErrors == 0 {
+					t.Fatal("transient profile injected nothing; the test exercised no faults")
+				}
+				if st.Retries == 0 {
+					t.Fatal("injected transient failures but the agent never retried")
+				}
+			case "latency":
+				if fst.InjectedSpikes == 0 {
+					t.Fatal("latency profile injected no spikes")
+				}
+			case "stuck":
+				if fst.StuckWaits == 0 {
+					t.Fatal("stuck profile blocked no operations")
+				}
+			}
+		})
+	}
+}
+
+// TestChaosRollback cranks the error rate past the retry budget so
+// iterations are abandoned, and checks that rollback keeps the
+// committed state consistent while the loop keeps going.
+func TestChaosRollback(t *testing.T) {
+	prof := faults.Profile{Name: "harsh", ErrorRate: 0.30, ErrorBurst: 6}
+	rec := DefaultRecovery()
+	rec.MaxAttempts = 2 // give up fast so abandons actually happen
+	r, _, violations, packets, _ := chaosScenario(t, prof, 99, rec, 6*time.Millisecond)
+	if err := r.agent.Err(); err != nil {
+		t.Fatalf("agent died: %v", err)
+	}
+	st := r.agent.Stats()
+	if st.Abandoned == 0 || st.Rollbacks == 0 {
+		t.Fatalf("harsh profile caused no abandons/rollbacks: %+v", st)
+	}
+	if st.Commits == 0 {
+		t.Fatalf("no iteration ever committed: %+v", st)
+	}
+	if violations != 0 {
+		t.Fatalf("%d/%d packets observed inconsistency despite rollback", violations, packets)
+	}
+}
+
+// TestChaosWatchdog sets the iteration deadline below the stuck-window
+// length, so a wedged channel trips the watchdog instead of silently
+// stretching iterations.
+func TestChaosWatchdog(t *testing.T) {
+	prof := faults.StuckChannel() // wedges 300µs out of every 2ms
+	rec := DefaultRecovery()
+	rec.IterationDeadline = 150 * time.Microsecond
+	r, inj, violations, packets, _ := chaosScenario(t, prof, 7, rec, 10*time.Millisecond)
+	if err := r.agent.Err(); err != nil {
+		t.Fatalf("agent died: %v", err)
+	}
+	st := r.agent.Stats()
+	if inj.FaultStats().StuckWaits == 0 {
+		t.Fatal("no operation ever hit a stuck window; the test is vacuous")
+	}
+	if st.WatchdogTrips == 0 {
+		t.Fatalf("stuck channel never tripped the %v watchdog: %+v", rec.IterationDeadline, st)
+	}
+	if violations != 0 {
+		t.Fatalf("%d/%d packets observed inconsistency after watchdog abandons", violations, packets)
+	}
+}
+
+// TestChaosDegradedPolls forces measurement reads to fail past their
+// retries and checks the reaction keeps running on the last checkpoint
+// snapshot instead of stalling the agent.
+func TestChaosDegradedPolls(t *testing.T) {
+	prof := faults.Profile{Name: "flaky-reads", ErrorRate: 0.30}
+	rec := DefaultRecovery()
+	rec.MaxAttempts = 2
+	r, inj := buildChaosRig(t, fig1Src, prof, 5, Options{Recovery: rec})
+	inj.SetEnabled(false)
+	r.sim.Schedule(50*sim.Microsecond, func() { inj.SetEnabled(true) })
+	r.agent.Start()
+	tick := r.sim.Every(2*sim.Microsecond, func() {
+		r.inject(0, 400, map[string]uint64{"hdr.port": 5})
+	})
+	r.sim.RunFor(8 * time.Millisecond)
+	tick.Stop()
+	r.agent.Stop()
+	r.sim.RunFor(time.Millisecond)
+
+	if err := r.agent.Err(); err != nil {
+		t.Fatalf("agent died: %v", err)
+	}
+	st := r.agent.Stats()
+	if st.Degraded == 0 {
+		t.Fatalf("no iteration degraded to the cached snapshot: %+v", st)
+	}
+	if st.Iterations < 20 {
+		t.Fatalf("agent made little progress: %d iterations", st.Iterations)
+	}
+}
+
+// TestFaultsFatalWithoutRecovery pins the compatibility contract: with
+// zero-value RecoveryOptions the historical fail-fast behavior remains
+// — the first transient failure stops the agent.
+func TestFaultsFatalWithoutRecovery(t *testing.T) {
+	prof := faults.Profile{Name: "always", ErrorRate: 1.0}
+	r, _ := buildChaosRig(t, fig1Src, prof, 1, Options{})
+	r.agent.Start()
+	r.sim.RunFor(time.Millisecond)
+	err := r.agent.Err()
+	if err == nil {
+		t.Fatal("agent survived guaranteed failures with recovery disabled")
+	}
+	if !driver.IsTransient(err) {
+		t.Fatalf("fatal error lost its transient cause: %v", err)
+	}
+}
+
+// TestStopAndErrAreRaceSafe exercises Stop/Err from a different
+// goroutine while the simulation runs, for the -race detector.
+func TestStopAndErrAreRaceSafe(t *testing.T) {
+	r := buildRig(t, fig1Src, Options{})
+	r.agent.Start()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond) // real time, overlapping the run below
+		r.agent.Stop()
+		_ = r.agent.Err()
+	}()
+	r.sim.RunFor(500 * time.Millisecond)
+	wg.Wait()
+	r.sim.RunFor(time.Millisecond) // let a stopped-mid-iteration agent wind down
+	if err := r.agent.Err(); err != nil {
+		t.Fatalf("stopped agent reported error: %v", err)
+	}
+}
+
+// TestStopHonoredMidIteration checks a stop request lands inside an
+// iteration (between reactions) and the partial iteration's staged
+// changes are rolled back rather than committed.
+func TestStopHonoredMidIteration(t *testing.T) {
+	var h1 UserHandle
+	stopNow := false
+	r := buildRig(t, twoTableSrc, Options{
+		Prologue: func(p *sim.Proc, a *Agent) error {
+			t1, _ := a.Table("t1")
+			var err error
+			h1, err = t1.AddEntry(p, UserEntry{Keys: []rmt.KeySpec{rmt.ExactKey(7)}, Action: "set1", Data: []uint64{0}})
+			return err
+		},
+		Recovery: DefaultRecovery(),
+	})
+	if err := r.agent.RegisterNativeReaction("bump", func(ctx *Ctx) error {
+		t1, _ := ctx.Table("t1")
+		if err := t1.ModifyEntry(h1, "set1", []uint64{77}); err != nil {
+			return err
+		}
+		if stopNow {
+			// Stop lands after this reaction staged its change but before
+			// the commit: the write must NOT become visible.
+			r.agent.Stop()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.agent.Start()
+	r.sim.RunFor(200 * time.Microsecond)
+	committed := r.agent.Stats().Commits
+	stopNow = true
+	r.sim.RunFor(5 * time.Millisecond)
+	if err := r.agent.Err(); err != nil {
+		t.Fatalf("agent error: %v", err)
+	}
+	st := r.agent.Stats()
+	if st.Commits != committed {
+		// One more commit could only happen if the stop was ignored for a
+		// full iteration.
+		t.Fatalf("commits advanced from %d to %d after mid-iteration stop", committed, st.Commits)
+	}
+	if st.Rollbacks == 0 {
+		t.Fatalf("mid-iteration stop rolled nothing back: %+v", st)
+	}
+}

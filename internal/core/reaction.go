@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/compiler"
@@ -69,7 +70,7 @@ func (c *Ctx) Table(name string) (*RxnTable, error) {
 // SetHashSeed reprograms a hash calculation's seed (used by the hash
 // polarization use case). Hash seeds are not vv-protected.
 func (c *Ctx) SetHashSeed(name string, seed uint64) error {
-	return c.agent.drv.SetHashSeed(c.proc, name, seed)
+	return c.agent.drvSetHashSeed(c.proc, name, seed)
 }
 
 // RxnTable is a TableHandle bound to the reaction's process.
@@ -157,9 +158,9 @@ func (a *Agent) pollReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64
 	fields := make(map[string]uint64)
 	regs := make(map[string][]uint64)
 	if len(reqs) > 0 {
-		read := a.drv.BatchRead
+		read := a.drvBatchRead
 		if !a.batchedReads {
-			read = a.drv.UnbatchedRead
+			read = a.drvUnbatchedRead
 		}
 		vals, err := read(p, reqs)
 		if err != nil {
@@ -192,7 +193,16 @@ func (a *Agent) pollReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64
 // interpreted).
 func (a *Agent) runReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64) error {
 	fields, regs, err := a.pollReaction(p, rr, checkpoint)
-	if err != nil {
+	switch {
+	case err == nil:
+		rr.lastFields, rr.lastRegs = fields, regs
+	case a.opts.Recovery.DegradeOnPollFailure && errors.Is(err, ErrRetriesExhausted) && rr.lastFields != nil:
+		// Graceful degradation: the channel would not yield a fresh
+		// snapshot, so the reaction runs on the last checkpointed one.
+		// Both are consistent snapshots (Fig. 9); this one is just stale.
+		fields, regs = rr.lastFields, rr.lastRegs
+		a.iterDegraded = true
+	default:
 		return err
 	}
 	a.inReaction = true
@@ -313,7 +323,7 @@ func (a *Agent) registerDefaultBuiltins() {
 		if len(args) != 2 || !args[0].IsStr || args[1].IsStr {
 			return 0, fmt.Errorf("set_hash_seed(\"calc\", seed)")
 		}
-		return 0, ag.drv.SetHashSeed(p, args[0].S, uint64(args[1].I))
+		return 0, ag.drvSetHashSeed(p, args[0].S, uint64(args[1].I))
 	}
 	a.builtins["port_count"] = func(_ *sim.Proc, ag *Agent, _ []rcl.Arg) (int64, error) {
 		return int64(ag.drv.Switch().Config().NumPorts), nil

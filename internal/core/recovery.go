@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/p4"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// This file implements the agent's fault-tolerance layer: per-operation
+// retries with exponential backoff, a per-iteration watchdog deadline,
+// transactional rollback of half-applied three-phase updates, and
+// graceful degradation to the last checkpointed measurement snapshot.
+//
+// The recovery model leans on two properties of the stack below:
+//
+//   - Transient channel failures (driver.ErrTransient) never apply the
+//     operation, so reissuing an identical request is always safe.
+//   - Shadow (vv^1) table copies are invisible to the data plane until
+//     the master flip, so a half-applied prepare or mirror phase is
+//     never observable — it only has to be cleaned up (or completed)
+//     before the *next* flip.
+//
+// Together these give a simple transactional discipline: an iteration
+// either commits (master flip succeeded) or is abandoned (everything it
+// staged is undone and the loop continues). The master flip itself is a
+// single driver operation, so there is no window in which vv is
+// half-flipped.
+
+// Sentinel errors of the dialogue loop's recovery layer.
+var (
+	// ErrWatchdog marks an iteration abandoned because its deadline
+	// (RecoveryOptions.IterationDeadline) passed — typically a stuck
+	// driver channel. The iteration's staged updates are rolled back and
+	// the loop continues.
+	ErrWatchdog = errors.New("core: iteration watchdog deadline exceeded")
+	// ErrRetriesExhausted marks a driver operation that kept failing
+	// transiently after the configured retry attempts/budget.
+	ErrRetriesExhausted = errors.New("core: transient-failure retries exhausted")
+	// ErrStopped marks an iteration cut short because Stop was
+	// requested; the agent exits cleanly (Err() stays nil).
+	ErrStopped = errors.New("core: agent stop requested")
+)
+
+// RecoveryOptions configures how the dialogue loop survives transient
+// driver-channel failures. The zero value disables all recovery: any
+// driver error is fatal and stops the agent, the pre-robustness
+// behavior.
+type RecoveryOptions struct {
+	// MaxAttempts is the number of tries per driver operation (1 = no
+	// retry). Only failures wrapping driver.ErrTransient are retried;
+	// fatal errors (unknown table, range violation) propagate at once.
+	MaxAttempts int
+	// RetryBackoff is the sleep before the first retry; it doubles per
+	// attempt (plus deterministic jitter drawn from the simulation RNG).
+	// Zero defaults to 2µs, matching the scale of one driver op.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Zero defaults to 64µs.
+	MaxBackoff time.Duration
+	// RetryBudget bounds the total retries spent inside one dialogue
+	// iteration; past it the iteration is abandoned rather than retried
+	// op by op. Zero = no per-iteration bound.
+	RetryBudget int
+	// IterationDeadline is the watchdog: an iteration that has not
+	// finished within this much virtual time is abandoned at the next
+	// operation boundary, its staged updates rolled back. Zero = off.
+	// (The simulator cannot preempt a process blocked inside a driver
+	// call, so the watchdog is cooperative: it fires when the stuck
+	// operation finally returns, bounding damage to one op.)
+	IterationDeadline time.Duration
+	// DegradeOnPollFailure lets a reaction run on its previous
+	// checkpointed measurement snapshot when polling fails past the
+	// retry limits, instead of abandoning the iteration. Reactions go
+	// briefly stale rather than silent — the paper's measurement
+	// checkpoint (Fig. 9) is exactly a consistent snapshot, so reusing
+	// the last one preserves serializability.
+	DegradeOnPollFailure bool
+}
+
+// DefaultRecovery returns the recovery configuration used by cmd/mantisd
+// and the chaos suite: retries with backoff, a 2ms watchdog, and poll
+// degradation.
+func DefaultRecovery() RecoveryOptions {
+	return RecoveryOptions{
+		MaxAttempts:          5,
+		RetryBackoff:         2 * time.Microsecond,
+		MaxBackoff:           64 * time.Microsecond,
+		RetryBudget:          64,
+		IterationDeadline:    2 * time.Millisecond,
+		DegradeOnPollFailure: true,
+	}
+}
+
+// Enabled reports whether any recovery behavior is configured.
+func (r RecoveryOptions) Enabled() bool {
+	return r.MaxAttempts > 1 || r.IterationDeadline > 0 || r.DegradeOnPollFailure
+}
+
+// chanOp is one raw driver-channel operation queued for undo or repair.
+// The closure must be resumable: executing it again after a partial
+// failure continues where it left off.
+type chanOp struct {
+	desc string
+	fn   func(p *sim.Proc) error
+}
+
+// recoverable reports whether err abandons the iteration (rollback and
+// continue) rather than killing the agent.
+func (a *Agent) recoverable(err error) bool {
+	if !a.opts.Recovery.Enabled() {
+		return false
+	}
+	return errors.Is(err, ErrWatchdog) || errors.Is(err, ErrRetriesExhausted) || driver.IsTransient(err)
+}
+
+// drvOp runs one driver operation with the retry policy: transient
+// failures back off exponentially (with jitter) and reissue, up to
+// MaxAttempts per op and RetryBudget per iteration, never past the
+// iteration deadline or a stop request.
+func (a *Agent) drvOp(p *sim.Proc, op string, fn func() error) error {
+	rec := a.opts.Recovery
+	attempts := rec.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := rec.RetryBackoff
+	if backoff <= 0 {
+		backoff = 2 * time.Microsecond
+	}
+	maxBackoff := rec.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 64 * time.Microsecond
+	}
+	for attempt := 1; ; attempt++ {
+		if a.iterDeadline > 0 && p.Now() >= a.iterDeadline {
+			return fmt.Errorf("%s: %w", op, ErrWatchdog)
+		}
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if !driver.IsTransient(err) {
+			return fmt.Errorf("%s: %w", op, err)
+		}
+		if a.stopRequested() {
+			return fmt.Errorf("%s: %w (last transient: %v)", op, ErrStopped, err)
+		}
+		if a.iterDeadline > 0 && p.Now() >= a.iterDeadline {
+			return fmt.Errorf("%s: %w (last transient: %v)", op, ErrWatchdog, err)
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("%s: %d attempts: %w: %w", op, attempt, ErrRetriesExhausted, err)
+		}
+		if rec.RetryBudget > 0 && a.iterRetries >= rec.RetryBudget {
+			return fmt.Errorf("%s: iteration retry budget %d spent: %w: %w", op, rec.RetryBudget, ErrRetriesExhausted, err)
+		}
+		a.iterRetries++
+		a.stats.Retries++
+		jitter := time.Duration(a.sim.Rand().Int63n(int64(backoff)/2 + 1))
+		p.Sleep(backoff + jitter)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// ---- Retry-wrapped driver operations ----
+//
+// Every driver call the agent makes goes through one of these, so the
+// retry policy is applied uniformly: prologue, measurement polls,
+// three-phase prepares, the master flip, mirrors, undos and repairs.
+
+func (a *Agent) drvAddEntry(p *sim.Proc, table string, e rmt.Entry) (rmt.EntryHandle, error) {
+	var h rmt.EntryHandle
+	err := a.drvOp(p, "AddEntry "+table, func() error {
+		var err error
+		h, err = a.drv.AddEntry(p, table, e)
+		return err
+	})
+	return h, err
+}
+
+func (a *Agent) drvModifyEntry(p *sim.Proc, table string, h rmt.EntryHandle, action string, data []uint64) error {
+	return a.drvOp(p, "ModifyEntry "+table, func() error {
+		return a.drv.ModifyEntry(p, table, h, action, data)
+	})
+}
+
+func (a *Agent) drvDeleteEntry(p *sim.Proc, table string, h rmt.EntryHandle) error {
+	return a.drvOp(p, "DeleteEntry "+table, func() error {
+		return a.drv.DeleteEntry(p, table, h)
+	})
+}
+
+func (a *Agent) drvSetDefaultAction(p *sim.Proc, table string, call *p4.ActionCall) error {
+	return a.drvOp(p, "SetDefaultAction "+table, func() error {
+		return a.drv.SetDefaultAction(p, table, call)
+	})
+}
+
+func (a *Agent) drvSetHashSeed(p *sim.Proc, name string, seed uint64) error {
+	return a.drvOp(p, "SetHashSeed "+name, func() error {
+		return a.drv.SetHashSeed(p, name, seed)
+	})
+}
+
+func (a *Agent) drvBatchRead(p *sim.Proc, reqs []driver.ReadReq) ([][]uint64, error) {
+	var vals [][]uint64
+	err := a.drvOp(p, "BatchRead", func() error {
+		var err error
+		vals, err = a.drv.BatchRead(p, reqs)
+		return err
+	})
+	return vals, err
+}
+
+func (a *Agent) drvUnbatchedRead(p *sim.Proc, reqs []driver.ReadReq) ([][]uint64, error) {
+	var vals [][]uint64
+	err := a.drvOp(p, "UnbatchedRead", func() error {
+		var err error
+		vals, err = a.drv.UnbatchedRead(p, reqs)
+		return err
+	})
+	return vals, err
+}
+
+// ---- Rollback and repair ----
+
+// queueRepair defers a shadow-side operation that could not complete
+// now. Repairs drain (with retries) at the start of the next commit,
+// before any flip — shadow copies must converge to the committed state
+// before they can become primary, but until then their content is
+// invisible to packets, so deferring is safe.
+func (a *Agent) queueRepair(op chanOp) {
+	a.pendingRepairs = append(a.pendingRepairs, op)
+	a.stats.RepairOps++
+}
+
+// drainRepairs completes deferred shadow-side work. On failure the
+// remaining repairs stay queued and the commit is abandoned (no flip
+// happens over an unconverged shadow).
+func (a *Agent) drainRepairs(p *sim.Proc) error {
+	for len(a.pendingRepairs) > 0 {
+		op := a.pendingRepairs[0]
+		if err := a.drvOp(p, "repair: "+op.desc, func() error { return op.fn(p) }); err != nil {
+			return err
+		}
+		a.pendingRepairs = a.pendingRepairs[1:]
+	}
+	return nil
+}
+
+// rollbackIteration reverts everything the abandoned iteration staged:
+// pending malleable writes are dropped and shadow-entry prepares are
+// undone (or queued as repairs if the channel is still failing). The
+// committed configuration — what packets observe — was never touched,
+// because vv only flips on a fully-successful commit.
+func (a *Agent) rollbackIteration(p *sim.Proc) {
+	// The iteration's deadline no longer applies; rollback gets a fresh
+	// retry budget.
+	a.iterDeadline = 0
+	a.iterRetries = 0
+	dirty := len(a.pendingMbl) > 0
+	a.pendingMbl = make(map[string]uint64)
+	for _, tm := range a.tables {
+		if tm.rollback(p) {
+			dirty = true
+		}
+	}
+	if dirty {
+		a.stats.Rollbacks++
+	}
+}

@@ -37,8 +37,14 @@ type tableManager struct {
 	nextHandle UserHandle
 
 	// mirror holds closures to run in the fill-shadow phase (step 3),
-	// re-applying this iteration's changes to the now-shadow copy.
+	// re-applying this iteration's changes to the now-shadow copy. The
+	// closures are resumable: re-running one after a partial failure
+	// continues where it stopped.
 	mirror []func(p *sim.Proc) error
+	// undo journals how to revert this iteration's shadow prepares if
+	// the iteration is abandoned before its commit. Cleared (without
+	// running) once the commit lands; run in reverse order on rollback.
+	undo []chanOp
 }
 
 type userEntry struct {
@@ -141,6 +147,63 @@ func (tm *tableManager) concreteEntry(spec UserEntry, fields []string, combo []i
 // versioned reports whether the table carries the vv column.
 func (tm *tableManager) versioned() bool { return tm.info.VVCol >= 0 }
 
+// ---- Resumable concrete-entry operations ----
+//
+// All three maintain the invariant that ue.concrete[version] holds the
+// handles of a prefix of ue.combos, so re-running an operation after a
+// mid-way transient failure resumes instead of duplicating work: that
+// is what lets a failed prepare be retried, undone, or queued as a
+// repair without tracking per-combo state externally.
+
+// install extends version's concrete entries until every combo is
+// installed, using the entry's current spec.
+func (tm *tableManager) install(p *sim.Proc, ue *userEntry, version uint64) error {
+	fields := tm.expandFields()
+	for len(ue.concrete[version]) < len(ue.combos) {
+		i := len(ue.concrete[version])
+		e, err := tm.concreteEntry(ue.spec, fields, ue.combos[i], version)
+		if err != nil {
+			return err
+		}
+		rh, err := tm.agent.drvAddEntry(p, tm.info.Table, e)
+		if err != nil {
+			return err
+		}
+		ue.concrete[version] = append(ue.concrete[version], rh)
+	}
+	return nil
+}
+
+// uninstall deletes version's concrete entries back-to-front until none
+// remain, preserving the prefix invariant.
+func (tm *tableManager) uninstall(p *sim.Proc, ue *userEntry, version uint64) error {
+	for len(ue.concrete[version]) > 0 {
+		i := len(ue.concrete[version]) - 1
+		if err := tm.agent.drvDeleteEntry(p, tm.info.Table, ue.concrete[version][i]); err != nil {
+			return err
+		}
+		ue.concrete[version] = ue.concrete[version][:i]
+	}
+	return nil
+}
+
+// applyAll modifies every concrete entry of version to spec. Modifying
+// an entry to data it already carries is harmless, so re-running after
+// a partial failure is safe without progress tracking.
+func (tm *tableManager) applyAll(p *sim.Proc, ue *userEntry, version uint64, spec UserEntry) error {
+	fields := tm.expandFields()
+	for i, combo := range ue.combos {
+		e, err := tm.concreteEntry(spec, fields, combo, version)
+		if err != nil {
+			return err
+		}
+		if err := tm.agent.drvModifyEntry(p, tm.info.Table, ue.concrete[version][i], e.Action, e.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // addEntry prepares a new user entry: concrete entries are installed
 // for the shadow version (vv^1) immediately; installation for the
 // primary version is deferred to the mirror phase. For unversioned
@@ -148,52 +211,54 @@ func (tm *tableManager) versioned() bool { return tm.info.VVCol >= 0 }
 func (tm *tableManager) addEntry(p *sim.Proc, spec UserEntry) (UserHandle, error) {
 	if _, ok := tm.agent.plan.Prog.Actions[spec.Action]; !ok {
 		if _, specialized := tm.info.ActionSpec[spec.Action]; !specialized {
-			return 0, fmt.Errorf("table %s: unknown action %q", tm.info.Table, spec.Action)
+			return 0, fmt.Errorf("table %s: unknown action %q: %w", tm.info.Table, spec.Action, rmt.ErrUnknownAction)
 		}
 	}
-	fields := tm.expandFields()
 	combos := tm.allCombos()
 	ue := &userEntry{spec: spec, combos: combos}
 	tm.nextHandle++
 	h := tm.nextHandle
 
-	install := func(p *sim.Proc, version uint64) error {
-		handles := make([]rmt.EntryHandle, 0, len(combos))
-		for _, combo := range combos {
-			e, err := tm.concreteEntry(spec, fields, combo, version)
-			if err != nil {
-				return err
-			}
-			rh, err := tm.agent.drv.AddEntry(p, tm.info.Table, e)
-			if err != nil {
-				return err
-			}
-			handles = append(handles, rh)
-		}
-		ue.concrete[version] = handles
-		return nil
-	}
-
 	if !tm.versioned() {
-		if err := install(p, 0); err != nil {
+		if err := tm.install(p, ue, 0); err != nil {
+			// Unversioned entries are packet-visible as they land; a
+			// partial install must not linger. If cleanup also fails the
+			// entries leak until the channel heals — unversioned tables
+			// have no shadow to hide behind.
+			_ = tm.uninstall(p, ue, 0)
 			return 0, err
 		}
 		tm.entries[h] = ue
 		return h, nil
 	}
 	shadow := tm.agent.vv ^ 1
-	if err := install(p, shadow); err != nil {
+	tm.entries[h] = ue
+	if tm.agent.inReaction {
+		// Journal first: if the install below fails partway (or a later
+		// staged operation fails), rollback removes whatever landed.
+		tm.undo = append(tm.undo, chanOp{desc: "undo add " + tm.info.Table, fn: func(p *sim.Proc) error {
+			if err := tm.uninstall(p, ue, shadow); err != nil {
+				return err
+			}
+			delete(tm.entries, h)
+			return nil
+		}})
+	}
+	if err := tm.install(p, ue, shadow); err != nil {
+		if !tm.agent.inReaction {
+			_ = tm.uninstall(p, ue, shadow)
+			delete(tm.entries, h)
+		}
 		return 0, err
 	}
-	tm.entries[h] = ue
 	if !tm.agent.inReaction {
 		// Outside a reaction (prologue or ad-hoc): install both copies
 		// immediately; there is no pending commit to mirror after.
-		return h, install(p, shadow^1)
+		return h, tm.install(p, ue, shadow^1)
 	}
 	// Phase 3 (mirror): install the other copy after commit.
 	tm.mirror = append(tm.mirror, func(p *sim.Proc) error {
-		return install(p, shadow^1)
+		return tm.install(p, ue, shadow^1)
 	})
 	return h, nil
 }
@@ -202,42 +267,42 @@ func (tm *tableManager) addEntry(p *sim.Proc, spec UserEntry) (UserHandle, error
 func (tm *tableManager) modifyEntry(p *sim.Proc, h UserHandle, action string, data []uint64) error {
 	ue, ok := tm.entries[h]
 	if !ok {
-		return fmt.Errorf("table %s: no user entry %d", tm.info.Table, h)
+		return fmt.Errorf("table %s: no user entry %d: %w", tm.info.Table, h, rmt.ErrUnknownEntry)
 	}
-	fields := tm.expandFields()
 	newSpec := ue.spec
 	newSpec.Action = action
 	newSpec.Data = append([]uint64(nil), data...)
 
-	apply := func(p *sim.Proc, version uint64) error {
-		for i, combo := range ue.combos {
-			e, err := tm.concreteEntry(newSpec, fields, combo, version)
-			if err != nil {
-				return err
-			}
-			if err := tm.agent.drv.ModifyEntry(p, tm.info.Table, ue.concrete[version][i], e.Action, e.Data); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
 	if !tm.versioned() {
-		if err := apply(p, 0); err != nil {
+		if err := tm.applyAll(p, ue, 0, newSpec); err != nil {
+			// Re-apply the old spec so the packet-visible copy is not
+			// left half-updated.
+			_ = tm.applyAll(p, ue, 0, ue.spec)
 			return err
 		}
 		ue.spec = newSpec
 		return nil
 	}
 	shadow := tm.agent.vv ^ 1
-	if err := apply(p, shadow); err != nil {
+	if tm.agent.inReaction {
+		oldSpec := ue.spec
+		tm.undo = append(tm.undo, chanOp{desc: "undo modify " + tm.info.Table, fn: func(p *sim.Proc) error {
+			ue.spec = oldSpec
+			return tm.applyAll(p, ue, shadow, oldSpec)
+		}})
+	}
+	if err := tm.applyAll(p, ue, shadow, newSpec); err != nil {
+		if !tm.agent.inReaction {
+			_ = tm.applyAll(p, ue, shadow, ue.spec)
+		}
 		return err
 	}
 	ue.spec = newSpec
 	if !tm.agent.inReaction {
-		return apply(p, shadow^1)
+		return tm.applyAll(p, ue, shadow^1, newSpec)
 	}
 	tm.mirror = append(tm.mirror, func(p *sim.Proc) error {
-		return apply(p, shadow^1)
+		return tm.applyAll(p, ue, shadow^1, newSpec)
 	})
 	return nil
 }
@@ -247,37 +312,38 @@ func (tm *tableManager) modifyEntry(p *sim.Proc, h UserHandle, action string, da
 func (tm *tableManager) deleteEntry(p *sim.Proc, h UserHandle) error {
 	ue, ok := tm.entries[h]
 	if !ok {
-		return fmt.Errorf("table %s: no user entry %d", tm.info.Table, h)
-	}
-	remove := func(p *sim.Proc, version uint64) error {
-		for _, rh := range ue.concrete[version] {
-			if err := tm.agent.drv.DeleteEntry(p, tm.info.Table, rh); err != nil {
-				return err
-			}
-		}
-		ue.concrete[version] = nil
-		return nil
+		return fmt.Errorf("table %s: no user entry %d: %w", tm.info.Table, h, rmt.ErrUnknownEntry)
 	}
 	if !tm.versioned() {
-		if err := remove(p, 0); err != nil {
+		if err := tm.uninstall(p, ue, 0); err != nil {
 			return err
 		}
 		delete(tm.entries, h)
 		return nil
 	}
 	shadow := tm.agent.vv ^ 1
-	if err := remove(p, shadow); err != nil {
+	if tm.agent.inReaction {
+		// Undo reinstates the deleted shadow entries (install resumes the
+		// combo prefix, so a partial delete is repaired too).
+		tm.undo = append(tm.undo, chanOp{desc: "undo delete " + tm.info.Table, fn: func(p *sim.Proc) error {
+			return tm.install(p, ue, shadow)
+		}})
+	}
+	if err := tm.uninstall(p, ue, shadow); err != nil {
+		if !tm.agent.inReaction {
+			_ = tm.install(p, ue, shadow)
+		}
 		return err
 	}
 	if !tm.agent.inReaction {
-		if err := remove(p, shadow^1); err != nil {
+		if err := tm.uninstall(p, ue, shadow^1); err != nil {
 			return err
 		}
 		delete(tm.entries, h)
 		return nil
 	}
 	tm.mirror = append(tm.mirror, func(p *sim.Proc) error {
-		if err := remove(p, shadow^1); err != nil {
+		if err := tm.uninstall(p, ue, shadow^1); err != nil {
 			return err
 		}
 		delete(tm.entries, h)
@@ -286,16 +352,45 @@ func (tm *tableManager) deleteEntry(p *sim.Proc, h UserHandle) error {
 	return nil
 }
 
-// fillShadow runs the deferred mirror operations (phase 3).
+// fillShadow runs the deferred mirror operations (phase 3). When
+// recovery is enabled, a mirror that keeps failing is queued as repair
+// debt instead of killing the agent: the flip already committed the
+// change, and the unfinished shadow work is invisible to packets until
+// the next flip, which drainRepairs gates.
 func (tm *tableManager) fillShadow(p *sim.Proc) error {
 	ops := tm.mirror
 	tm.mirror = nil
-	for _, op := range ops {
+	for i, op := range ops {
 		if err := op(p); err != nil {
-			return err
+			if !tm.agent.opts.Recovery.Enabled() {
+				return err
+			}
+			for _, rest := range ops[i:] {
+				tm.agent.queueRepair(chanOp{desc: "mirror " + tm.info.Table, fn: rest})
+			}
+			return nil
 		}
 	}
 	return nil
+}
+
+// rollback reverts this iteration's staged changes: mirror closures are
+// dropped and the undo journal runs in reverse. An undo that still
+// fails is queued as repair debt (its target is a shadow copy, so
+// deferring it is safe). Reports whether anything was staged.
+func (tm *tableManager) rollback(p *sim.Proc) bool {
+	had := len(tm.undo) > 0 || len(tm.mirror) > 0
+	tm.mirror = nil
+	ops := tm.undo
+	tm.undo = nil
+	for i := len(ops) - 1; i >= 0; i-- {
+		// The closures use the retry-wrapped helpers internally, so a
+		// failure here means retries were already spent.
+		if err := ops[i].fn(p); err != nil {
+			tm.agent.queueRepair(ops[i])
+		}
+	}
+	return had
 }
 
 // pendingMirrors reports whether the table has staged changes awaiting
@@ -329,7 +424,7 @@ func (th *TableHandle) SetDefault(p *sim.Proc, call *p4.ActionCall) error {
 	if th.tm.versioned() {
 		return fmt.Errorf("table %s: default actions on vv-protected tables are fixed; install entries instead", th.tm.info.Table)
 	}
-	return th.tm.agent.drv.SetDefaultAction(p, th.tm.info.Table, call)
+	return th.tm.agent.drvSetDefaultAction(p, th.tm.info.Table, call)
 }
 
 // Entries returns the user-level entries (sorted by handle).

@@ -195,10 +195,21 @@ type ReadReq struct {
 	Hi  uint64 // exclusive
 }
 
+// rangeBytes validates one batched-read range and returns its DMA byte
+// count. Validation happens during request prologue, before any channel
+// time is spent — real drivers reject malformed requests without
+// touching the device.
 func (d *Driver) rangeBytes(req ReadReq) (uint64, error) {
 	r, ok := d.sw.Program().Registers[req.Reg]
 	if !ok {
-		return 0, fmt.Errorf("driver: unknown register %q", req.Reg)
+		return 0, fmt.Errorf("driver: unknown register %q: %w", req.Reg, rmt.ErrUnknownRegister)
+	}
+	if req.Lo > req.Hi {
+		return 0, fmt.Errorf("driver: register %q range [%d,%d) inverted: %w", req.Reg, req.Lo, req.Hi, ErrBadBatch)
+	}
+	if req.Hi > uint64(r.Instances) {
+		return 0, fmt.Errorf("driver: register %q range [%d,%d) out of bounds [0,%d): %w",
+			req.Reg, req.Lo, req.Hi, r.Instances, rmt.ErrRegRange)
 	}
 	widthBytes := uint64((r.Width + 7) / 8)
 	return (req.Hi - req.Lo) * widthBytes, nil
@@ -217,6 +228,11 @@ func (d *Driver) RegRead(p *sim.Proc, reg string, idx uint64) (uint64, error) {
 // one base cost plus the per-byte DMA cost of all ranges. Values are
 // captured at the completion time of the whole batch.
 func (d *Driver) BatchRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error) {
+	if len(reqs) == 0 {
+		// An empty batch is a no-op: no transaction is issued, no channel
+		// time is spent.
+		return nil, nil
+	}
 	var bytes uint64
 	for _, req := range reqs {
 		b, err := d.rangeBytes(req)

@@ -1,0 +1,53 @@
+package driver
+
+import (
+	"errors"
+
+	"repro/internal/p4"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// Sentinel errors of the driver layer. The switch model's own sentinels
+// (rmt.ErrUnknownTable etc.) pass through wrapped, so callers classify
+// every failure with errors.Is.
+var (
+	// ErrTransient marks failures of the driver channel itself — the
+	// software/PCIe path between control plane and ASIC — rather than of
+	// the requested operation. A transient failure did NOT apply the
+	// operation; retrying the identical request may succeed. The real
+	// driver never fails in simulation; internal/faults injects these.
+	ErrTransient = errors.New("transient driver channel failure")
+	// ErrBadBatch reports a malformed batched read: an inverted range
+	// (Lo > Hi). Rejected during request validation, before any channel
+	// time is spent.
+	ErrBadBatch = errors.New("malformed batch read request")
+)
+
+// IsTransient reports whether err is a retryable channel failure (the
+// operation was not applied and may be reissued). Fatal errors —
+// unknown names, range violations, capacity — return false.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Channel is the control-plane method set a client needs from a driver
+// stack: the access points of §6 plus the stats/wiring accessors the
+// agent uses. *Driver implements it directly; fault-injection or other
+// interposing layers wrap another Channel with the same contract:
+// operations block the calling process for their channel latency and
+// mutate switch state only at completion time.
+type Channel interface {
+	AddEntry(p *sim.Proc, table string, e rmt.Entry) (rmt.EntryHandle, error)
+	ModifyEntry(p *sim.Proc, table string, h rmt.EntryHandle, action string, data []uint64) error
+	DeleteEntry(p *sim.Proc, table string, h rmt.EntryHandle) error
+	SetDefaultAction(p *sim.Proc, table string, call *p4.ActionCall) error
+	SetHashSeed(p *sim.Proc, name string, seed uint64) error
+	RegWrite(p *sim.Proc, reg string, idx uint64, v uint64) error
+	RegRead(p *sim.Proc, reg string, idx uint64) (uint64, error)
+	BatchRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error)
+	UnbatchedRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error)
+	Memoize(table string, handle rmt.EntryHandle)
+	Switch() *rmt.Switch
+	Stats() Stats
+}
+
+var _ Channel = (*Driver)(nil)

@@ -1,0 +1,120 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// runOnDriver runs fn as a control-plane process and returns how much
+// virtual time it consumed.
+func runOnDriver(t *testing.T, d *Driver, s *sim.Simulator, fn func(p *sim.Proc)) time.Duration {
+	t.Helper()
+	var elapsed time.Duration
+	s.Spawn("cp", func(p *sim.Proc) {
+		t0 := p.Now()
+		fn(p)
+		elapsed = p.Now().Sub(t0)
+	})
+	s.Run()
+	return elapsed
+}
+
+func TestBatchReadOutOfRange(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, testSwitch(t, s), DefaultCostModel())
+	elapsed := runOnDriver(t, d, s, func(p *sim.Proc) {
+		_, err := d.BatchRead(p, []ReadReq{{Reg: "ctr", Lo: 0, Hi: 65}})
+		if !errors.Is(err, rmt.ErrRegRange) {
+			t.Errorf("out-of-range read: err = %v, want ErrRegRange", err)
+		}
+	})
+	if elapsed != 0 {
+		t.Fatalf("rejected batch consumed %v of channel time, want 0", elapsed)
+	}
+	if d.Stats().RegReads != 0 {
+		t.Fatalf("rejected batch counted as a read")
+	}
+}
+
+func TestBatchReadInvertedRange(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, testSwitch(t, s), DefaultCostModel())
+	runOnDriver(t, d, s, func(p *sim.Proc) {
+		_, err := d.BatchRead(p, []ReadReq{{Reg: "ctr", Lo: 8, Hi: 4}})
+		if !errors.Is(err, ErrBadBatch) {
+			t.Errorf("inverted range: err = %v, want ErrBadBatch", err)
+		}
+	})
+}
+
+func TestBatchReadUnknownRegister(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, testSwitch(t, s), DefaultCostModel())
+	runOnDriver(t, d, s, func(p *sim.Proc) {
+		_, err := d.BatchRead(p, []ReadReq{{Reg: "nope", Lo: 0, Hi: 1}})
+		if !errors.Is(err, rmt.ErrUnknownRegister) {
+			t.Errorf("unknown register: err = %v, want ErrUnknownRegister", err)
+		}
+	})
+}
+
+func TestBatchReadEmpty(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, testSwitch(t, s), DefaultCostModel())
+	elapsed := runOnDriver(t, d, s, func(p *sim.Proc) {
+		vals, err := d.BatchRead(p, nil)
+		if err != nil || vals != nil {
+			t.Errorf("empty batch: vals=%v err=%v, want nil, nil", vals, err)
+		}
+	})
+	if elapsed != 0 {
+		t.Fatalf("empty batch consumed %v of channel time, want 0", elapsed)
+	}
+}
+
+// A malformed request mixed into a batch must fail the whole batch
+// before any channel time is spent (validation is part of the request
+// prologue).
+func TestBatchReadMalformedMixedBatch(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, testSwitch(t, s), DefaultCostModel())
+	elapsed := runOnDriver(t, d, s, func(p *sim.Proc) {
+		_, err := d.BatchRead(p, []ReadReq{
+			{Reg: "ctr", Lo: 0, Hi: 4},
+			{Reg: "wide", Lo: 10, Hi: 20},
+		})
+		if !errors.Is(err, rmt.ErrRegRange) {
+			t.Errorf("mixed batch: err = %v, want ErrRegRange", err)
+		}
+	})
+	if elapsed != 0 {
+		t.Fatalf("rejected mixed batch consumed %v, want 0", elapsed)
+	}
+}
+
+func TestUnknownNameSentinels(t *testing.T) {
+	s := sim.New(1)
+	d := New(s, testSwitch(t, s), DefaultCostModel())
+	runOnDriver(t, d, s, func(p *sim.Proc) {
+		if _, err := d.AddEntry(p, "nope", rmt.Entry{Action: "fwd"}); !errors.Is(err, rmt.ErrUnknownTable) {
+			t.Errorf("AddEntry unknown table: err = %v, want ErrUnknownTable", err)
+		}
+		if err := d.SetHashSeed(p, "nope", 1); !errors.Is(err, rmt.ErrUnknownHash) {
+			t.Errorf("SetHashSeed unknown calc: err = %v, want ErrUnknownHash", err)
+		}
+		if err := d.RegWrite(p, "ctr", 64, 1); !errors.Is(err, rmt.ErrRegRange) {
+			t.Errorf("RegWrite out of range: err = %v, want ErrRegRange", err)
+		}
+		if err := d.ModifyEntry(p, "fw", 99, "fwd", []uint64{1}); !errors.Is(err, rmt.ErrUnknownEntry) {
+			t.Errorf("ModifyEntry unknown handle: err = %v, want ErrUnknownEntry", err)
+		}
+		// None of these are transient channel failures.
+		if _, err := d.AddEntry(p, "nope", rmt.Entry{Action: "fwd"}); IsTransient(err) {
+			t.Errorf("fatal error classified transient: %v", err)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/faults"
+	"repro/internal/packet"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FaultRow summarizes one fault profile's run of the chaos scenario.
+type FaultRow struct {
+	Profile string
+
+	// Agent-side recovery counters.
+	Iterations    uint64
+	Commits       uint64
+	Retries       uint64
+	Rollbacks     uint64
+	Abandoned     uint64
+	WatchdogTrips uint64
+	Degraded      uint64
+	RepairOps     uint64
+
+	// Injector-side fault counters.
+	InjectedErrors uint64
+	InjectedSpikes uint64
+	PartialBatches uint64
+	StuckWaits     uint64
+
+	// Iteration latency distribution (the reaction-latency cost of the
+	// fault class) and the serializability audit.
+	IterLatency stats.DurationStats
+	Packets     int
+	Violations  int
+}
+
+// faultSweepSrc combines the two ingredients the chaos scenario needs:
+// a polled register (so batched measurement reads are on the fault
+// path) and two malleable tables updated together (so every packet
+// audits cross-table serializability).
+const faultSweepSrc = `
+header_type h_t { fields { k : 8; o1 : 32; o2 : 32; port : 8; } }
+header h_t hdr;
+register qd { width : 32; instance_count : 8; }
+action meas() { register_write(qd, hdr.port, standard_metadata.packet_length); }
+action set1(v) { modify_field(hdr.o1, v); }
+action set2(v) {
+  modify_field(hdr.o2, v);
+  modify_field(standard_metadata.egress_spec, 1);
+}
+table m { actions { meas; } default_action : meas; size : 1; }
+malleable table t1 { reads { hdr.k : exact; } actions { set1; } size : 4; }
+malleable table t2 { reads { hdr.k : exact; } actions { set2; } size : 4; }
+reaction react(reg qd) { }
+control ingress { apply(m); apply(t1); apply(t2); }
+`
+
+// RunFaultSweep runs the chaos scenario once per fault profile: the
+// agent (with DefaultRecovery) updates two tables in lockstep every
+// iteration while the injector disturbs the driver channel, and every
+// forwarded packet checks that it observed a consistent (vv, config)
+// snapshot.
+func RunFaultSweep(seed int64) ([]FaultRow, error) {
+	var rows []FaultRow
+	for _, prof := range faults.Profiles() {
+		row, err := runFaultProfile(prof, seed)
+		if err != nil {
+			return nil, fmt.Errorf("profile %s: %w", prof.Name, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func runFaultProfile(prof faults.Profile, seed int64) (*FaultRow, error) {
+	plan, err := compiler.CompileSource(faultSweepSrc, compiler.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(seed)
+	sw, err := rmt.New(s, plan.Prog, rmt.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	drv := driver.New(s, sw, driver.DefaultCostModel())
+	inj := faults.Wrap(s, drv, prof, seed)
+
+	var h1, h2 core.UserHandle
+	agent := core.NewAgent(s, inj, plan, core.Options{
+		Recovery: core.DefaultRecovery(),
+		Prologue: func(p *sim.Proc, a *core.Agent) error {
+			t1, _ := a.Table("t1")
+			t2, _ := a.Table("t2")
+			var err error
+			if h1, err = t1.AddEntry(p, core.UserEntry{Keys: []rmt.KeySpec{rmt.ExactKey(7)}, Action: "set1", Data: []uint64{0}}); err != nil {
+				return err
+			}
+			h2, err = t2.AddEntry(p, core.UserEntry{Keys: []rmt.KeySpec{rmt.ExactKey(7)}, Action: "set2", Data: []uint64{0}})
+			return err
+		},
+	})
+	gen := uint64(0)
+	if err := agent.RegisterNativeReaction("react", func(ctx *core.Ctx) error {
+		gen++
+		t1, _ := ctx.Table("t1")
+		t2, _ := ctx.Table("t2")
+		if err := t1.ModifyEntry(h1, "set1", []uint64{gen}); err != nil {
+			return err
+		}
+		return t2.ModifyEntry(h2, "set2", []uint64{gen})
+	}); err != nil {
+		return nil, err
+	}
+
+	// Let the prologue install cleanly; faults start shortly after.
+	inj.SetEnabled(false)
+	s.Schedule(50*sim.Microsecond, func() { inj.SetEnabled(true) })
+	agent.Start()
+
+	row := &FaultRow{Profile: prof.Name}
+	sw.Tx = func(_ int, pkt *packet.Packet) {
+		row.Packets++
+		if pkt.GetName("hdr.o1") != pkt.GetName("hdr.o2") {
+			row.Violations++
+		}
+	}
+	i := 0
+	tick := s.Every(200*sim.Nanosecond, func() {
+		pkt := plan.Prog.Schema.New()
+		pkt.Size = 64 + (i%8)*100
+		pkt.SetName("hdr.k", 7)
+		pkt.SetName("hdr.port", uint64(i%8))
+		sw.Inject(0, pkt)
+		i++
+	})
+	s.RunFor(5 * time.Millisecond)
+	tick.Stop()
+	agent.Stop()
+	s.RunFor(time.Millisecond)
+	if err := agent.Err(); err != nil {
+		return nil, err
+	}
+
+	ast := agent.Stats()
+	row.Iterations = ast.Iterations
+	row.Commits = ast.Commits
+	row.Retries = ast.Retries
+	row.Rollbacks = ast.Rollbacks
+	row.Abandoned = ast.Abandoned
+	row.WatchdogTrips = ast.WatchdogTrips
+	row.Degraded = ast.Degraded
+	row.RepairOps = ast.RepairOps
+	row.IterLatency = stats.SummarizeDurations(ast.Latencies)
+	fst := inj.FaultStats()
+	row.InjectedErrors = fst.InjectedErrors
+	row.InjectedSpikes = fst.InjectedSpikes
+	row.PartialBatches = fst.PartialBatches
+	row.StuckWaits = fst.StuckWaits
+	return row, nil
+}
+
+// FormatFaultSweep renders the sweep as a table.
+func FormatFaultSweep(rows []FaultRow) string {
+	var b strings.Builder
+	b.WriteString("Fault injection sweep — dialogue robustness under driver-channel faults\n")
+	b.WriteString("(two-table lockstep updates; every packet audits cross-table consistency)\n\n")
+	fmt.Fprintf(&b, "%-14s %6s %7s %7s %6s %6s %5s %5s %8s %8s %10s %6s\n",
+		"profile", "iters", "commits", "retries", "rollbk", "abandn", "wdog", "degr",
+		"inj.err", "inj.flt", "iter p99", "viol")
+	for _, r := range rows {
+		otherFaults := r.InjectedSpikes + r.PartialBatches + r.StuckWaits
+		fmt.Fprintf(&b, "%-14s %6d %7d %7d %6d %6d %5d %5d %8d %8d %10v %6d\n",
+			r.Profile, r.Iterations, r.Commits, r.Retries, r.Rollbacks, r.Abandoned,
+			r.WatchdogTrips, r.Degraded, r.InjectedErrors, otherFaults,
+			r.IterLatency.P99, r.Violations)
+	}
+	b.WriteString("\nmean iteration latency per profile:\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s mean %v, p99 %v over %d iterations (%d packets audited)\n",
+			r.Profile, r.IterLatency.Mean, r.IterLatency.P99, r.IterLatency.Count, r.Packets)
+	}
+	return b.String()
+}

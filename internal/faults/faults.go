@@ -1,0 +1,337 @@
+// Package faults is a deterministic fault-injection layer for the
+// switch driver channel.
+//
+// Real Tofino driver stacks fail in ways the calibrated cost model of
+// internal/driver never does: RPCs time out under daemon load, PCIe
+// transactions stall, batched DMA reads abort partway, and the whole
+// channel can wedge for milliseconds while an unrelated component holds
+// the device lock. The Mantis agent's robustness machinery (retries,
+// rollback, watchdog, degradation — internal/core) exists to survive
+// exactly these conditions, and this package exists to provoke them on
+// demand.
+//
+// An Injector wraps any driver.Channel and presents the same method
+// set, so it drops between the agent and the driver without either
+// noticing. Fault decisions are keyed off the simulation's virtual
+// clock and the injector's own seeded RNG, so a given (profile, seed)
+// pair reproduces the identical fault schedule on every run — a failing
+// chaos test replays exactly.
+//
+// Injected failures are "clean": a failed operation consumes channel
+// time but never mutates switch state, so there is no ambiguity about
+// whether a timed-out update landed. (Real drivers can be ambiguous on
+// timeout; modeling that would need idempotence tokens in the channel
+// API and is out of scope.)
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/p4"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// Profile configures which faults an Injector produces and how often.
+// The zero value injects nothing.
+type Profile struct {
+	// Name labels the profile in stats output and sweep tables.
+	Name string
+
+	// ErrorRate is the per-operation probability of a transient failure:
+	// the op consumes FailCost of channel time and returns an error
+	// wrapping driver.ErrTransient without touching the switch.
+	ErrorRate float64
+	// ErrorBurst makes each triggered failure repeat for the next
+	// ErrorBurst-1 operations too (timeouts cluster: a wedged daemon
+	// fails every request until it recovers). 0 or 1 = single failures.
+	ErrorBurst int
+
+	// SpikeRate is the per-operation probability of a latency spike:
+	// the op succeeds but takes an extra SpikeDelay of channel time.
+	SpikeRate float64
+	// SpikeDelay is the added latency of one spike.
+	SpikeDelay time.Duration
+
+	// PartialBatchRate is the per-BatchRead probability that the
+	// transaction aborts after reading a strict prefix of its ranges.
+	// The prefix's channel time is paid; no values are returned.
+	PartialBatchRate float64
+
+	// StuckEvery/StuckFor open a periodic stuck-channel window: every
+	// StuckEvery of virtual time the channel wedges for StuckFor, and
+	// operations issued inside the window block until it closes before
+	// proceeding. StuckEvery == 0 disables.
+	StuckEvery time.Duration
+	StuckFor   time.Duration
+
+	// FailCost is the channel time a transiently failed operation
+	// consumes (the timeout the caller waited out). Defaults to 2µs.
+	FailCost time.Duration
+}
+
+// DefaultFailCost is the channel time consumed by an injected failure
+// when Profile.FailCost is zero.
+const DefaultFailCost = 2 * time.Microsecond
+
+// Predefined profiles, one per fault class the chaos suite exercises.
+
+// None injects nothing (control profile).
+func None() Profile { return Profile{Name: "none"} }
+
+// TransientErrors makes ~5% of operations fail transiently, in bursts
+// of up to 2.
+func TransientErrors() Profile {
+	return Profile{Name: "transient", ErrorRate: 0.05, ErrorBurst: 2}
+}
+
+// LatencySpikes adds a 200µs stall to ~5% of operations — an order of
+// magnitude above the per-op cost, enough to blow an iteration budget.
+func LatencySpikes() Profile {
+	return Profile{Name: "latency", SpikeRate: 0.05, SpikeDelay: 200 * time.Microsecond}
+}
+
+// PartialBatches aborts ~10% of batched reads partway and sprinkles a
+// low rate of plain transient failures on top.
+func PartialBatches() Profile {
+	return Profile{Name: "partial-batch", PartialBatchRate: 0.10, ErrorRate: 0.01}
+}
+
+// StuckChannel wedges the channel for 300µs out of every 2ms — long
+// enough to trip a per-iteration watchdog set below 300µs.
+func StuckChannel() Profile {
+	return Profile{Name: "stuck", StuckEvery: 2 * time.Millisecond, StuckFor: 300 * time.Microsecond}
+}
+
+// Profiles returns the chaos-suite sweep: every predefined fault
+// profile, control first.
+func Profiles() []Profile {
+	return []Profile{None(), TransientErrors(), LatencySpikes(), PartialBatches(), StuckChannel()}
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	// Ops is the number of operations that entered the injector.
+	Ops uint64
+	// InjectedErrors counts transiently failed operations.
+	InjectedErrors uint64
+	// InjectedSpikes counts latency spikes.
+	InjectedSpikes uint64
+	// PartialBatches counts batched reads aborted partway.
+	PartialBatches uint64
+	// StuckWaits counts operations that blocked on a stuck window.
+	StuckWaits uint64
+	// StuckTime accumulates time operations spent blocked on stuck
+	// windows.
+	StuckTime time.Duration
+}
+
+// Injector wraps a driver.Channel and injects faults per its Profile.
+// It implements driver.Channel itself, so it stacks.
+type Injector struct {
+	inner   driver.Channel
+	sim     *sim.Simulator
+	prof    Profile
+	rng     *rand.Rand
+	enabled bool
+
+	// burstLeft counts remaining forced failures of the current burst.
+	burstLeft int
+
+	stats Stats
+}
+
+var _ driver.Channel = (*Injector)(nil)
+
+// Wrap interposes an Injector between a control-plane client and inner.
+// The injector draws fault decisions from its own RNG seeded with seed,
+// independent of the simulator's stream, so adding or removing fault
+// injection never perturbs workload randomness.
+func Wrap(s *sim.Simulator, inner driver.Channel, prof Profile, seed int64) *Injector {
+	return &Injector{
+		inner:   inner,
+		sim:     s,
+		prof:    prof,
+		rng:     rand.New(rand.NewSource(seed)),
+		enabled: true,
+	}
+}
+
+// SetEnabled toggles injection at runtime (e.g. to confine faults to a
+// window of an experiment). Disabled, the injector is a transparent
+// pass-through; the RNG does not advance.
+func (f *Injector) SetEnabled(on bool) { f.enabled = on }
+
+// Profile returns the active fault profile.
+func (f *Injector) Profile() Profile { return f.prof }
+
+// FaultStats returns a copy of the injection counters. (Named to keep
+// Stats() free for the driver.Channel pass-through.)
+func (f *Injector) FaultStats() Stats { return f.stats }
+
+// failCost returns the channel time one injected failure consumes.
+func (f *Injector) failCost() time.Duration {
+	if f.prof.FailCost > 0 {
+		return f.prof.FailCost
+	}
+	return DefaultFailCost
+}
+
+// stall blocks p until the current stuck window (if any) closes.
+func (f *Injector) stall(p *sim.Proc) {
+	if f.prof.StuckEvery <= 0 || f.prof.StuckFor <= 0 {
+		return
+	}
+	period := f.prof.StuckEvery + f.prof.StuckFor
+	phase := time.Duration(int64(p.Now()) % int64(period))
+	if phase < f.prof.StuckEvery {
+		return // channel currently responsive
+	}
+	wait := period - phase
+	f.stats.StuckWaits++
+	f.stats.StuckTime += wait
+	p.Sleep(wait)
+}
+
+// inject runs the common fault prologue for one operation. A non-nil
+// return is the injected transient error; the underlying driver must
+// not be called.
+func (f *Injector) inject(p *sim.Proc, op string) error {
+	f.stats.Ops++
+	if !f.enabled {
+		return nil
+	}
+	f.stall(p)
+	if f.prof.SpikeRate > 0 && f.rng.Float64() < f.prof.SpikeRate {
+		f.stats.InjectedSpikes++
+		p.Sleep(f.prof.SpikeDelay)
+	}
+	if f.burstLeft > 0 {
+		f.burstLeft--
+		return f.fail(p, op)
+	}
+	if f.prof.ErrorRate > 0 && f.rng.Float64() < f.prof.ErrorRate {
+		if f.prof.ErrorBurst > 1 {
+			f.burstLeft = f.prof.ErrorBurst - 1
+		}
+		return f.fail(p, op)
+	}
+	return nil
+}
+
+// fail consumes the timeout cost and returns a transient error.
+func (f *Injector) fail(p *sim.Proc, op string) error {
+	f.stats.InjectedErrors++
+	p.Sleep(f.failCost())
+	return fmt.Errorf("faults: injected %s failure at %v: %w", op, p.Now(), driver.ErrTransient)
+}
+
+// ---- driver.Channel implementation ----
+
+// AddEntry forwards to the wrapped channel unless a fault fires.
+func (f *Injector) AddEntry(p *sim.Proc, table string, e rmt.Entry) (rmt.EntryHandle, error) {
+	if err := f.inject(p, "AddEntry"); err != nil {
+		return 0, err
+	}
+	return f.inner.AddEntry(p, table, e)
+}
+
+// ModifyEntry forwards to the wrapped channel unless a fault fires.
+func (f *Injector) ModifyEntry(p *sim.Proc, table string, h rmt.EntryHandle, action string, data []uint64) error {
+	if err := f.inject(p, "ModifyEntry"); err != nil {
+		return err
+	}
+	return f.inner.ModifyEntry(p, table, h, action, data)
+}
+
+// DeleteEntry forwards to the wrapped channel unless a fault fires.
+func (f *Injector) DeleteEntry(p *sim.Proc, table string, h rmt.EntryHandle) error {
+	if err := f.inject(p, "DeleteEntry"); err != nil {
+		return err
+	}
+	return f.inner.DeleteEntry(p, table, h)
+}
+
+// SetDefaultAction forwards to the wrapped channel unless a fault fires.
+func (f *Injector) SetDefaultAction(p *sim.Proc, table string, call *p4.ActionCall) error {
+	if err := f.inject(p, "SetDefaultAction"); err != nil {
+		return err
+	}
+	return f.inner.SetDefaultAction(p, table, call)
+}
+
+// SetHashSeed forwards to the wrapped channel unless a fault fires.
+func (f *Injector) SetHashSeed(p *sim.Proc, name string, seed uint64) error {
+	if err := f.inject(p, "SetHashSeed"); err != nil {
+		return err
+	}
+	return f.inner.SetHashSeed(p, name, seed)
+}
+
+// RegWrite forwards to the wrapped channel unless a fault fires.
+func (f *Injector) RegWrite(p *sim.Proc, reg string, idx uint64, v uint64) error {
+	if err := f.inject(p, "RegWrite"); err != nil {
+		return err
+	}
+	return f.inner.RegWrite(p, reg, idx, v)
+}
+
+// RegRead forwards to the wrapped channel unless a fault fires.
+func (f *Injector) RegRead(p *sim.Proc, reg string, idx uint64) (uint64, error) {
+	if err := f.inject(p, "RegRead"); err != nil {
+		return 0, err
+	}
+	return f.inner.RegRead(p, reg, idx)
+}
+
+// BatchRead forwards to the wrapped channel; besides the common faults
+// it can abort partway, paying for a prefix of the ranges and
+// returning no values.
+func (f *Injector) BatchRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error) {
+	if err := f.inject(p, "BatchRead"); err != nil {
+		return nil, err
+	}
+	if f.enabled && f.prof.PartialBatchRate > 0 && len(reqs) > 1 &&
+		f.rng.Float64() < f.prof.PartialBatchRate {
+		f.stats.PartialBatches++
+		cut := 1 + f.rng.Intn(len(reqs)-1)
+		if _, err := f.inner.BatchRead(p, reqs[:cut]); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("faults: batch read aborted after %d/%d ranges at %v: %w",
+			cut, len(reqs), p.Now(), driver.ErrTransient)
+	}
+	return f.inner.BatchRead(p, reqs)
+}
+
+// UnbatchedRead issues the requests one transaction at a time through
+// the injector, so each can fault independently (the unbatched ablation
+// under faults).
+func (f *Injector) UnbatchedRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error) {
+	out := make([][]uint64, len(reqs))
+	for i, req := range reqs {
+		vals, err := f.BatchRead(p, []ReadReq{req})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = vals[0]
+	}
+	return out, nil
+}
+
+// Memoize passes through (prologue metadata precomputation is local to
+// the control plane and cannot fault).
+func (f *Injector) Memoize(table string, handle rmt.EntryHandle) { f.inner.Memoize(table, handle) }
+
+// Switch exposes the wrapped channel's switch.
+func (f *Injector) Switch() *rmt.Switch { return f.inner.Switch() }
+
+// Stats returns the wrapped channel's driver counters.
+func (f *Injector) Stats() driver.Stats { return f.inner.Stats() }
+
+// ReadReq aliases the driver's batched-read request type for callers
+// importing only this package.
+type ReadReq = driver.ReadReq

@@ -1,0 +1,37 @@
+package rmt
+
+import "errors"
+
+// Typed sentinel errors for control-plane operations. Every error the
+// switch's control-plane access points return wraps one of these, so
+// callers (the driver, the agent's retry layer) can classify failures
+// with errors.Is instead of string matching. All of them are *fatal*
+// programming or capacity errors: retrying the same operation cannot
+// succeed. Transient channel failures are modeled one layer up, in
+// internal/driver and internal/faults.
+var (
+	// ErrUnknownTable reports an operation against a table name not in
+	// the loaded program.
+	ErrUnknownTable = errors.New("unknown table")
+	// ErrUnknownRegister reports an access to an undeclared register.
+	ErrUnknownRegister = errors.New("unknown register")
+	// ErrUnknownHash reports a seed update for an undeclared hash
+	// calculation.
+	ErrUnknownHash = errors.New("unknown hash calculation")
+	// ErrUnknownEntry reports a modify/delete of a handle that is not
+	// installed (never was, or already deleted).
+	ErrUnknownEntry = errors.New("unknown entry handle")
+	// ErrUnknownAction reports an action not allowed on the table or not
+	// defined in the program.
+	ErrUnknownAction = errors.New("unknown or disallowed action")
+	// ErrBadEntry reports a malformed entry (wrong key column count,
+	// wrong action-data arity).
+	ErrBadEntry = errors.New("malformed entry")
+	// ErrTableFull reports an add against a table at capacity.
+	ErrTableFull = errors.New("table full")
+	// ErrDuplicateEntry reports an exact-match add whose key is already
+	// installed (hardware drivers reject these).
+	ErrDuplicateEntry = errors.New("duplicate exact entry")
+	// ErrRegRange reports a register index or range outside the array.
+	ErrRegRange = errors.New("register index out of range")
+)

@@ -39,14 +39,14 @@ func (r *registerInstance) write(idx uint64, v uint64) {
 // indices with an error rather than wrapping.
 func (r *registerInstance) readChecked(idx uint64) (uint64, error) {
 	if idx >= uint64(len(r.vals)) {
-		return 0, fmt.Errorf("rmt: register %s index %d out of range [0,%d)", r.def.Name, idx, len(r.vals))
+		return 0, fmt.Errorf("rmt: register %s index %d out of range [0,%d): %w", r.def.Name, idx, len(r.vals), ErrRegRange)
 	}
 	return r.vals[idx], nil
 }
 
 func (r *registerInstance) writeChecked(idx uint64, v uint64) error {
 	if idx >= uint64(len(r.vals)) {
-		return fmt.Errorf("rmt: register %s index %d out of range [0,%d)", r.def.Name, idx, len(r.vals))
+		return fmt.Errorf("rmt: register %s index %d out of range [0,%d): %w", r.def.Name, idx, len(r.vals), ErrRegRange)
 	}
 	r.vals[idx] = v & r.mask
 	return nil
@@ -54,7 +54,7 @@ func (r *registerInstance) writeChecked(idx uint64, v uint64) error {
 
 func (r *registerInstance) readRange(lo, hi uint64) ([]uint64, error) {
 	if lo > hi || hi > uint64(len(r.vals)) {
-		return nil, fmt.Errorf("rmt: register %s range [%d,%d) out of bounds [0,%d)", r.def.Name, lo, hi, len(r.vals))
+		return nil, fmt.Errorf("rmt: register %s range [%d,%d) out of bounds [0,%d): %w", r.def.Name, lo, hi, len(r.vals), ErrRegRange)
 	}
 	out := make([]uint64, hi-lo)
 	copy(out, r.vals[lo:hi])

@@ -455,7 +455,7 @@ func (e *execEnv) Hash(name string) uint64 {
 // mechanism behind shifting ECMP hash functions (use case #3).
 func (sw *Switch) SetHashSeed(name string, seed uint64) error {
 	if _, ok := sw.prog.Hashes[name]; !ok {
-		return fmt.Errorf("rmt: unknown hash calculation %q", name)
+		return fmt.Errorf("rmt: unknown hash calculation %q: %w", name, ErrUnknownHash)
 	}
 	sw.hashSeeds[name] = seed
 	sw.configWrites++
@@ -472,7 +472,7 @@ func (sw *Switch) SetHashSeed(name string, seed uint64) error {
 func (sw *Switch) AddEntry(table string, e Entry) (EntryHandle, error) {
 	ti, ok := sw.tables[table]
 	if !ok {
-		return 0, fmt.Errorf("rmt: unknown table %q", table)
+		return 0, fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
 	}
 	sw.configWrites++
 	return ti.add(e)
@@ -482,7 +482,7 @@ func (sw *Switch) AddEntry(table string, e Entry) (EntryHandle, error) {
 func (sw *Switch) ModifyEntry(table string, h EntryHandle, action string, data []uint64) error {
 	ti, ok := sw.tables[table]
 	if !ok {
-		return fmt.Errorf("rmt: unknown table %q", table)
+		return fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
 	}
 	sw.configWrites++
 	return ti.modify(h, action, data)
@@ -492,7 +492,7 @@ func (sw *Switch) ModifyEntry(table string, h EntryHandle, action string, data [
 func (sw *Switch) DeleteEntry(table string, h EntryHandle) error {
 	ti, ok := sw.tables[table]
 	if !ok {
-		return fmt.Errorf("rmt: unknown table %q", table)
+		return fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
 	}
 	sw.configWrites++
 	return ti.del(h)
@@ -502,7 +502,7 @@ func (sw *Switch) DeleteEntry(table string, h EntryHandle) error {
 func (sw *Switch) SetDefaultAction(table string, call *p4.ActionCall) error {
 	ti, ok := sw.tables[table]
 	if !ok {
-		return fmt.Errorf("rmt: unknown table %q", table)
+		return fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
 	}
 	sw.configWrites++
 	return ti.setDefault(call)
@@ -512,7 +512,7 @@ func (sw *Switch) SetDefaultAction(table string, call *p4.ActionCall) error {
 func (sw *Switch) Entries(table string) ([]Entry, error) {
 	ti, ok := sw.tables[table]
 	if !ok {
-		return nil, fmt.Errorf("rmt: unknown table %q", table)
+		return nil, fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
 	}
 	return ti.entries(), nil
 }
@@ -521,7 +521,7 @@ func (sw *Switch) Entries(table string) ([]Entry, error) {
 func (sw *Switch) TableCounters(table string) (hits, misses uint64, err error) {
 	ti, ok := sw.tables[table]
 	if !ok {
-		return 0, 0, fmt.Errorf("rmt: unknown table %q", table)
+		return 0, 0, fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
 	}
 	return ti.Hits, ti.Misses, nil
 }
@@ -530,7 +530,7 @@ func (sw *Switch) TableCounters(table string) (hits, misses uint64, err error) {
 func (sw *Switch) RegRead(reg string, idx uint64) (uint64, error) {
 	ri, ok := sw.registers[reg]
 	if !ok {
-		return 0, fmt.Errorf("rmt: unknown register %q", reg)
+		return 0, fmt.Errorf("rmt: unknown register %q: %w", reg, ErrUnknownRegister)
 	}
 	return ri.readChecked(idx)
 }
@@ -539,7 +539,7 @@ func (sw *Switch) RegRead(reg string, idx uint64) (uint64, error) {
 func (sw *Switch) RegReadRange(reg string, lo, hi uint64) ([]uint64, error) {
 	ri, ok := sw.registers[reg]
 	if !ok {
-		return nil, fmt.Errorf("rmt: unknown register %q", reg)
+		return nil, fmt.Errorf("rmt: unknown register %q: %w", reg, ErrUnknownRegister)
 	}
 	return ri.readRange(lo, hi)
 }
@@ -548,7 +548,7 @@ func (sw *Switch) RegReadRange(reg string, lo, hi uint64) ([]uint64, error) {
 func (sw *Switch) RegWrite(reg string, idx uint64, v uint64) error {
 	ri, ok := sw.registers[reg]
 	if !ok {
-		return fmt.Errorf("rmt: unknown register %q", reg)
+		return fmt.Errorf("rmt: unknown register %q: %w", reg, ErrUnknownRegister)
 	}
 	sw.configWrites++
 	return ri.writeChecked(idx, v)

@@ -118,7 +118,7 @@ func (ti *tableInstance) encodeLookup(vals []uint64) string {
 
 func (ti *tableInstance) validate(e *Entry) error {
 	if len(e.Keys) != len(ti.def.Keys) {
-		return fmt.Errorf("table %s: entry has %d key columns, want %d", ti.def.Name, len(e.Keys), len(ti.def.Keys))
+		return fmt.Errorf("table %s: entry has %d key columns, want %d: %w", ti.def.Name, len(e.Keys), len(ti.def.Keys), ErrBadEntry)
 	}
 	allowed := false
 	for _, an := range ti.def.ActionNames {
@@ -128,11 +128,11 @@ func (ti *tableInstance) validate(e *Entry) error {
 		}
 	}
 	if !allowed {
-		return fmt.Errorf("table %s: action %q not allowed", ti.def.Name, e.Action)
+		return fmt.Errorf("table %s: action %q not allowed: %w", ti.def.Name, e.Action, ErrUnknownAction)
 	}
 	a := ti.prog.Actions[e.Action]
 	if len(e.Data) != len(a.Params) {
-		return fmt.Errorf("table %s: action %s takes %d args, got %d", ti.def.Name, e.Action, len(a.Params), len(e.Data))
+		return fmt.Errorf("table %s: action %s takes %d args, got %d: %w", ti.def.Name, e.Action, len(a.Params), len(e.Data), ErrBadEntry)
 	}
 	return nil
 }
@@ -144,12 +144,12 @@ func (ti *tableInstance) add(e Entry) (EntryHandle, error) {
 		return 0, err
 	}
 	if ti.def.Size > 0 && len(ti.byHandle) >= ti.def.Size {
-		return 0, fmt.Errorf("table %s: full (%d entries)", ti.def.Name, ti.def.Size)
+		return 0, fmt.Errorf("table %s: full (%d entries): %w", ti.def.Name, ti.def.Size, ErrTableFull)
 	}
 	if ti.allExact {
 		key := ti.encodeExact(e.Keys)
 		if _, dup := ti.exactIdx[key]; dup {
-			return 0, fmt.Errorf("table %s: duplicate exact entry", ti.def.Name)
+			return 0, fmt.Errorf("table %s: %w", ti.def.Name, ErrDuplicateEntry)
 		}
 		ti.nextHandle++
 		e.Handle = ti.nextHandle
@@ -181,7 +181,7 @@ func (ti *tableInstance) sortEntries() {
 func (ti *tableInstance) modify(h EntryHandle, action string, data []uint64) error {
 	e, ok := ti.byHandle[h]
 	if !ok {
-		return fmt.Errorf("table %s: no entry with handle %d", ti.def.Name, h)
+		return fmt.Errorf("table %s: no entry with handle %d: %w", ti.def.Name, h, ErrUnknownEntry)
 	}
 	probe := Entry{Keys: e.Keys, Action: action, Data: data}
 	if err := ti.validate(&probe); err != nil {
@@ -195,7 +195,7 @@ func (ti *tableInstance) modify(h EntryHandle, action string, data []uint64) err
 func (ti *tableInstance) del(h EntryHandle) error {
 	e, ok := ti.byHandle[h]
 	if !ok {
-		return fmt.Errorf("table %s: no entry with handle %d", ti.def.Name, h)
+		return fmt.Errorf("table %s: no entry with handle %d: %w", ti.def.Name, h, ErrUnknownEntry)
 	}
 	delete(ti.byHandle, h)
 	if ti.allExact {
@@ -215,11 +215,11 @@ func (ti *tableInstance) setDefault(call *p4.ActionCall) error {
 	if call != nil {
 		a, ok := ti.prog.Actions[call.Action]
 		if !ok {
-			return fmt.Errorf("table %s: unknown default action %q", ti.def.Name, call.Action)
+			return fmt.Errorf("table %s: unknown default action %q: %w", ti.def.Name, call.Action, ErrUnknownAction)
 		}
 		if len(call.Data) != len(a.Params) {
-			return fmt.Errorf("table %s: default action %s takes %d args, got %d",
-				ti.def.Name, call.Action, len(a.Params), len(call.Data))
+			return fmt.Errorf("table %s: default action %s takes %d args, got %d: %w",
+				ti.def.Name, call.Action, len(a.Params), len(call.Data), ErrBadEntry)
 		}
 	}
 	ti.defaultAction = call
