@@ -3,26 +3,38 @@
 // Usage:
 //
 //	experiments -run all
-//	experiments -run fig10a,fig10b,fig11,fig12,fig13,table1,fig14,fig15,fig16,ablations
+//	experiments -run fig10a,fig10b,fig11,fig12,fig12x,fig13,table1,fig14,fig15,fig16,ablations
 //	experiments -run fig14 -scale 0.1
 //	experiments -run fig16 -trials 5
+//	experiments -run fig10a,fig10b -json out/   # also write out/BENCH_<name>.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations,faults")
+	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig12x,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations,faults")
 	scale := flag.Float64("scale", 0.05, "fig14 trace scale relative to one full CAIDA block (8.9M packets)")
 	trials := flag.Int("trials", 5, "fig16 trials per parameter point")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<name>.json machine-readable results into (created if missing)")
 	flag.Parse()
+
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "json dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
@@ -31,107 +43,137 @@ func main() {
 	all := want["all"]
 	failed := false
 
-	step := func(name string, fn func() (string, error)) {
+	// Each step returns the human-readable report plus a structured
+	// value; with -json the latter lands in BENCH_<name>.json.
+	step := func(name string, fn func() (string, any, error)) {
 		if !all && !want[name] {
 			return
 		}
-		out, err := fn()
+		out, val, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			failed = true
 			return
 		}
 		fmt.Println(out)
+		if *jsonDir != "" && val != nil {
+			path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+			buf, err := json.MarshalIndent(val, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: marshal: %v\n", name, err)
+				failed = true
+				return
+			}
+			buf = append(buf, '\n')
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				failed = true
+			}
+		}
 	}
 
-	step("fig10a", func() (string, error) {
+	step("fig10a", func() (string, any, error) {
 		rows, err := experiments.RunFig10a()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFig10a(rows), nil
+		return experiments.FormatFig10a(rows), rows, nil
 	})
-	step("fig10b", func() (string, error) {
+	step("fig10b", func() (string, any, error) {
 		rows, err := experiments.RunFig10b()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFig10b(rows), nil
+		return experiments.FormatFig10b(rows), rows, nil
 	})
-	step("fig11", func() (string, error) {
+	step("fig11", func() (string, any, error) {
 		rows, err := experiments.RunFig11()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFig11(rows), nil
+		return experiments.FormatFig11(rows), rows, nil
 	})
-	step("fig12", func() (string, error) {
+	step("fig12", func() (string, any, error) {
 		res, err := experiments.RunFig12()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFig12(res), nil
+		return experiments.FormatFig12(res), res, nil
 	})
-	step("fig13", func() (string, error) {
+	step("fig12x", func() (string, any, error) {
+		clients := make([]int, 16)
+		for i := range clients {
+			clients[i] = i + 1
+		}
+		res, err := experiments.RunFig12x(clients, 10*time.Millisecond)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.FormatFig12x(res), res, nil
+	})
+	step("fig13", func() (string, any, error) {
 		a, err := experiments.RunFig13a(32)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
 		b, err := experiments.RunFig13b(4)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFig13(a, b), nil
+		return experiments.FormatFig13(a, b), map[string]any{"a": a, "b": b}, nil
 	})
-	step("table1", experiments.RunTable1)
-	step("fig14", func() (string, error) {
+	step("table1", func() (string, any, error) {
+		out, err := experiments.RunTable1()
+		return out, out, err
+	})
+	step("fig14", func() (string, any, error) {
 		res, err := experiments.RunFig14(*scale, *seed)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFig14(res), nil
+		return experiments.FormatFig14(res), res, nil
 	})
-	step("fig15", func() (string, error) {
+	step("fig15", func() (string, any, error) {
 		res, err := experiments.RunFig15(*seed)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFig15(res), nil
+		return experiments.FormatFig15(res), res, nil
 	})
-	step("fig16", func() (string, error) {
+	step("fig16", func() (string, any, error) {
 		res, err := experiments.RunFig16(*trials)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFig16(res), nil
+		return experiments.FormatFig16(res), res, nil
 	})
-	step("recirc", func() (string, error) {
+	step("recirc", func() (string, any, error) {
 		rows, err := experiments.RunRecirculation()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatRecirculation(rows), nil
+		return experiments.FormatRecirculation(rows), rows, nil
 	})
-	step("freshness", func() (string, error) {
+	step("freshness", func() (string, any, error) {
 		res, err := experiments.RunFreshness()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFreshness(res), nil
+		return experiments.FormatFreshness(res), res, nil
 	})
-	step("ablations", func() (string, error) {
+	step("ablations", func() (string, any, error) {
 		res, err := experiments.RunAblations()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatAblations(res), nil
+		return experiments.FormatAblations(res), res, nil
 	})
-	step("faults", func() (string, error) {
+	step("faults", func() (string, any, error) {
 		rows, err := experiments.RunFaultSweep(*seed)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatFaultSweep(rows), nil
+		return experiments.FormatFaultSweep(rows), rows, nil
 	})
 
 	if failed {

@@ -5,19 +5,22 @@
 //
 // Usage:
 //
-//	mantisd [-duration 10ms] [-pacing 0] [-pps 100000] [-faults transient] program.p4r
+//	mantisd [-duration 10ms] [-pacing 0] [-pps 100000] [-faults transient] [-legacy-clients 4] program.p4r
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/ctlplane"
 	"repro/internal/driver"
 	"repro/internal/faults"
+	"repro/internal/p4"
 	"repro/internal/rmt"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -43,6 +46,51 @@ func faultProfile(name string) (faults.Profile, bool) {
 	}
 }
 
+// legacyChurnTarget picks a table for legacy bulk clients to churn: the
+// first (alphabetically) non-malleable table that is not part of the
+// compiler-generated init/loader machinery. Falls back to register
+// reads when the program has no such table.
+func legacyChurnTarget(plan *compiler.Plan) (table, action string, nKeys, nParams int, ok bool) {
+	reserved := map[string]bool{}
+	for _, it := range plan.InitTables {
+		reserved[it.Table] = true
+	}
+	for _, se := range plan.StaticEntries {
+		reserved[se.Table] = true
+	}
+	var names []string
+	for name, tbl := range plan.Prog.Tables {
+		if !tbl.Malleable && !reserved[name] && len(tbl.ActionNames) > 0 && len(tbl.Keys) > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", "", 0, 0, false
+	}
+	sort.Strings(names)
+	tbl := plan.Prog.Tables[names[0]]
+	act := plan.Prog.Actions[tbl.ActionNames[0]]
+	return tbl.Name, act.Name, len(tbl.Keys), len(act.Params), true
+}
+
+// legacyReadTarget picks a register for read-only churn fallback.
+func legacyReadTarget(prog *p4.Program) (reg string, n uint64, ok bool) {
+	var names []string
+	for name := range prog.Registers {
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return "", 0, false
+	}
+	sort.Strings(names)
+	r := prog.Registers[names[0]]
+	n = uint64(r.Instances)
+	if n > 16 {
+		n = 16
+	}
+	return names[0], n, true
+}
+
 func main() {
 	duration := flag.Duration("duration", 10*time.Millisecond, "virtual run time")
 	pacing := flag.Duration("pacing", 0, "dialogue pacing (0 = busy loop)")
@@ -50,6 +98,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	faultsFlag := flag.String("faults", "", "inject driver-channel faults: none|transient|latency|partial|stuck (enables agent recovery)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (independent of -seed)")
+	legacyClients := flag.Int("legacy-clients", 0, "concurrent legacy control-plane clients churning a table through bulk sessions")
+	sched := flag.String("sched", "priority", "control-plane scheduling policy: priority|fifo")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -85,8 +135,81 @@ func main() {
 		inj.SetEnabled(false)
 		s.Schedule(50*sim.Microsecond, func() { inj.SetEnabled(true) })
 	}
-	agent := core.NewAgent(s, ch, plan, opts)
+	var policy ctlplane.Policy
+	switch *sched {
+	case "priority":
+		policy = ctlplane.PolicyPriority
+	case "fifo":
+		policy = ctlplane.PolicyFIFO
+	default:
+		fmt.Fprintf(os.Stderr, "mantisd: unknown scheduling policy %q (want priority|fifo)\n", *sched)
+		os.Exit(2)
+	}
+	// The control-plane service sits above the (possibly fault-injected)
+	// channel: the agent holds the primary session, legacy clients get
+	// bulk sessions, and dialogue ops are scheduled ahead of bulk churn.
+	svc := ctlplane.New(s, ch, ctlplane.Options{Policy: policy})
+	agent, _, err := core.NewSessionAgent(s, svc, 1, plan, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+		os.Exit(1)
+	}
 	agent.Start()
+
+	// Legacy clients churn a non-Mantis table (or fall back to register
+	// reads) through their own bulk sessions, best-effort under faults.
+	legacyErrs := 0
+	if *legacyClients > 0 {
+		table, action, nKeys, nParams, haveTable := legacyChurnTarget(plan)
+		reg, regN, haveReg := legacyReadTarget(plan.Prog)
+		if !haveTable && !haveReg {
+			fmt.Fprintln(os.Stderr, "mantisd: -legacy-clients: program has no non-Mantis table or register to churn")
+			os.Exit(2)
+		}
+		for c := 0; c < *legacyClients; c++ {
+			c := c
+			sess, err := svc.Open(ctlplane.SessionOptions{
+				Name: fmt.Sprintf("legacy%d", c), Role: ctlplane.RoleLegacy,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+				os.Exit(1)
+			}
+			s.Spawn(sess.Name(), func(p *sim.Proc) {
+				rng := s.Rand()
+				var h rmt.EntryHandle
+				if haveTable {
+					keys := make([]rmt.KeySpec, nKeys)
+					for i := range keys {
+						keys[i] = rmt.ExactKey(uint64(c + 1))
+					}
+					var err error
+					if h, err = sess.AddEntry(p, table, rmt.Entry{
+						Keys: keys, Action: action, Data: make([]uint64, nParams),
+					}); err != nil {
+						legacyErrs++
+						return
+					}
+				}
+				for i := 0; ; i++ {
+					p.Sleep(time.Duration(rng.Intn(5000)) * time.Nanosecond)
+					var err error
+					if haveTable {
+						data := make([]uint64, nParams)
+						for j := range data {
+							data[j] = uint64(i)
+						}
+						err = sess.ModifyEntry(p, table, h, action, data)
+					} else {
+						_, err = sess.BatchRead(p, []driver.ReadReq{{Reg: reg, Lo: 0, Hi: regN}})
+					}
+					if err != nil {
+						legacyErrs++
+					}
+				}
+			})
+		}
+	}
 
 	// Synthetic traffic: random field values at the requested rate.
 	if *pps > 0 {
@@ -124,6 +247,21 @@ func main() {
 		sst.RxPackets, sst.TxPackets, sst.IngressDrops, sst.QueueDrops)
 	fmt.Printf("driver:            %d table ops (%d memoized), %d reads (%d bytes)\n",
 		dst.TableOps, dst.MemoizedOps, dst.RegReads, dst.RegReadBytes)
+	cst := svc.Stats()
+	fmt.Printf("ctlplane:          policy %s, %d sessions, %d dialogue ops, %d bulk ops, %d reads coalesced, %d writes coalesced, %d rejections, %d demotions\n",
+		policy, len(svc.Sessions()), cst.DialogueOps, cst.BulkOps, cst.ReadsCoalesced, cst.WritesCoalesced, cst.Rejections, cst.Demotions)
+	for _, sess := range svc.Sessions() {
+		sst := sess.SessionStats()
+		meanWait := time.Duration(0)
+		if sst.Completed > 0 {
+			meanWait = sst.TotalWait / time.Duration(sst.Completed)
+		}
+		fmt.Printf("  session %-14s %s/%s: %d completed, %d failed, %d rejected, max queue %d, mean wait %v, max wait %v\n",
+			sess.Name(), sess.Role(), sess.Class(), sst.Completed, sst.Failed, sst.Rejected, sst.MaxQueueDepth, meanWait, sst.MaxWait)
+	}
+	if legacyErrs > 0 {
+		fmt.Printf("legacy clients:    %d operations failed (best-effort churn under faults)\n", legacyErrs)
+	}
 	if inj != nil {
 		fst := inj.FaultStats()
 		fmt.Printf("faults (%s):   %d ops, %d errors, %d spikes, %d partial batches, %d stuck waits (%v wedged)\n",

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/ctlplane"
+	"repro/internal/sim"
+)
+
+// NewSessionAgent opens a primary-writer session on a control-plane
+// service and builds an agent that speaks to the switch through it.
+// This is the production wiring: the agent's dialogue ops are scheduled
+// in the dialogue class ahead of legacy bulk traffic, and a competing
+// controller can only take over by opening a primary session with a
+// higher election id (at which point this agent's writes start failing
+// with ctlplane.ErrNotPrimary and it stops, by design).
+//
+// NewAgent remains available for wiring an agent directly to a raw
+// driver.Channel — single-tenant tests and the original microbenchmark
+// rigs use it unchanged.
+func NewSessionAgent(s *sim.Simulator, svc *ctlplane.Service, electionID uint64, plan *compiler.Plan, opts Options) (*Agent, *ctlplane.Session, error) {
+	sess, err := svc.Open(ctlplane.SessionOptions{
+		Name:       "mantis-agent",
+		Role:       ctlplane.RolePrimary,
+		ElectionID: electionID,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewAgent(s, sess, plan, opts), sess, nil
+}

@@ -1,0 +1,39 @@
+package ctlplane
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/driver"
+)
+
+// Sentinel errors of the control-plane service. All of them surface
+// through the driver.Channel methods of a Session, so clients written
+// against a raw driver classify them with the same errors.Is calls they
+// already use.
+var (
+	// ErrQueueFull is the backpressure rejection: the session's bounded
+	// request queue is at its limit and the submission was refused
+	// outright — never silently dropped. It wraps driver.ErrTransient
+	// because backpressure is by nature retryable: the operation was not
+	// applied, and reissuing it after a backoff (exactly what the
+	// agent's recovery layer does) is the correct client response.
+	ErrQueueFull = fmt.Errorf("ctlplane: session queue full: %w", driver.ErrTransient)
+
+	// ErrReadOnly rejects a write submitted on an observer session.
+	ErrReadOnly = errors.New("ctlplane: read-only session")
+
+	// ErrNotPrimary rejects a write from a primary session that lost the
+	// election to a newer primary with a higher election id. Unlike
+	// queue-full this is NOT transient: the demoted client must stop
+	// writing (or re-open with a higher election id), not retry.
+	ErrNotPrimary = errors.New("ctlplane: session lost primacy")
+
+	// ErrPrimacyHeld rejects opening a primary session while another
+	// primary holds an equal or higher election id.
+	ErrPrimacyHeld = errors.New("ctlplane: primary with an equal or higher election id exists")
+
+	// ErrClosed rejects operations on a closed session; requests still
+	// queued when Close is called complete with this error too.
+	ErrClosed = errors.New("ctlplane: session closed")
+)

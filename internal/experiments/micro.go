@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/ctlplane"
 	"repro/internal/driver"
 	"repro/internal/p4"
 	"repro/internal/rmt"
@@ -274,7 +275,10 @@ type Fig12Result struct {
 
 // RunFig12 measures the latency of a continuous stream of legacy table
 // updates issued from a second control-plane process, with and without
-// Mantis's dialogue loop contending for the driver.
+// Mantis's dialogue loop contending for the driver. Both parties go
+// through the control-plane service — the agent on a primary session,
+// the legacy updater on a bulk session — which is the production wiring
+// (RunFig12x sweeps the same setup across client counts and policies).
 func RunFig12() (*Fig12Result, error) {
 	run := func(withMantis bool) ([]time.Duration, error) {
 		plan, err := compiler.CompileSource(fig11Src, compiler.DefaultOptions())
@@ -287,13 +291,21 @@ func RunFig12() (*Fig12Result, error) {
 			return nil, err
 		}
 		drv := driver.New(s, sw, driver.DefaultCostModel())
+		svc := ctlplane.New(s, drv, ctlplane.Options{})
 		if withMantis {
-			agent := core.NewAgent(s, drv, plan, core.Options{})
+			agent, _, err := core.NewSessionAgent(s, svc, 1, plan, core.Options{})
+			if err != nil {
+				return nil, err
+			}
 			agent.Start()
+		}
+		sess, err := svc.Open(ctlplane.SessionOptions{Name: "legacy-cp", Role: ctlplane.RoleLegacy})
+		if err != nil {
+			return nil, err
 		}
 		var lats []time.Duration
 		s.Spawn("legacy-cp", func(p *sim.Proc) {
-			h, err := drv.AddEntry(p, "legacy", rmt.Entry{
+			h, err := sess.AddEntry(p, "legacy", rmt.Entry{
 				Keys: []rmt.KeySpec{rmt.ExactKey(1)}, Action: "legacy_act", Data: []uint64{1},
 			})
 			if err != nil {
@@ -306,7 +318,7 @@ func RunFig12() (*Fig12Result, error) {
 				// blocked/unblocked split of Fig. 12.
 				p.Sleep(time.Duration(rng.Intn(5000)) * time.Nanosecond)
 				t0 := p.Now()
-				if err := drv.ModifyEntry(p, "legacy", h, "legacy_act", []uint64{uint64(i)}); err != nil {
+				if err := sess.ModifyEntry(p, "legacy", h, "legacy_act", []uint64{uint64(i)}); err != nil {
 					panic(err)
 				}
 				lats = append(lats, p.Now().Sub(t0))

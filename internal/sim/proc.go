@@ -96,3 +96,29 @@ func (p *Proc) WaitUntil(t Time) {
 
 // Yield gives other same-time events a chance to run before continuing.
 func (p *Proc) Yield() { p.Sleep(0) }
+
+// Park suspends the process indefinitely, until some other component —
+// an event or another process — calls Unpark. Unlike Sleep, no wakeup
+// is scheduled: a parked process consumes no events and the simulation
+// may drain and finish around it (its goroutine is reclaimed at process
+// exit only if it is eventually unparked).
+//
+// Park/Unpark is the blocking primitive service-style components are
+// built from: a dispatcher parks while its queues are empty, and a
+// requester parks while its request is in flight. The pairing
+// discipline is the caller's responsibility: every Park must be matched
+// by exactly one Unpark, and Unpark must never be called for a process
+// that is not parked — trackers like an "idle" flag or a per-request
+// waiter pointer make this trivial to maintain.
+func (p *Proc) Park() {
+	if p.done {
+		panic(fmt.Sprintf("sim: Park on finished proc %q", p.name))
+	}
+	p.block()
+}
+
+// Unpark schedules a parked process to resume at the current virtual
+// time (after already-queued same-time events). It must be called from
+// simulator context: inside an event callback or from another running
+// process.
+func (p *Proc) Unpark() { p.sim.Schedule(0, p.handoff) }

@@ -119,6 +119,54 @@ func TestProcSchedulingFromProc(t *testing.T) {
 	}
 }
 
+func TestProcParkUnpark(t *testing.T) {
+	s := New(1)
+	var order []string
+	parked := false
+	var worker *Proc
+	worker = s.Spawn("worker", func(p *Proc) {
+		order = append(order, "work@"+p.Now().String())
+		parked = true
+		p.Park()
+		parked = false
+		order = append(order, "woken@"+p.Now().String())
+	})
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(100 * Nanosecond)
+		if !parked {
+			t.Error("worker not parked at wake time")
+		}
+		worker.Unpark()
+		order = append(order, "unpark@"+p.Now().String())
+	})
+	s.Run()
+	want := []string{"work@0s", "unpark@100ns", "woken@100ns"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcParkedProcDoesNotBlockDrain(t *testing.T) {
+	// A parked process holds no pending events, so the simulation can
+	// drain and finish around it.
+	s := New(1)
+	reached := false
+	s.Spawn("parked", func(p *Proc) {
+		p.Park()
+		t.Error("parked proc resumed without Unpark")
+	})
+	s.Schedule(50*Nanosecond, func() { reached = true })
+	s.Run()
+	if !reached || s.Pending() != 0 {
+		t.Fatalf("reached=%v pending=%d", reached, s.Pending())
+	}
+}
+
 func TestProcRunUntilPartial(t *testing.T) {
 	s := New(1)
 	steps := 0
