@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig12x,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations,faults")
+	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig12x,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations,faults,fig-takeover")
 	scale := flag.Float64("scale", 0.05, "fig14 trace scale relative to one full CAIDA block (8.9M packets)")
 	trials := flag.Int("trials", 5, "fig16 trials per parameter point")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -44,8 +44,9 @@ func main() {
 	failed := false
 
 	// Each step returns the human-readable report plus a structured
-	// value; with -json the latter lands in BENCH_<name>.json.
-	step := func(name string, fn func() (string, any, error)) {
+	// value; with -json the latter lands in BENCH_<jsonName>.json
+	// (jsonName defaults to the step name).
+	stepNamed := func(name, jsonName string, fn func() (string, any, error)) {
 		if !all && !want[name] {
 			return
 		}
@@ -57,7 +58,7 @@ func main() {
 		}
 		fmt.Println(out)
 		if *jsonDir != "" && val != nil {
-			path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+			path := filepath.Join(*jsonDir, "BENCH_"+jsonName+".json")
 			buf, err := json.MarshalIndent(val, "", "  ")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: marshal: %v\n", name, err)
@@ -71,6 +72,7 @@ func main() {
 			}
 		}
 	}
+	step := func(name string, fn func() (string, any, error)) { stepNamed(name, name, fn) }
 
 	step("fig10a", func() (string, any, error) {
 		rows, err := experiments.RunFig10a()
@@ -174,6 +176,13 @@ func main() {
 			return "", nil, err
 		}
 		return experiments.FormatFaultSweep(rows), rows, nil
+	})
+	stepNamed("fig-takeover", "takeover", func() (string, any, error) {
+		res, err := experiments.RunTakeover(*seed)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.FormatTakeover(res), res, nil
 	})
 
 	if failed {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ctlplane"
 	"repro/internal/driver"
 	"repro/internal/faults"
+	"repro/internal/journal"
 	"repro/internal/p4"
 	"repro/internal/rmt"
 	"repro/internal/sim"
@@ -39,8 +40,14 @@ func faultProfile(name string) (faults.Profile, bool) {
 		return faults.PartialBatches(), true
 	case "stuck":
 		return faults.StuckChannel(), true
+	case "crash-prepare":
+		return faults.CrashMidPrepare(), true
+	case "crash-commit":
+		return faults.CrashAtCommit(), true
+	case "crash-mirror":
+		return faults.CrashMidMirror(), true
 	default:
-		fmt.Fprintf(os.Stderr, "mantisd: unknown fault profile %q (want none|transient|latency|partial|stuck)\n", name)
+		fmt.Fprintf(os.Stderr, "mantisd: unknown fault profile %q (want none|transient|latency|partial|stuck|crash-prepare|crash-commit|crash-mirror)\n", name)
 		os.Exit(2)
 		panic("unreachable")
 	}
@@ -96,7 +103,7 @@ func main() {
 	pacing := flag.Duration("pacing", 0, "dialogue pacing (0 = busy loop)")
 	pps := flag.Float64("pps", 100000, "synthetic traffic rate (packets/second)")
 	seed := flag.Int64("seed", 1, "random seed")
-	faultsFlag := flag.String("faults", "", "inject driver-channel faults: none|transient|latency|partial|stuck (enables agent recovery)")
+	faultsFlag := flag.String("faults", "", "inject driver-channel faults: none|transient|latency|partial|stuck (enables agent recovery), or crash the primary with crash-prepare|crash-commit|crash-mirror (enables journaled failover to a standby)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (independent of -seed)")
 	legacyClients := flag.Int("legacy-clients", 0, "concurrent legacy control-plane clients churning a table through bulk sessions")
 	sched := flag.String("sched", "priority", "control-plane scheduling policy: priority|fifo")
@@ -124,10 +131,14 @@ func main() {
 		os.Exit(1)
 	}
 	drv := driver.New(s, sw, driver.DefaultCostModel())
-	var ch driver.Channel = drv
+	ch := driver.Channel(drv)
 	var inj *faults.Injector
 	opts := core.Options{Pacing: *pacing}
-	if prof, active := faultProfile(*faultsFlag); active {
+	prof, faultsActive := faultProfile(*faultsFlag)
+	crash := faultsActive && prof.CrashEnabled()
+	if faultsActive && !crash {
+		// In-process fault classes wrap the shared channel below the
+		// control-plane service; the agent's recovery loop survives them.
 		inj = faults.Wrap(s, drv, prof, *faultSeed)
 		ch = inj
 		opts.Recovery = core.DefaultRecovery()
@@ -149,10 +160,43 @@ func main() {
 	// channel: the agent holds the primary session, legacy clients get
 	// bulk sessions, and dialogue ops are scheduled ahead of bulk churn.
 	svc := ctlplane.New(s, ch, ctlplane.Options{Policy: policy})
-	agent, _, err := core.NewSessionAgent(s, svc, 1, plan, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
-		os.Exit(1)
+	var agent *core.Agent
+	var sb *core.Standby
+	if crash {
+		// A crash profile kills the agent process outright, so the wiring
+		// is the failover stack: the injector wraps the primary's own
+		// session (the shared dispatcher must survive the crash), the
+		// agent write-ahead journals every iteration, and a hot standby
+		// watches the journal heartbeat, ready to elect itself primary
+		// and reconcile the switch.
+		sess, err := svc.Open(ctlplane.SessionOptions{
+			Name: "mantis-agent", Role: ctlplane.RolePrimary, ElectionID: 1,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+			os.Exit(1)
+		}
+		inj = faults.Wrap(s, sess, prof, *faultSeed)
+		store := journal.NewMemStore()
+		opts.Recovery = core.DefaultRecovery()
+		opts.Journal = &core.JournalConfig{Store: store}
+		agent = core.NewAgent(s, inj, plan, opts)
+		inj.SetEnabled(false)
+		s.Schedule(50*sim.Microsecond, func() { inj.SetEnabled(true) })
+		sb = core.NewStandby(s, svc, core.StandbyOptions{
+			Name:       "standby",
+			ElectionID: 2,
+			Store:      store,
+			Plan:       plan,
+			Agent:      core.Options{Pacing: *pacing, Recovery: core.DefaultRecovery()},
+		})
+	} else {
+		var err error
+		agent, _, err = core.NewSessionAgent(s, svc, 1, plan, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	agent.Start()
 
@@ -230,6 +274,12 @@ func main() {
 
 	s.RunFor(*duration)
 	agent.Stop()
+	if sb != nil {
+		sb.Stop()
+		if succ := sb.Agent(); succ != nil {
+			succ.Stop()
+		}
+	}
 	s.RunFor(time.Millisecond)
 	if err := agent.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "mantisd: agent: %v\n", err)
@@ -268,6 +318,30 @@ func main() {
 			inj.Profile().Name, fst.Ops, fst.InjectedErrors, fst.InjectedSpikes, fst.PartialBatches, fst.StuckWaits, fst.StuckTime)
 		fmt.Printf("recovery:          %d retries, %d rollbacks, %d watchdog trips, %d abandoned, %d degraded, %d repair ops\n",
 			ast.Retries, ast.Rollbacks, ast.WatchdogTrips, ast.Abandoned, ast.Degraded, ast.RepairOps)
+	}
+	if sb != nil {
+		if err := sb.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "mantisd: standby: %v\n", err)
+			os.Exit(1)
+		}
+		if !sb.TookOver() {
+			fmt.Printf("takeover:          none (crash never fired within -duration, or primary still healthy)\n")
+		} else {
+			rep := sb.Report()
+			succ := sb.Agent()
+			if err := succ.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "mantisd: successor: %v\n", err)
+				os.Exit(1)
+			}
+			crashAt := inj.CrashedAt()
+			sst := succ.Stats()
+			fmt.Printf("takeover:          outcome %s, %d repair writes over %d audited entries\n",
+				rep.Recover.Outcome, rep.Recover.RepairWrites, rep.Recover.AuditedEntries)
+			fmt.Printf("  MTTR:            %v (detect %v, audit %v, reconcile %v, resume %v)\n",
+				rep.ResumedAt.Sub(crashAt), rep.DetectedAt.Sub(crashAt),
+				rep.Recover.AuditTime, rep.Recover.ReconcileTime, rep.ResumedAt.Sub(rep.RecoveredAt))
+			fmt.Printf("  successor:       %d iterations, %d commits after takeover\n", sst.Iterations-rep.Recover.Iteration, sst.Commits)
+		}
 	}
 	for _, rxn := range plan.Reactions {
 		fmt.Printf("reaction:          %s\n", rxn.Name)

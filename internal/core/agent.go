@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/driver"
+	"repro/internal/journal"
 	"repro/internal/p4"
 	"repro/internal/rcl"
 	"repro/internal/rmt"
@@ -63,6 +64,11 @@ type Options struct {
 	// zero value keeps the historical fail-fast behavior: any driver
 	// error stops the agent.
 	Recovery RecoveryOptions
+	// Journal, if set, makes the loop crash-consistent: a write-ahead
+	// intent record precedes every three-phase update and a checkpoint
+	// of the committed configuration follows it, so a standby can take
+	// over via core.Recover after this agent dies mid-update.
+	Journal *JournalConfig
 }
 
 // Stats aggregates dialogue-loop metrics.
@@ -167,6 +173,13 @@ type Agent struct {
 	iterRetries    int
 	iterDegraded   bool
 	pendingRepairs []chanOp
+
+	// Journal state (see journal.go). stagedOps accumulates the
+	// iteration's user-level table ops in global staging order for the
+	// CommitStaged intent; recovered marks an agent reconstructed by
+	// Recover, whose prologue must not re-install switch state.
+	stagedOps []journal.TableOp
+	recovered bool
 }
 
 // NewAgent creates an agent for a compiled plan over a driver channel
@@ -358,8 +371,13 @@ func (a *Agent) run(p *sim.Proc) {
 			switch {
 			case errors.Is(err, ErrStopped):
 				// Stop honored mid-iteration: discard the partial
-				// iteration's staged changes and exit cleanly.
+				// iteration's staged changes and exit cleanly. The intent
+				// truncation is best-effort — if it fails, the leftover
+				// intent merely makes a successor re-verify a clean state.
 				a.rollbackIteration(p)
+				if a.journaling() {
+					_ = a.journalAbandon(p)
+				}
 				return
 			case a.recoverable(err):
 				// Abandon the iteration: undo its staged shadow updates,
@@ -369,6 +387,10 @@ func (a *Agent) run(p *sim.Proc) {
 				}
 				a.stats.Abandoned++
 				a.rollbackIteration(p)
+				if jerr := a.journalAbandon(p); jerr != nil {
+					a.setErr(jerr)
+					return
+				}
 			default:
 				a.setErr(fmt.Errorf("dialogue iteration %d: %w", a.stats.Iterations, err))
 				return
@@ -398,52 +420,59 @@ func (a *Agent) run(p *sim.Proc) {
 // ---- Prologue ----
 
 func (a *Agent) prologue(p *sim.Proc) error {
-	// Seed malleable cache and init data from the plan.
-	a.initData = make([][]uint64, len(a.plan.InitTables))
-	for t, it := range a.plan.InitTables {
-		data := make([]uint64, len(it.Params))
-		for i, ip := range it.Params {
-			data[i] = ip.Init
-			switch ip.Kind {
-			case compiler.InitValue, compiler.InitField:
-				a.mblCache[ip.Mbl] = ip.Init
+	// A recovered agent's configuration (version bits, init data,
+	// malleable cache, table entries, handles) was reconstructed by
+	// Recover from journal + switch audit; re-installing it here would
+	// clobber live state. Only the in-process setup below (reaction
+	// compilation, register cache wiring) still runs.
+	if !a.recovered {
+		// Seed malleable cache and init data from the plan.
+		a.initData = make([][]uint64, len(a.plan.InitTables))
+		for t, it := range a.plan.InitTables {
+			data := make([]uint64, len(it.Params))
+			for i, ip := range it.Params {
+				data[i] = ip.Init
+				switch ip.Kind {
+				case compiler.InitValue, compiler.InitField:
+					a.mblCache[ip.Mbl] = ip.Init
+				}
 			}
+			a.initData[t] = data
 		}
-		a.initData[t] = data
-	}
 
-	// Master init table: configure via default action.
-	if len(a.plan.InitTables) > 0 {
-		master := a.plan.InitTables[0]
-		if err := a.drvSetDefaultAction(p, master.Table, &p4.ActionCall{
-			Action: master.Action, Data: append([]uint64(nil), a.initData[0]...),
-		}); err != nil {
-			return err
-		}
-		a.drv.Memoize(master.Table, 0)
-	}
-	// Non-master init tables: one entry per version.
-	for t := 1; t < len(a.plan.InitTables); t++ {
-		it := a.plan.InitTables[t]
-		var handles [2]rmt.EntryHandle
-		for v := uint64(0); v < 2; v++ {
-			h, err := a.drvAddEntry(p, it.Table, rmt.Entry{
-				Keys: []rmt.KeySpec{rmt.ExactKey(v)}, Action: it.Action,
-				Data: append([]uint64(nil), a.initData[t]...),
-			})
-			if err != nil {
+		// Master init table: configure via default action.
+		if len(a.plan.InitTables) > 0 {
+			master := a.plan.InitTables[0]
+			if err := a.drvSetDefaultAction(p, master.Table, &p4.ActionCall{
+				Action: master.Action, Data: append([]uint64(nil), a.initData[0]...),
+			}); err != nil {
 				return err
 			}
-			handles[v] = h
-			a.drv.Memoize(it.Table, h)
+			a.drv.Memoize(master.Table, 0)
 		}
-		a.initHandles[t] = handles
-	}
+		// Non-master init tables: one entry per version.
+		for t := 1; t < len(a.plan.InitTables); t++ {
+			it := a.plan.InitTables[t]
+			var handles [2]rmt.EntryHandle
+			for v := uint64(0); v < 2; v++ {
+				h, err := a.drvAddEntry(p, it.Table, rmt.Entry{
+					Keys: []rmt.KeySpec{rmt.ExactKey(v)}, Action: it.Action,
+					Data: append([]uint64(nil), a.initData[t]...),
+				})
+				if err != nil {
+					return err
+				}
+				handles[v] = h
+				a.drv.Memoize(it.Table, h)
+			}
+			a.initHandles[t] = handles
+		}
 
-	// Static entries (carrier loaders).
-	for _, se := range a.plan.StaticEntries {
-		if _, err := a.drvAddEntry(p, se.Table, se.Entry); err != nil {
-			return err
+		// Static entries (carrier loaders).
+		for _, se := range a.plan.StaticEntries {
+			if _, err := a.drvAddEntry(p, se.Table, se.Entry); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -468,12 +497,15 @@ func (a *Agent) prologue(p *sim.Proc) error {
 		}
 	}
 
-	if a.opts.Prologue != nil {
+	if a.opts.Prologue != nil && !a.recovered {
 		if err := a.opts.Prologue(p, a); err != nil {
 			return err
 		}
 	}
-	return nil
+	// The initial configuration is now live: journal it as the recovery
+	// baseline. (A crash before this first checkpoint is a boot failure —
+	// redeploy, don't fail over.)
+	return a.journalCheckpoint(p)
 }
 
 // ---- Dialogue ----
@@ -525,6 +557,14 @@ func (a *Agent) iteration(p *sim.Proc) error {
 	// happen over an unconverged shadow. On failure the debt stays
 	// queued and the iteration is abandoned with nothing staged.
 	if err := a.drainRepairs(p); err != nil {
+		return err
+	}
+
+	// Write-ahead: log that an iteration is in flight before the first
+	// driver write. A successor finding this intent (and no later
+	// CommitStaged upgrade) knows at most reaction prepares landed — all
+	// shadow-side, all safe to roll back.
+	if err := a.journalBegin(p); err != nil {
 		return err
 	}
 
@@ -580,6 +620,10 @@ func (a *Agent) iteration(p *sim.Proc) error {
 	for _, tm := range a.tables {
 		tm.undo = nil
 	}
+	// Checkpoint the committed configuration and retire the intent.
+	if err := a.journalIterationEnd(p); err != nil {
+		return err
+	}
 	a.iterDeadline = 0
 	lat := p.Now().Sub(start)
 	a.stats.LastIteration = lat
@@ -602,9 +646,10 @@ func (a *Agent) iteration(p *sim.Proc) error {
 func (a *Agent) commit(p *sim.Proc) error {
 	newVV := a.vv ^ 1
 
-	// Prepare: stage non-master init-table changes in their shadow
-	// (vv^1) entries. (Malleable-table entry prepares already happened
-	// inside the reaction's table calls.)
+	// Compute the complete post-commit image first — the non-master
+	// shadow data and the master action data — so the CommitStaged
+	// intent can describe every write this commit will issue before any
+	// of them reaches the switch.
 	var nmChanges []nonMasterChange
 	for t := 1; t < len(a.plan.InitTables); t++ {
 		it := a.plan.InitTables[t]
@@ -619,22 +664,44 @@ func (a *Agent) commit(p *sim.Proc) error {
 				changed = true
 			}
 		}
-		if !changed {
-			continue
+		if changed {
+			nmChanges = append(nmChanges, nonMasterChange{t, data})
 		}
-		if err := a.drvModifyEntry(p, it.Table, a.initHandles[t][newVV], it.Action, data); err != nil {
-			a.undoNonMaster(p, nmChanges, newVV)
+	}
+	newMaster := a.masterData(newVV, a.mv, true)
+
+	if a.journaling() {
+		targetInit := make([][]uint64, len(a.initData))
+		for i := range a.initData {
+			targetInit[i] = append([]uint64(nil), a.initData[i]...)
+		}
+		for _, ch := range nmChanges {
+			targetInit[ch.t] = append([]uint64(nil), ch.data...)
+		}
+		targetInit[0] = append([]uint64(nil), newMaster...)
+		if err := a.journalCommitStaged(p, targetInit); err != nil {
 			return err
 		}
-		nmChanges = append(nmChanges, nonMasterChange{t, data})
+	}
+
+	// Prepare: stage non-master init-table changes in their shadow
+	// (vv^1) entries. (Malleable-table entry prepares already happened
+	// inside the reaction's table calls.)
+	var prepared []nonMasterChange
+	for _, ch := range nmChanges {
+		it := a.plan.InitTables[ch.t]
+		if err := a.drvModifyEntry(p, it.Table, a.initHandles[ch.t][newVV], it.Action, ch.data); err != nil {
+			a.undoNonMaster(p, prepared, newVV)
+			return err
+		}
+		prepared = append(prepared, ch)
 	}
 
 	// Commit: one atomic master update flips vv and applies all pending
 	// master-resident malleable changes together (§5.1.1); the master is
 	// always updated last (§5.1.2).
-	newMaster := a.masterData(newVV, a.mv, true)
 	if err := a.updateMaster(p, newMaster); err != nil {
-		a.undoNonMaster(p, nmChanges, newVV)
+		a.undoNonMaster(p, prepared, newVV)
 		return err
 	}
 	a.initData[0] = newMaster

@@ -94,6 +94,16 @@ func TestChaosSerializability(t *testing.T) {
 	for _, prof := range faults.Profiles() {
 		prof := prof
 		t.Run(prof.Name, func(t *testing.T) {
+			if prof.CrashEnabled() {
+				// A crash halts the agent process for good; the in-process
+				// recovery loop cannot survive it. These profiles run in the
+				// failover rig, where a standby takes over and the same
+				// serializability invariant is asserted across the takeover.
+				r := buildFailoverRig(t, prof, 1234)
+				runFailoverScenario(t, r)
+				checkFailover(t, r)
+				return
+			}
 			r, inj, violations, packets, gen := chaosScenario(t, prof, 1234, DefaultRecovery(), 4*time.Millisecond)
 			if err := r.agent.Err(); err != nil {
 				t.Fatalf("agent died under %s faults: %v", prof.Name, err)

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// This file wires the agent's dialogue loop to the durable intent
+// journal (internal/journal). The write points:
+//
+//   - prologue end: checkpoint + heartbeat (the recovery baseline);
+//   - iteration start (after repair debt drains): intent in PhaseBegun;
+//   - commit start (before the prepare phase touches the switch):
+//     intent upgraded to PhaseCommitStaged with the staged user-level
+//     ops and the exact init data the flip will install;
+//   - iteration end: fresh checkpoint, THEN intent truncation, then
+//     heartbeat. The order matters: if the process dies between the
+//     two writes, the leftover intent is idempotent against the new
+//     checkpoint (ops record post-state, so re-applying them is a
+//     no-op), whereas truncating first could leave a committed
+//     iteration looking "clean" against a stale checkpoint and make
+//     recovery rewrite the packet-visible copy;
+//   - iteration abandon: rollback first, then intent truncation — if
+//     the process dies mid-rollback the intent still classifies the
+//     state as torn and recovery finishes the job.
+//
+// Journal failures are fatal to the agent: mutating the switch without
+// a durable intent would silently void the crash-consistency guarantee.
+
+// JournalConfig enables crash-consistent write-ahead journaling of the
+// dialogue loop.
+type JournalConfig struct {
+	// Store is the durability backend (journal.MemStore models a
+	// battery-backed journal region a standby can read; journal.FileStore
+	// persists across real process restarts).
+	Store journal.Store
+	// WriteLatency models the durability cost of one checkpoint or
+	// intent write (an NVMe flush, a replication ack). Zero = free.
+	// Heartbeats are piggybacked and never pay it.
+	WriteLatency time.Duration
+}
+
+// journaling reports whether the agent writes a durable journal.
+func (a *Agent) journaling() bool {
+	return a.opts.Journal != nil && a.opts.Journal.Store != nil
+}
+
+// journalWrite pays the configured durability latency, then runs one
+// store operation.
+func (a *Agent) journalWrite(p *sim.Proc, desc string, fn func() error) error {
+	if d := a.opts.Journal.WriteLatency; d > 0 {
+		p.Sleep(d)
+	}
+	if err := fn(); err != nil {
+		return fmt.Errorf("journal %s: %w", desc, err)
+	}
+	return nil
+}
+
+// recordStagedOp appends one user-level table op to the iteration's
+// intent, preserving global staging order across tables (roll-forward
+// replays in this order).
+func (a *Agent) recordStagedOp(op journal.TableOp) {
+	if !a.journaling() {
+		return
+	}
+	a.stagedOps = append(a.stagedOps, op)
+}
+
+// specToJournal deep-copies a user entry spec into its journal form.
+func specToJournal(spec UserEntry) journal.EntrySpec {
+	return journal.EntrySpec{
+		Keys:     append([]rmt.KeySpec(nil), spec.Keys...),
+		Priority: spec.Priority,
+		Action:   spec.Action,
+		Data:     append([]uint64(nil), spec.Data...),
+	}
+}
+
+// specFromJournal is the inverse of specToJournal.
+func specFromJournal(es journal.EntrySpec) UserEntry {
+	return UserEntry{
+		Keys:     append([]rmt.KeySpec(nil), es.Keys...),
+		Priority: es.Priority,
+		Action:   es.Action,
+		Data:     append([]uint64(nil), es.Data...),
+	}
+}
+
+// sortedTableNames returns the agent's malleable table names in
+// deterministic order.
+func (a *Agent) sortedTableNames() []string {
+	names := make([]string, 0, len(a.tables))
+	for name := range a.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// buildCheckpoint captures the committed configuration as a journal
+// checkpoint. Called only between iterations (or at prologue end), when
+// every in-memory spec reflects committed state.
+func (a *Agent) buildCheckpoint(now sim.Time) *journal.Checkpoint {
+	cp := &journal.Checkpoint{
+		Iteration: a.stats.Iterations,
+		VV:        a.vv,
+		MV:        a.mv,
+		SavedAt:   int64(now),
+	}
+	cp.InitData = make([][]uint64, len(a.initData))
+	for i, d := range a.initData {
+		cp.InitData[i] = append([]uint64(nil), d...)
+	}
+	if len(a.mblCache) > 0 {
+		cp.Mbl = make(map[string]uint64, len(a.mblCache))
+		for k, v := range a.mblCache {
+			cp.Mbl[k] = v
+		}
+	}
+	for _, name := range a.sortedTableNames() {
+		tm := a.tables[name]
+		ts := journal.TableState{Table: name, NextHandle: uint64(tm.nextHandle)}
+		handles := make([]UserHandle, 0, len(tm.entries))
+		for h := range tm.entries {
+			handles = append(handles, h)
+		}
+		sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+		for _, h := range handles {
+			ts.Entries = append(ts.Entries, journal.EntryState{
+				Handle: uint64(h), Spec: specToJournal(tm.entries[h].spec),
+			})
+		}
+		cp.Tables = append(cp.Tables, ts)
+	}
+	regNames := make([]string, 0, len(a.regCache))
+	for name := range a.regCache {
+		regNames = append(regNames, name)
+	}
+	sort.Strings(regNames)
+	for _, name := range regNames {
+		rc := a.regCache[name]
+		cp.RegCaches = append(cp.RegCaches, journal.RegCache{
+			Name: name,
+			Vals: append([]uint64(nil), rc.vals...),
+			LastTs: [2][]uint64{
+				append([]uint64(nil), rc.lastTs[0]...),
+				append([]uint64(nil), rc.lastTs[1]...),
+			},
+		})
+	}
+	return cp
+}
+
+// journalCheckpoint saves a fresh checkpoint and heartbeats.
+func (a *Agent) journalCheckpoint(p *sim.Proc) error {
+	if !a.journaling() {
+		return nil
+	}
+	cp := a.buildCheckpoint(p.Now())
+	if err := a.journalWrite(p, "checkpoint", func() error {
+		return a.opts.Journal.Store.SaveCheckpoint(cp)
+	}); err != nil {
+		return err
+	}
+	return a.heartbeat(p)
+}
+
+// heartbeat records liveness (free: piggybacked on journal traffic).
+func (a *Agent) heartbeat(p *sim.Proc) error {
+	if err := a.opts.Journal.Store.Heartbeat(int64(p.Now())); err != nil {
+		return fmt.Errorf("journal heartbeat: %w", err)
+	}
+	return nil
+}
+
+// journalBegin write-ahead-logs the start of an iteration.
+func (a *Agent) journalBegin(p *sim.Proc) error {
+	if !a.journaling() {
+		return nil
+	}
+	it := &journal.Intent{
+		Iteration: a.stats.Iterations + 1,
+		Phase:     journal.PhaseBegun,
+		StartVV:   a.vv,
+		TargetVV:  a.vv ^ 1,
+		WrittenAt: int64(p.Now()),
+	}
+	return a.journalWrite(p, "begin intent", func() error {
+		return a.opts.Journal.Store.WriteIntent(it)
+	})
+}
+
+// journalCommitStaged upgrades the iteration's intent with the full
+// staged op list and the init data the flip will install. Must complete
+// before the prepare phase issues its first driver write.
+func (a *Agent) journalCommitStaged(p *sim.Proc, targetInit [][]uint64) error {
+	if !a.journaling() {
+		return nil
+	}
+	it := &journal.Intent{
+		Iteration: a.stats.Iterations + 1,
+		Phase:     journal.PhaseCommitStaged,
+		StartVV:   a.vv,
+		TargetVV:  a.vv ^ 1,
+		Ops:       append([]journal.TableOp(nil), a.stagedOps...),
+		WrittenAt: int64(p.Now()),
+	}
+	if len(a.pendingMbl) > 0 {
+		it.PendingMbl = make(map[string]uint64, len(a.pendingMbl))
+		for k, v := range a.pendingMbl {
+			it.PendingMbl[k] = v
+		}
+	}
+	it.TargetInitData = targetInit
+	return a.journalWrite(p, "commit intent", func() error {
+		return a.opts.Journal.Store.WriteIntent(it)
+	})
+}
+
+// journalIterationEnd checkpoints the now-committed configuration and
+// retires the iteration's intent (checkpoint strictly first; see the
+// file comment for why).
+func (a *Agent) journalIterationEnd(p *sim.Proc) error {
+	a.stagedOps = nil
+	if !a.journaling() {
+		return nil
+	}
+	cp := a.buildCheckpoint(p.Now())
+	if err := a.journalWrite(p, "checkpoint", func() error {
+		return a.opts.Journal.Store.SaveCheckpoint(cp)
+	}); err != nil {
+		return err
+	}
+	if err := a.opts.Journal.Store.TruncateIntent(); err != nil {
+		return fmt.Errorf("journal truncate: %w", err)
+	}
+	return a.heartbeat(p)
+}
+
+// journalAbandon retires the intent of an iteration whose staged state
+// was just rolled back. The checkpoint is untouched: nothing committed.
+func (a *Agent) journalAbandon(p *sim.Proc) error {
+	a.stagedOps = nil
+	if !a.journaling() {
+		return nil
+	}
+	if err := a.opts.Journal.Store.TruncateIntent(); err != nil {
+		return fmt.Errorf("journal truncate: %w", err)
+	}
+	return a.heartbeat(p)
+}

@@ -218,6 +218,26 @@ func (a *Agent) drvBatchRead(p *sim.Proc, reqs []driver.ReadReq) ([][]uint64, er
 	return vals, err
 }
 
+func (a *Agent) drvReadEntries(p *sim.Proc, table string) ([]rmt.Entry, error) {
+	var es []rmt.Entry
+	err := a.drvOp(p, "ReadEntries "+table, func() error {
+		var err error
+		es, err = a.drv.ReadEntries(p, table)
+		return err
+	})
+	return es, err
+}
+
+func (a *Agent) drvReadDefaultAction(p *sim.Proc, table string) (*p4.ActionCall, error) {
+	var call *p4.ActionCall
+	err := a.drvOp(p, "ReadDefaultAction "+table, func() error {
+		var err error
+		call, err = a.drv.ReadDefaultAction(p, table)
+		return err
+	})
+	return call, err
+}
+
 func (a *Agent) drvUnbatchedRead(p *sim.Proc, reqs []driver.ReadReq) ([][]uint64, error) {
 	var vals [][]uint64
 	err := a.drvOp(p, "UnbatchedRead", func() error {

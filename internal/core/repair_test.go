@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/p4"
+	"repro/internal/packet"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// flakyMirrorChannel models a channel that starts failing entry writes
+// mid-commit and stays broken until its window closes. Inside the
+// window, the first ModifyEntry that is a mirror (one of the first two
+// MEs after a SetDefaultAction, i.e. after the vv flip) trips the
+// fault, and from then on every ModifyEntry fails until the window
+// ends. Tripping on a mirror is what forces the repair-debt path: the
+// flip has already committed, so the agent cannot abandon — it must
+// defer the shadow work and then keep failing to drain it at the start
+// of each subsequent iteration until the channel heals.
+type flakyMirrorChannel struct {
+	driver.Channel
+	sim              *sim.Simulator
+	failFrom, failTo sim.Time
+	sinceFlip        int
+	latched          bool
+	failures         int
+}
+
+func (f *flakyMirrorChannel) SetDefaultAction(p *sim.Proc, table string, call *p4.ActionCall) error {
+	f.sinceFlip = 0
+	return f.Channel.SetDefaultAction(p, table, call)
+}
+
+func (f *flakyMirrorChannel) ModifyEntry(p *sim.Proc, table string, h rmt.EntryHandle, action string, data []uint64) error {
+	f.sinceFlip++
+	now := f.sim.Now()
+	if now < f.failFrom || now >= f.failTo {
+		f.latched = false
+		return f.Channel.ModifyEntry(p, table, h, action, data)
+	}
+	if f.latched || f.sinceFlip <= 2 {
+		f.latched = true
+		f.failures++
+		return fmt.Errorf("flaky mirror window: %w", driver.ErrTransient)
+	}
+	return f.Channel.ModifyEntry(p, table, h, action, data)
+}
+
+// buildRepairRig wires the two-table workload over a flaky-mirror
+// channel, with a tight retry policy so mirror failures exhaust their
+// retries quickly and become repair debt.
+func buildRepairRig(t *testing.T, failFrom, failTo sim.Time) (*rig, *flakyMirrorChannel, *int, *int) {
+	t.Helper()
+	var h1, h2 UserHandle
+	base := buildRig(t, twoTableSrc, Options{})
+	fc := &flakyMirrorChannel{Channel: base.drv, sim: base.sim, failFrom: failFrom, failTo: failTo}
+	rec := DefaultRecovery()
+	rec.MaxAttempts = 2
+	rec.RetryBackoff = time.Microsecond
+	agent := NewAgent(base.sim, fc, base.plan, Options{
+		Recovery: rec,
+		Prologue: func(p *sim.Proc, a *Agent) error {
+			t1, _ := a.Table("t1")
+			t2, _ := a.Table("t2")
+			var err error
+			if h1, err = t1.AddEntry(p, UserEntry{Keys: []rmt.KeySpec{rmt.ExactKey(7)}, Action: "set1", Data: []uint64{0}}); err != nil {
+				return err
+			}
+			h2, err = t2.AddEntry(p, UserEntry{Keys: []rmt.KeySpec{rmt.ExactKey(7)}, Action: "set2", Data: []uint64{0}})
+			return err
+		},
+	})
+	base.agent = agent
+	gen := uint64(0)
+	if err := agent.RegisterNativeReaction("bump", func(ctx *Ctx) error {
+		gen++
+		t1, _ := ctx.Table("t1")
+		t2, _ := ctx.Table("t2")
+		if err := t1.ModifyEntry(h1, "set1", []uint64{gen}); err != nil {
+			return err
+		}
+		return t2.ModifyEntry(h2, "set2", []uint64{gen})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	violations, packets := new(int), new(int)
+	base.sw.Tx = func(_ int, pkt *packet.Packet) {
+		*packets++
+		if pkt.GetName("hdr.o1") != pkt.GetName("hdr.o2") {
+			*violations++
+		}
+	}
+	return base, fc, violations, packets
+}
+
+// TestRepairDebtAcrossIterations opens a mirror-failure window long
+// enough that repair attempts themselves fail across several iteration
+// boundaries: debt queued by fillShadow must survive repeated failed
+// drainRepairs calls (each an abandoned iteration), then drain fully
+// once the window heals, with no packet ever observing mixed state and
+// no flip happening over an unconverged shadow.
+func TestRepairDebtAcrossIterations(t *testing.T) {
+	r, fc, violations, packets := buildRepairRig(t,
+		sim.Time(200*sim.Microsecond), sim.Time(450*sim.Microsecond))
+	r.agent.Start()
+	tick := r.sim.Every(150*sim.Nanosecond, func() {
+		r.inject(0, 64, map[string]uint64{"hdr.k": 7})
+	})
+	r.sim.RunFor(2 * time.Millisecond)
+	tick.Stop()
+	r.agent.Stop()
+	r.sim.RunFor(time.Millisecond)
+
+	if err := r.agent.Err(); err != nil {
+		t.Fatalf("agent died: %v", err)
+	}
+	if fc.failures == 0 {
+		t.Fatal("the mirror window failed nothing; the test is vacuous")
+	}
+	st := r.agent.Stats()
+	if st.RepairOps == 0 {
+		t.Fatalf("failing mirrors queued no repair debt: %+v", st)
+	}
+	if st.Abandoned == 0 {
+		t.Fatalf("failing drains abandoned no iterations (window too short to cross a boundary?): %+v", st)
+	}
+	if len(r.agent.pendingRepairs) != 0 {
+		t.Fatalf("%d repairs still queued after the window healed", len(r.agent.pendingRepairs))
+	}
+	if st.Commits < 100 {
+		t.Fatalf("agent made little progress after healing: %+v", st)
+	}
+	if *violations != 0 {
+		t.Fatalf("%d/%d packets observed mixed cross-table state despite repair gating", *violations, *packets)
+	}
+}
+
+// TestRepairStopRace stops the agent while repair debt is outstanding
+// and the channel is still failing: the stop must win — clean exit, no
+// error, debt left queued — rather than the agent spinning on repairs
+// or dying on the transient failures.
+func TestRepairStopRace(t *testing.T) {
+	// The window opens at 200µs and never heals.
+	r, fc, violations, _ := buildRepairRig(t,
+		sim.Time(200*sim.Microsecond), sim.Time(1<<62))
+	r.agent.Start()
+	tick := r.sim.Every(150*sim.Nanosecond, func() {
+		r.inject(0, 64, map[string]uint64{"hdr.k": 7})
+	})
+	// Stop lands while drainRepairs is failing back to back.
+	r.sim.Schedule(600*sim.Microsecond, func() { r.agent.Stop() })
+	r.sim.RunFor(2 * time.Millisecond)
+	tick.Stop()
+	r.sim.RunFor(time.Millisecond)
+
+	if err := r.agent.Err(); err != nil {
+		t.Fatalf("stop during pending repairs reported error: %v", err)
+	}
+	if fc.failures == 0 {
+		t.Fatal("the mirror window failed nothing; the test is vacuous")
+	}
+	st := r.agent.Stats()
+	if st.RepairOps == 0 {
+		t.Fatalf("no repair debt was ever queued: %+v", st)
+	}
+	if len(r.agent.pendingRepairs) == 0 {
+		t.Fatal("unhealable window left no queued repairs at exit")
+	}
+	if *violations != 0 {
+		t.Fatalf("%d packets observed mixed state", *violations)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/compiler"
+	"repro/internal/journal"
 	"repro/internal/p4"
 	"repro/internal/rmt"
 	"repro/internal/sim"
@@ -256,6 +257,9 @@ func (tm *tableManager) addEntry(p *sim.Proc, spec UserEntry) (UserHandle, error
 		// immediately; there is no pending commit to mirror after.
 		return h, tm.install(p, ue, shadow^1)
 	}
+	tm.agent.recordStagedOp(journal.TableOp{
+		Table: tm.info.Table, Kind: journal.OpAdd, Handle: uint64(h), Spec: specToJournal(spec),
+	})
 	// Phase 3 (mirror): install the other copy after commit.
 	tm.mirror = append(tm.mirror, func(p *sim.Proc) error {
 		return tm.install(p, ue, shadow^1)
@@ -301,6 +305,9 @@ func (tm *tableManager) modifyEntry(p *sim.Proc, h UserHandle, action string, da
 	if !tm.agent.inReaction {
 		return tm.applyAll(p, ue, shadow^1, newSpec)
 	}
+	tm.agent.recordStagedOp(journal.TableOp{
+		Table: tm.info.Table, Kind: journal.OpModify, Handle: uint64(h), Spec: specToJournal(newSpec),
+	})
 	tm.mirror = append(tm.mirror, func(p *sim.Proc) error {
 		return tm.applyAll(p, ue, shadow^1, newSpec)
 	})
@@ -342,6 +349,9 @@ func (tm *tableManager) deleteEntry(p *sim.Proc, h UserHandle) error {
 		delete(tm.entries, h)
 		return nil
 	}
+	tm.agent.recordStagedOp(journal.TableOp{
+		Table: tm.info.Table, Kind: journal.OpDelete, Handle: uint64(h),
+	})
 	tm.mirror = append(tm.mirror, func(p *sim.Proc) error {
 		if err := tm.uninstall(p, ue, shadow^1); err != nil {
 			return err

@@ -424,6 +424,30 @@ func (s *Session) UnbatchedRead(p *sim.Proc, reqs []driver.ReadReq) ([][]uint64,
 	return vals, err
 }
 
+// ReadEntries dumps a table's installed entries through the session
+// queue (the recovery audit path; reads are open to any role).
+func (s *Session) ReadEntries(p *sim.Proc, table string) ([]rmt.Entry, error) {
+	var out []rmt.Entry
+	err := s.doSync(p, false, func(dp *sim.Proc, ch driver.Channel) error {
+		var err error
+		out, err = ch.ReadEntries(dp, table)
+		return err
+	})
+	return out, err
+}
+
+// ReadDefaultAction reads back a table's miss action through the
+// session queue.
+func (s *Session) ReadDefaultAction(p *sim.Proc, table string) (*p4.ActionCall, error) {
+	var out *p4.ActionCall
+	err := s.doSync(p, false, func(dp *sim.Proc, ch driver.Channel) error {
+		var err error
+		out, err = ch.ReadDefaultAction(dp, table)
+		return err
+	})
+	return out, err
+}
+
 // Memoize passes through: descriptor precomputation is control-plane
 // local, consumes no channel time, and needs no scheduling.
 func (s *Session) Memoize(table string, handle rmt.EntryHandle) { s.svc.ch.Memoize(table, handle) }

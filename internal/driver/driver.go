@@ -53,6 +53,12 @@ type CostModel struct {
 	RegWrite time.Duration
 	// HashSeed is the cost of reprogramming a hash calculation seed.
 	HashSeed time.Duration
+	// AuditBase is the fixed cost of one audit read (table entry dump or
+	// default-action read); AuditPerEntry is the marginal DMA cost per
+	// dumped entry. Audit reads happen on the recovery path, not in the
+	// dialogue loop, so they are costed separately from table ops.
+	AuditBase     time.Duration
+	AuditPerEntry time.Duration
 }
 
 // DefaultCostModel returns latencies calibrated to the paper's
@@ -66,6 +72,8 @@ func DefaultCostModel() CostModel {
 		RegReadPerByte:  25 * time.Nanosecond,
 		RegWrite:        900 * time.Nanosecond,
 		HashSeed:        1600 * time.Nanosecond,
+		AuditBase:       1600 * time.Nanosecond,
+		AuditPerEntry:   150 * time.Nanosecond,
 	}
 }
 
@@ -76,6 +84,9 @@ type Stats struct {
 	RegReads     uint64
 	RegReadBytes uint64
 	RegWrites    uint64
+	// AuditReads counts configuration read-backs (entry dumps and
+	// default-action reads) on the recovery path.
+	AuditReads uint64
 	// Busy accumulates total channel-occupied time, for CPU/utilization
 	// accounting.
 	Busy time.Duration
@@ -257,6 +268,28 @@ func (d *Driver) BatchRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error) {
 		out[i] = vals
 	}
 	return out, nil
+}
+
+// ReadEntries dumps a table's installed entries, paying one audit
+// transaction plus a per-entry DMA cost. The snapshot is captured at
+// the operation's completion time, like every other channel read.
+func (d *Driver) ReadEntries(p *sim.Proc, table string) ([]rmt.Entry, error) {
+	// Validate (and size the dump) before any channel time is spent.
+	pre, err := d.sw.Entries(table)
+	if err != nil {
+		return nil, err
+	}
+	d.occupy(p, d.cost.AuditBase+time.Duration(len(pre))*d.cost.AuditPerEntry)
+	d.stats.AuditReads++
+	return d.sw.Entries(table)
+}
+
+// ReadDefaultAction reads back a table's miss action in one audit
+// transaction.
+func (d *Driver) ReadDefaultAction(p *sim.Proc, table string) (*p4.ActionCall, error) {
+	d.occupy(p, d.cost.AuditBase)
+	d.stats.AuditReads++
+	return d.sw.DefaultAction(table)
 }
 
 // UnbatchedRead performs the reads one request at a time, each paying

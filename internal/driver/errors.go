@@ -45,6 +45,12 @@ type Channel interface {
 	RegRead(p *sim.Proc, reg string, idx uint64) (uint64, error)
 	BatchRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error)
 	UnbatchedRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error)
+	// ReadEntries and ReadDefaultAction are the audit path: a recovering
+	// controller reads back the switch's installed configuration (entry
+	// pairs, version bits) to reconcile it against its journal. They pay
+	// channel time like any other operation.
+	ReadEntries(p *sim.Proc, table string) ([]rmt.Entry, error)
+	ReadDefaultAction(p *sim.Proc, table string) (*p4.ActionCall, error)
 	Memoize(table string, handle rmt.EntryHandle)
 	Switch() *rmt.Switch
 	Stats() Stats

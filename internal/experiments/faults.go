@@ -40,6 +40,14 @@ type FaultRow struct {
 	IterLatency stats.DurationStats
 	Packets     int
 	Violations  int
+
+	// Crash-profile fields (zero for in-process fault classes). A crash
+	// profile kills the primary outright, so its row reports the standby
+	// takeover instead of in-process recovery: the classification of the
+	// torn iteration and the crash-to-first-commit MTTR.
+	Crashes         uint64
+	TakeoverOutcome string
+	TakeoverMTTR    time.Duration
 }
 
 // faultSweepSrc combines the two ingredients the chaos scenario needs:
@@ -71,13 +79,54 @@ control ingress { apply(m); apply(t1); apply(t2); }
 func RunFaultSweep(seed int64) ([]FaultRow, error) {
 	var rows []FaultRow
 	for _, prof := range faults.Profiles() {
-		row, err := runFaultProfile(prof, seed)
+		var row *FaultRow
+		var err error
+		if prof.CrashEnabled() {
+			// A crash is not survivable in-process: run the profile in the
+			// failover rig, where a standby recovers from the journal.
+			row, err = runCrashProfile(prof, seed)
+		} else {
+			row, err = runFaultProfile(prof, seed)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("profile %s: %w", prof.Name, err)
 		}
 		rows = append(rows, *row)
 	}
 	return rows, nil
+}
+
+// runCrashProfile runs one crash profile through the takeover rig and
+// reports the successor's dialogue counters alongside the takeover
+// verdict.
+func runCrashProfile(prof faults.Profile, seed int64) (*FaultRow, error) {
+	r, err := buildTakeoverRig(prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	r.run()
+	pt, err := r.point(prof.CrashAtOp)
+	if err != nil {
+		return nil, err
+	}
+	succ := r.sb.Agent()
+	ast := succ.Stats()
+	row := &FaultRow{Profile: prof.Name}
+	row.Iterations = ast.Iterations
+	row.Commits = ast.Commits
+	row.Retries = ast.Retries
+	row.Rollbacks = ast.Rollbacks
+	row.Abandoned = ast.Abandoned
+	row.WatchdogTrips = ast.WatchdogTrips
+	row.Degraded = ast.Degraded
+	row.RepairOps = ast.RepairOps
+	row.IterLatency = stats.SummarizeDurations(ast.Latencies)
+	row.Packets = pt.Packets
+	row.Violations = pt.Violations
+	row.Crashes = r.inj.FaultStats().Crashes
+	row.TakeoverOutcome = pt.Outcome
+	row.TakeoverMTTR = pt.MTTR
+	return row, nil
 }
 
 func runFaultProfile(prof faults.Profile, seed int64) (*FaultRow, error) {
@@ -186,6 +235,16 @@ func FormatFaultSweep(rows []FaultRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-14s mean %v, p99 %v over %d iterations (%d packets audited)\n",
 			r.Profile, r.IterLatency.Mean, r.IterLatency.P99, r.IterLatency.Count, r.Packets)
+	}
+	crashed := false
+	for _, r := range rows {
+		if r.Crashes > 0 {
+			if !crashed {
+				b.WriteString("\ncrash profiles (standby takeover; counters are the successor's):\n")
+				crashed = true
+			}
+			fmt.Fprintf(&b, "  %-14s outcome %-22s MTTR %v\n", r.Profile, r.TakeoverOutcome, r.TakeoverMTTR)
+		}
 	}
 	return b.String()
 }

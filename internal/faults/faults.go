@@ -71,6 +71,25 @@ type Profile struct {
 	// FailCost is the channel time a transiently failed operation
 	// consumes (the timeout the caller waited out). Defaults to 2µs.
 	FailCost time.Duration
+
+	// CrashAtOp, when > 0, halts the calling process immediately before
+	// the Nth matching operation observed while injection is enabled
+	// (1-based) — the model of a control-plane process crash: the op
+	// never executes, everything already written stays exactly as
+	// written, and the process never touches the channel again. Unlike
+	// the transient faults above, a crash is not survivable in-process;
+	// it exists to exercise the journal/takeover machinery
+	// (internal/journal, core.Recover). The injector must wrap the
+	// crashing client's own channel (e.g. its ctlplane session), not a
+	// layer shared with other clients.
+	CrashAtOp int
+	// CrashOp restricts the op counting to one named channel operation
+	// ("AddEntry", "ModifyEntry", "SetDefaultAction", "BatchRead", ...);
+	// empty counts every operation. Combined with CrashAtOp this pins
+	// the crash to a protocol phase of a known scenario (e.g. the 3rd
+	// ModifyEntry after enable = the first post-flip mirror write in the
+	// two-table chaos workload).
+	CrashOp string
 }
 
 // DefaultFailCost is the channel time consumed by an injected failure
@@ -106,10 +125,49 @@ func StuckChannel() Profile {
 	return Profile{Name: "stuck", StuckEvery: 2 * time.Millisecond, StuckFor: 300 * time.Microsecond}
 }
 
+// The crash profiles pin a process crash to one phase of the two-table
+// chaos workload's dialogue iteration, whose driver-op sequence per
+// committing iteration is: SetDefaultAction (mv flip), BatchRead
+// (poll), ModifyEntry ×2 (prepares), SetDefaultAction (vv flip),
+// ModifyEntry ×2 (mirrors). The op counts are relative to the moment
+// injection is enabled; the failover rig additionally sweeps every op
+// index, so these named profiles are the reproducible landmarks, not
+// the only crash points tested.
+
+// CrashMidPrepare halts the agent between the two shadow prepares of a
+// commit: one table's shadow carries the new value, the other the old —
+// the canonical torn-prepare state recovery must roll back.
+func CrashMidPrepare() Profile {
+	return Profile{Name: "crash-prepare", CrashOp: "ModifyEntry", CrashAtOp: 2}
+}
+
+// CrashAtCommit halts the agent immediately before a master
+// default-action write (an mv or vv flip): the flip never executes, so
+// recovery must classify the iteration as never committed.
+func CrashAtCommit() Profile {
+	return Profile{Name: "crash-commit", CrashOp: "SetDefaultAction", CrashAtOp: 2}
+}
+
+// CrashMidMirror halts the agent after the vv flip but before the
+// mirror writes complete: the change is committed and packet-visible,
+// and recovery must roll the unfinished shadow copies forward.
+func CrashMidMirror() Profile {
+	return Profile{Name: "crash-mirror", CrashOp: "ModifyEntry", CrashAtOp: 3}
+}
+
+// CrashEnabled reports whether the profile halts the process at an
+// injection point (such profiles need the failover rig, not the
+// in-process recovery loop).
+func (pr Profile) CrashEnabled() bool { return pr.CrashAtOp > 0 }
+
 // Profiles returns the chaos-suite sweep: every predefined fault
-// profile, control first.
+// profile, control first. The crash profiles come last; runners that
+// cannot host a standby takeover should branch on CrashEnabled.
 func Profiles() []Profile {
-	return []Profile{None(), TransientErrors(), LatencySpikes(), PartialBatches(), StuckChannel()}
+	return []Profile{
+		None(), TransientErrors(), LatencySpikes(), PartialBatches(), StuckChannel(),
+		CrashMidPrepare(), CrashAtCommit(), CrashMidMirror(),
+	}
 }
 
 // Stats counts injected faults.
@@ -127,6 +185,8 @@ type Stats struct {
 	// StuckTime accumulates time operations spent blocked on stuck
 	// windows.
 	StuckTime time.Duration
+	// Crashes counts injected process crashes (0 or 1 per injector).
+	Crashes uint64
 }
 
 // Injector wraps a driver.Channel and injects faults per its Profile.
@@ -140,6 +200,12 @@ type Injector struct {
 
 	// burstLeft counts remaining forced failures of the current burst.
 	burstLeft int
+
+	// crashSeen counts matching ops toward CrashAtOp; crashed/crashedAt
+	// record the injected process crash.
+	crashSeen int
+	crashed   bool
+	crashedAt sim.Time
 
 	stats Stats
 }
@@ -204,6 +270,21 @@ func (f *Injector) inject(p *sim.Proc, op string) error {
 	if !f.enabled {
 		return nil
 	}
+	if f.crashed {
+		// A crashed process never touches the channel again; any process
+		// that reaches a dead injector halts too (there is exactly one
+		// client above a crash injector by contract).
+		f.halt(p)
+	}
+	if f.prof.CrashAtOp > 0 && (f.prof.CrashOp == "" || f.prof.CrashOp == op) {
+		f.crashSeen++
+		if f.crashSeen == f.prof.CrashAtOp {
+			f.crashed = true
+			f.crashedAt = p.Now()
+			f.stats.Crashes++
+			f.halt(p)
+		}
+	}
 	f.stall(p)
 	if f.prof.SpikeRate > 0 && f.rng.Float64() < f.prof.SpikeRate {
 		f.stats.InjectedSpikes++
@@ -221,6 +302,23 @@ func (f *Injector) inject(p *sim.Proc, op string) error {
 	}
 	return nil
 }
+
+// halt parks the calling process forever — the simulation's model of a
+// process crash (see sim.Proc.Park: the goroutine leaks by design). The
+// loop re-parks against stray Unparks so a crashed process can never
+// resume.
+func (f *Injector) halt(p *sim.Proc) {
+	for {
+		p.Park()
+	}
+}
+
+// Crashed reports whether the injector's crash point fired.
+func (f *Injector) Crashed() bool { return f.crashed }
+
+// CrashedAt returns the virtual time of the injected crash (0 if none
+// fired yet).
+func (f *Injector) CrashedAt() sim.Time { return f.crashedAt }
 
 // fail consumes the timeout cost and returns a transient error.
 func (f *Injector) fail(p *sim.Proc, op string) error {
@@ -320,6 +418,24 @@ func (f *Injector) UnbatchedRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error
 		out[i] = vals[0]
 	}
 	return out, nil
+}
+
+// ReadEntries forwards to the wrapped channel unless a fault fires
+// (the recovery audit path is as fallible as any other operation).
+func (f *Injector) ReadEntries(p *sim.Proc, table string) ([]rmt.Entry, error) {
+	if err := f.inject(p, "ReadEntries"); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadEntries(p, table)
+}
+
+// ReadDefaultAction forwards to the wrapped channel unless a fault
+// fires.
+func (f *Injector) ReadDefaultAction(p *sim.Proc, table string) (*p4.ActionCall, error) {
+	if err := f.inject(p, "ReadDefaultAction"); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDefaultAction(p, table)
 }
 
 // Memoize passes through (prologue metadata precomputation is local to

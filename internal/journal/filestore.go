@@ -1,0 +1,143 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// FileStore persists the journal as JSON files in a directory — the
+// backend for agents that genuinely restart (examples, operational
+// tooling) rather than failing over to an in-process standby. Writes go
+// through a temp file + rename, so a reader never observes a torn
+// record even if the writer dies mid-write.
+type FileStore struct {
+	dir string
+}
+
+const (
+	checkpointFile = "checkpoint.json"
+	intentFile     = "intent.json"
+	heartbeatFile  = "heartbeat"
+)
+
+// NewFileStore opens (creating if needed) a journal directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the journal directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+// writeAtomic writes buf to name via temp file + rename.
+func (fs *FileStore) writeAtomic(name string, buf []byte) error {
+	tmp, err := os.CreateTemp(fs.dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(fs.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// readFile returns the named record's bytes, nil if absent.
+func (fs *FileStore) readFile(name string) ([]byte, error) {
+	buf, err := os.ReadFile(filepath.Join(fs.dir, name))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return buf, nil
+}
+
+// SaveCheckpoint atomically replaces the checkpoint file.
+func (fs *FileStore) SaveCheckpoint(c *Checkpoint) error {
+	buf, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("journal: encode checkpoint: %w", err)
+	}
+	return fs.writeAtomic(checkpointFile, buf)
+}
+
+// LoadCheckpoint returns the saved checkpoint (nil, nil if none).
+func (fs *FileStore) LoadCheckpoint() (*Checkpoint, error) {
+	buf, err := fs.readFile(checkpointFile)
+	if buf == nil || err != nil {
+		return nil, err
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(buf, &c); err != nil {
+		return nil, fmt.Errorf("journal: decode checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+// WriteIntent atomically replaces the intent file.
+func (fs *FileStore) WriteIntent(it *Intent) error {
+	buf, err := json.Marshal(it)
+	if err != nil {
+		return fmt.Errorf("journal: encode intent: %w", err)
+	}
+	return fs.writeAtomic(intentFile, buf)
+}
+
+// LoadIntent returns the outstanding intent (nil, nil if none).
+func (fs *FileStore) LoadIntent() (*Intent, error) {
+	buf, err := fs.readFile(intentFile)
+	if buf == nil || err != nil {
+		return nil, err
+	}
+	var it Intent
+	if err := json.Unmarshal(buf, &it); err != nil {
+		return nil, fmt.Errorf("journal: decode intent: %w", err)
+	}
+	return &it, nil
+}
+
+// TruncateIntent removes the intent file.
+func (fs *FileStore) TruncateIntent() error {
+	err := os.Remove(filepath.Join(fs.dir, intentFile))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Heartbeat records the primary's liveness.
+func (fs *FileStore) Heartbeat(now int64) error {
+	return fs.writeAtomic(heartbeatFile, []byte(strconv.FormatInt(now, 10)))
+}
+
+// LastHeartbeat returns the last recorded beat (0 = never).
+func (fs *FileStore) LastHeartbeat() (int64, error) {
+	buf, err := fs.readFile(heartbeatFile)
+	if buf == nil || err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(string(buf)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("journal: decode heartbeat: %w", err)
+	}
+	return v, nil
+}
+
+var _ Store = (*FileStore)(nil)

@@ -508,6 +508,23 @@ func (sw *Switch) SetDefaultAction(table string, call *p4.ActionCall) error {
 	return ti.setDefault(call)
 }
 
+// DefaultAction returns a copy of a table's current miss action (nil if
+// the table has none configured). This is the read side of the audit
+// path: recovery derives the live vv/mv bits from the master init
+// table's default-action data.
+func (sw *Switch) DefaultAction(table string) (*p4.ActionCall, error) {
+	ti, ok := sw.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
+	}
+	if ti.defaultAction == nil {
+		return nil, nil
+	}
+	call := *ti.defaultAction
+	call.Data = append([]uint64(nil), call.Data...)
+	return &call, nil
+}
+
 // Entries returns a snapshot of a table's installed entries.
 func (sw *Switch) Entries(table string) ([]Entry, error) {
 	ti, ok := sw.tables[table]
