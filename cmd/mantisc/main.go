@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	mantisc [-o out.p4] [-plan] program.p4r
+//	mantisc [-o out.p4] [-plan] [-check] [-Werror] program.p4r
+//
+// With -check, mantisc parses and runs the semantic analyzer only,
+// printing every diagnostic (code, position, hint) without generating
+// code; the exit status is 1 if any error-severity diagnostic (or, with
+// -Werror, any diagnostic at all) was reported.
 package main
 
 import (
@@ -15,16 +20,21 @@ import (
 	"sort"
 
 	"repro/internal/compiler"
+	"repro/internal/p4r"
+	"repro/internal/p4r/analysis"
+	"repro/internal/p4r/diag"
 )
 
 func main() {
 	out := flag.String("o", "", "write generated P4 to this file (default stdout)")
 	showPlan := flag.Bool("plan", true, "print the reaction plan summary to stderr")
 	maxInitBits := flag.Int("max-init-bits", 512, "platform limit on init-action parameter bits")
+	checkOnly := flag.Bool("check", false, "run the semantic analyzer only; report diagnostics, generate nothing")
+	werror := flag.Bool("Werror", false, "treat analyzer warnings as errors")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mantisc [-o out.p4] program.p4r")
+		fmt.Fprintln(os.Stderr, "usage: mantisc [-o out.p4] [-check] [-Werror] program.p4r")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -35,10 +45,22 @@ func main() {
 	opts := compiler.DefaultOptions()
 	opts.ProgramName = flag.Arg(0)
 	opts.MaxInitActionBits = *maxInitBits
+	opts.Werror = *werror
+
+	if *checkOnly {
+		os.Exit(check(flag.Arg(0), string(src), opts))
+	}
+
 	plan, err := compiler.CompileSource(string(src), opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mantisc: %v\n", err)
+		printDiags(flag.Arg(0), err)
 		os.Exit(1)
+	}
+	// Surface analyzer warnings even on a successful compile.
+	if plan.Diags != nil {
+		for _, d := range plan.Diags.Warnings() {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", flag.Arg(0), d.Error())
+		}
 	}
 
 	generated := plan.Prog.Print()
@@ -96,4 +118,41 @@ func main() {
 		fmt.Fprintf(w, "resources: %d stages, %d tables, %d registers, SRAM %dKb, TCAM %dKb, metadata %db\n",
 			res.Stages, res.NumTables, res.NumRegisters, res.SRAMBits/1024, res.TCAMBits/1024, res.MetadataBits)
 	}
+}
+
+// check runs analyze-only mode and returns the process exit code.
+func check(path, src string, opts compiler.Options) int {
+	f, err := p4r.Parse(src)
+	if err != nil {
+		printDiags(path, err)
+		return 1
+	}
+	diags := analysis.Analyze(f, analysis.Limits{
+		MaxInitActionBits: opts.MaxInitActionBits,
+		MeasSlotBits:      opts.MeasSlotBits,
+		MaxTableEntries:   opts.MaxTableEntries,
+	})
+	if opts.Werror {
+		diags.Promote()
+	}
+	for _, d := range diags.Diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", path, d.Error())
+	}
+	if diags.HasErrors() {
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "%s: ok (%d warnings)\n", path, len(diags.Warnings()))
+	return 0
+}
+
+// printDiags renders a compile error, unpacking diagnostic lists so each
+// finding gets its own prefixed line.
+func printDiags(path string, err error) {
+	if l, ok := err.(*diag.List); ok {
+		for _, d := range l.Diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", path, d.Error())
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 }

@@ -1,0 +1,247 @@
+// Command mantislint runs this repository's custom Go invariant
+// checkers (internal/lint): wrapcheck, simclock, and journalintent.
+//
+// It speaks two protocols:
+//
+//	mantislint ./...                 # standalone: walk the module, report findings
+//	go vet -vettool=$(pwd)/mantislint ./...   # unit-checker mode driven by cmd/go
+//
+// In vettool mode cmd/go invokes the binary once per package with a
+// single .cfg (JSON) argument describing the unit, after querying
+// `-V=full` (version fingerprint for the build cache) and `-flags`
+// (supported analyzer flags). Findings go to stderr as
+// file:line:col: message, with a nonzero exit status — the same
+// contract golang.org/x/tools' unitchecker implements, hand-rolled here
+// because the module graph is hermetic (no external deps).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Protocol handshakes from cmd/go come before anything else.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			// No tool-specific flags: every analyzer always runs.
+			fmt.Println("[]")
+			return
+		case a == "-list" || a == "--list":
+			for _, an := range lint.All() {
+				fmt.Printf("%-14s %s\n", an.Name, an.Doc)
+			}
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion emits the `name version ... buildID=` line cmd/go hashes
+// into its action cache; fingerprinting the executable itself means a
+// rebuilt linter invalidates stale vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("mantislint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// vetConfig is the subset of cmd/go's vet .cfg schema this tool needs.
+type vetConfig struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// runUnit analyzes one package unit on behalf of `go vet -vettool`.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mantislint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mantislint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The driver requires the facts file to exist even though these
+	// analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("mantislint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "mantislint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := analyzeFiles(cfg.GoFiles, cfg.ImportPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mantislint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runStandalone walks package directories (the "./..." form or explicit
+// dirs) under the current module and analyzes each.
+func runStandalone(args []string) int {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	module, root, err := moduleInfo()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mantislint: %v\n", err)
+		return 2
+	}
+
+	dirs := map[string]bool{}
+	for _, arg := range args {
+		recursive := false
+		if strings.HasSuffix(arg, "/...") {
+			recursive = true
+			arg = strings.TrimSuffix(arg, "/...")
+		}
+		if arg == "" || arg == "." {
+			arg = root
+		}
+		if !recursive {
+			dirs[filepath.Clean(arg)] = true
+			continue
+		}
+		err := filepath.Walk(arg, func(path string, info os.FileInfo, walkErr error) error {
+			if walkErr != nil {
+				return walkErr
+			}
+			if info.IsDir() {
+				base := filepath.Base(path)
+				if base == "testdata" || base == ".git" || base == "vendor" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if filepath.Ext(path) == ".go" {
+				dirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mantislint: %v\n", err)
+			return 2
+		}
+	}
+
+	exit := 0
+	for _, dir := range sortedKeys(dirs) {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = dir
+		}
+		importPath := module
+		if rel != "." {
+			importPath += "/" + filepath.ToSlash(rel)
+		}
+		paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mantislint: %v\n", err)
+			return 2
+		}
+		diags, err := analyzeFiles(paths, importPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mantislint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func analyzeFiles(paths []string, importPath string) ([]lint.Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return lint.RunAll(fset, files, importPath)
+}
+
+// moduleInfo finds the enclosing go.mod and returns its module path and
+// directory.
+func moduleInfo() (module, root string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return strings.TrimSpace(rest), dir, nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/p4"
 	"repro/internal/p4r"
+	"repro/internal/p4r/analysis"
+	"repro/internal/p4r/diag"
 	"repro/internal/rmt"
 )
 
@@ -21,11 +23,23 @@ type Options struct {
 	MaxInitActionBits int
 	// MeasSlotBits is the width of packed measurement registers.
 	MeasSlotBits int
+	// MaxTableEntries bounds the generated entry count of one table
+	// after alt expansion and version doubling (checked by the semantic
+	// analyzer). Zero means the default platform limit.
+	MaxTableEntries int
+	// Werror promotes analyzer warnings to errors (mantisc -Werror).
+	Werror bool
 }
 
 // DefaultOptions returns production-like limits.
 func DefaultOptions() Options {
 	return Options{ProgramName: "p4r", MaxInitActionBits: 512, MeasSlotBits: 64}
+}
+
+// lerr builds a positioned lowering diagnostic. Line/col may be zero
+// when the AST carries no position for the construct.
+func lerr(code string, line, col int, format string, args ...any) error {
+	return diag.Errorf(code, line, col, format, args...)
 }
 
 type compiler struct {
@@ -69,6 +83,21 @@ func Compile(f *p4r.File, opts Options) (*Plan, error) {
 		MblFields: make(map[string]*MblFieldInfo),
 		MblTables: make(map[string]*MblTableInfo),
 	}
+	// Mandatory front-end phase: the semantic analyzer validates the
+	// transformation preconditions collect-all before any lowering runs,
+	// so a broken program reports every problem, not just the first.
+	diags := analysis.Analyze(f, analysis.Limits{
+		MaxInitActionBits: opts.MaxInitActionBits,
+		MeasSlotBits:      opts.MeasSlotBits,
+		MaxTableEntries:   opts.MaxTableEntries,
+	})
+	if opts.Werror {
+		diags.Promote()
+	}
+	c.plan.Diags = diags
+	if diags.HasErrors() {
+		return nil, diags
+	}
 	steps := []func() error{
 		c.defineSchema,
 		c.defineRegisters,
@@ -86,7 +115,7 @@ func Compile(f *p4r.File, opts Options) (*Plan, error) {
 		}
 	}
 	if err := c.prog.Validate(); err != nil {
-		return nil, fmt.Errorf("compiler: generated program invalid: %w", err)
+		return nil, lerr(diag.LowerInternal, 0, 0, "generated program invalid: %v", err)
 	}
 	return c.plan, nil
 }
@@ -136,18 +165,18 @@ func (c *compiler) defineSchema() error {
 	c.prog.DefineStandardMetadata()
 	for _, ht := range c.f.HeaderTypes {
 		if _, dup := c.headerTypes[ht.Name]; dup {
-			return fmt.Errorf("line %d: duplicate header_type %s", ht.Line, ht.Name)
+			return lerr(diag.LowerInvalid, ht.Line, ht.Col, "duplicate header_type %s", ht.Name)
 		}
 		c.headerTypes[ht.Name] = ht
 	}
 	for _, inst := range c.f.Instances {
 		ht, ok := c.headerTypes[inst.TypeName]
 		if !ok {
-			return fmt.Errorf("line %d: instance %s of unknown header_type %s", inst.Line, inst.Name, inst.TypeName)
+			return lerr(diag.LowerUnknown, inst.Line, inst.Col, "instance %s of unknown header_type %s", inst.Name, inst.TypeName)
 		}
 		for _, fd := range ht.Fields {
 			if fd.Width <= 0 || fd.Width > 64 {
-				return fmt.Errorf("header_type %s: field %s has unsupported width %d", ht.Name, fd.Name, fd.Width)
+				return lerr(diag.LowerCapacity, ht.Line, ht.Col, "header_type %s: field %s has unsupported width %d", ht.Name, fd.Name, fd.Width)
 			}
 			c.prog.Schema.Define(inst.Name+"."+fd.Name, fd.Width)
 		}
@@ -158,7 +187,7 @@ func (c *compiler) defineSchema() error {
 func (c *compiler) defineRegisters() error {
 	for _, r := range c.f.Registers {
 		if r.Width <= 0 || r.Width > 64 {
-			return fmt.Errorf("line %d: register %s has unsupported width %d", r.Line, r.Name, r.Width)
+			return lerr(diag.LowerCapacity, r.Line, r.Col, "register %s has unsupported width %d", r.Name, r.Width)
 		}
 		c.prog.AddRegister(&p4.Register{Name: r.Name, Width: r.Width, Instances: r.InstanceCount})
 	}
@@ -170,7 +199,7 @@ func (c *compiler) defineRegisters() error {
 func (c *compiler) defineMalleables() error {
 	for _, mv := range c.f.MblValues {
 		if mv.Width <= 0 || mv.Width > 64 {
-			return fmt.Errorf("line %d: malleable value %s has unsupported width %d", mv.Line, mv.Name, mv.Width)
+			return lerr(diag.LowerCapacity, mv.Line, mv.Col, "malleable value %s has unsupported width %d", mv.Name, mv.Width)
 		}
 		meta := MetaPrefix + mv.Name
 		c.prog.Schema.Define(meta, mv.Width)
@@ -182,11 +211,11 @@ func (c *compiler) defineMalleables() error {
 		for _, alt := range mf.Alts {
 			id, ok := c.prog.Schema.Lookup(alt)
 			if !ok {
-				return fmt.Errorf("line %d: malleable field %s: unknown alt %q", mf.Line, mf.Name, alt)
+				return lerr(diag.LowerUnknown, mf.Line, mf.Col, "malleable field %s: unknown alt %q", mf.Name, alt)
 			}
 			if w := c.prog.Schema.Width(id); w != mf.Width {
-				return fmt.Errorf("line %d: malleable field %s (width %d): alt %q has width %d",
-					mf.Line, mf.Name, mf.Width, alt, w)
+				return lerr(diag.LowerInvalid, mf.Line, mf.Col, "malleable field %s (width %d): alt %q has width %d",
+					mf.Name, mf.Width, alt, w)
 			}
 		}
 		selWidth := ceilLog2(len(mf.Alts))
@@ -277,7 +306,7 @@ func (c *compiler) packInitTables() error {
 	}
 	for _, it := range append(append([]InitParam(nil), reserved...), items...) {
 		if it.Width > c.opts.MaxInitActionBits {
-			return fmt.Errorf("malleable %s (%d bits) exceeds MaxInitActionBits %d", it.Mbl, it.Width, c.opts.MaxInitActionBits)
+			return lerr(diag.LowerCapacity, 0, 0, "malleable %s (%d bits) exceeds MaxInitActionBits %d", it.Mbl, it.Width, c.opts.MaxInitActionBits)
 		}
 	}
 	bins := firstFitDecreasing(reserved, items, c.opts.MaxInitActionBits)
@@ -345,7 +374,7 @@ func (c *compiler) packInitTables() error {
 func (c *compiler) carrierFor(mblName string) (string, error) {
 	info, ok := c.plan.MblFields[mblName]
 	if !ok {
-		return "", fmt.Errorf("unknown malleable field %q", mblName)
+		return "", lerr(diag.LowerUnknown, 0, 0, "unknown malleable field %q", mblName)
 	}
 	if info.Carrier != "" {
 		return info.Carrier, nil
@@ -393,7 +422,7 @@ func (c *compiler) lowerFieldLists() error {
 			switch e.Kind {
 			case p4r.ArgIdent:
 				if _, ok := c.prog.Schema.Lookup(e.Ident); !ok {
-					return fmt.Errorf("field_list %s: unknown field %q", fl.Name, e.Ident)
+					return lerr(diag.LowerUnknown, e.Line, e.Col, "field_list %s: unknown field %q", fl.Name, e.Ident)
 				}
 				fields = append(fields, e.Ident)
 			case p4r.ArgMblRef:
@@ -407,7 +436,7 @@ func (c *compiler) lowerFieldLists() error {
 				}
 				fields = append(fields, carrier)
 			default:
-				return fmt.Errorf("field_list %s: constants are not allowed", fl.Name)
+				return lerr(diag.LowerInvalid, fl.Line, fl.Col, "field_list %s: constants are not allowed", fl.Name)
 			}
 		}
 		lists[fl.Name] = fields
@@ -415,7 +444,7 @@ func (c *compiler) lowerFieldLists() error {
 	for _, calc := range c.f.Calcs {
 		fields, ok := lists[calc.Input]
 		if !ok {
-			return fmt.Errorf("field_list_calculation %s: unknown field_list %q", calc.Name, calc.Input)
+			return lerr(diag.LowerUnknown, calc.Line, calc.Col, "field_list_calculation %s: unknown field_list %q", calc.Name, calc.Input)
 		}
 		var algo p4.HashAlgo
 		switch calc.Algorithm {
@@ -426,7 +455,7 @@ func (c *compiler) lowerFieldLists() error {
 		case "identity":
 			algo = p4.HashIdentity
 		default:
-			return fmt.Errorf("field_list_calculation %s: unknown algorithm %q", calc.Name, calc.Algorithm)
+			return lerr(diag.LowerUnknown, calc.Line, calc.Col, "field_list_calculation %s: unknown algorithm %q", calc.Name, calc.Algorithm)
 		}
 		width := calc.OutputWidth
 		if width == 0 {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/p4"
 	"repro/internal/p4r"
+	"repro/internal/p4r/diag"
 	"repro/internal/packet"
 )
 
@@ -101,7 +102,7 @@ func (c *compiler) resolveOperand(arg p4r.Arg, decl *p4r.ActionDecl, binding map
 		if id, ok := c.prog.Schema.Lookup(arg.Ident); ok {
 			return p4.FieldOp(id, arg.Ident), nil
 		}
-		return p4.Operand{}, fmt.Errorf("line %d: unknown field or parameter %q", arg.Line, arg.Ident)
+		return p4.Operand{}, lerr(diag.LowerUnknown, arg.Line, arg.Col, "unknown field or parameter %q", arg.Ident)
 	case p4r.ArgMblRef:
 		if mv, ok := c.plan.MblValues[arg.Mbl]; ok {
 			id := c.prog.Schema.MustID(mv.MetaField)
@@ -110,14 +111,14 @@ func (c *compiler) resolveOperand(arg p4r.Arg, decl *p4r.ActionDecl, binding map
 		if _, ok := c.plan.MblFields[arg.Mbl]; ok {
 			alt, bound := binding[arg.Mbl]
 			if !bound {
-				return p4.Operand{}, fmt.Errorf("line %d: malleable field ${%s} used outside a specializable context", arg.Line, arg.Mbl)
+				return p4.Operand{}, lerr(diag.LowerInvalid, arg.Line, arg.Col, "malleable field ${%s} used outside a specializable context", arg.Mbl)
 			}
 			id := c.prog.Schema.MustID(alt)
 			return p4.FieldOp(id, alt), nil
 		}
-		return p4.Operand{}, fmt.Errorf("line %d: unknown malleable ${%s}", arg.Line, arg.Mbl)
+		return p4.Operand{}, lerr(diag.LowerUnknown, arg.Line, arg.Col, "unknown malleable ${%s}", arg.Mbl)
 	}
-	return p4.Operand{}, fmt.Errorf("line %d: bad argument", arg.Line)
+	return p4.Operand{}, lerr(diag.LowerInvalid, arg.Line, arg.Col, "bad argument")
 }
 
 // resolveDst resolves an argument that must denote a writable field.
@@ -127,29 +128,29 @@ func (c *compiler) resolveDst(arg p4r.Arg, binding map[string]string) (packet.Fi
 		if id, ok := c.prog.Schema.Lookup(arg.Ident); ok {
 			return id, arg.Ident, nil
 		}
-		return 0, "", fmt.Errorf("line %d: unknown destination field %q", arg.Line, arg.Ident)
+		return 0, "", lerr(diag.LowerUnknown, arg.Line, arg.Col, "unknown destination field %q", arg.Ident)
 	case p4r.ArgMblRef:
 		if _, isVal := c.plan.MblValues[arg.Mbl]; isVal {
-			return 0, "", fmt.Errorf("line %d: malleable value ${%s} cannot be assigned in the data plane (values are set by reactions)", arg.Line, arg.Mbl)
+			return 0, "", lerr(diag.LowerInvalid, arg.Line, arg.Col, "malleable value ${%s} cannot be assigned in the data plane (values are set by reactions)", arg.Mbl)
 		}
 		if _, isField := c.plan.MblFields[arg.Mbl]; isField {
 			alt, bound := binding[arg.Mbl]
 			if !bound {
-				return 0, "", fmt.Errorf("line %d: malleable field ${%s} used outside a specializable context", arg.Line, arg.Mbl)
+				return 0, "", lerr(diag.LowerInvalid, arg.Line, arg.Col, "malleable field ${%s} used outside a specializable context", arg.Mbl)
 			}
 			return c.prog.Schema.MustID(alt), alt, nil
 		}
-		return 0, "", fmt.Errorf("line %d: unknown malleable ${%s}", arg.Line, arg.Mbl)
+		return 0, "", lerr(diag.LowerUnknown, arg.Line, arg.Col, "unknown malleable ${%s}", arg.Mbl)
 	}
-	return 0, "", fmt.Errorf("line %d: destination must be a field", arg.Line)
+	return 0, "", lerr(diag.LowerInvalid, arg.Line, arg.Col, "destination must be a field")
 }
 
 func (c *compiler) registerName(arg p4r.Arg) (string, error) {
 	if arg.Kind != p4r.ArgIdent {
-		return "", fmt.Errorf("line %d: register name expected", arg.Line)
+		return "", lerr(diag.LowerInvalid, arg.Line, arg.Col, "register name expected")
 	}
 	if _, ok := c.prog.Registers[arg.Ident]; !ok {
-		return "", fmt.Errorf("line %d: unknown register %q", arg.Line, arg.Ident)
+		return "", lerr(diag.LowerUnknown, arg.Line, arg.Col, "unknown register %q", arg.Ident)
 	}
 	return arg.Ident, nil
 }
@@ -177,7 +178,7 @@ func (c *compiler) lowerAction(decl *p4r.ActionDecl, name string, binding map[st
 	for _, call := range decl.Body {
 		argc := func(n int) error {
 			if len(call.Args) != n {
-				return fmt.Errorf("line %d: %s takes %d arguments, got %d", call.Line, call.Name, n, len(call.Args))
+				return lerr(diag.LowerInvalid, call.Line, call.Col, "%s takes %d arguments, got %d", call.Name, n, len(call.Args))
 			}
 			return nil
 		}
@@ -336,17 +337,17 @@ func (c *compiler) lowerAction(decl *p4r.ActionDecl, name string, binding map[st
 				return nil, err
 			}
 			if call.Args[1].Kind != p4r.ArgConst || call.Args[3].Kind != p4r.ArgConst {
-				return nil, fmt.Errorf("line %d: hash base and size must be constants", call.Line)
+				return nil, lerr(diag.LowerInvalid, call.Line, call.Col, "hash base and size must be constants")
 			}
 			if call.Args[2].Kind != p4r.ArgIdent {
-				return nil, fmt.Errorf("line %d: hash calculation name expected", call.Line)
+				return nil, lerr(diag.LowerInvalid, call.Line, call.Col, "hash calculation name expected")
 			}
 			a.Body = append(a.Body, p4.ModifyFieldWithHash{
 				Dst: dst, DstName: dstName,
 				Base: call.Args[1].Value, Hash: call.Args[2].Ident, Size: call.Args[3].Value,
 			})
 		default:
-			return nil, fmt.Errorf("line %d: unknown primitive %q", call.Line, call.Name)
+			return nil, lerr(diag.LowerUnknown, call.Line, call.Col, "unknown primitive %q", call.Name)
 		}
 	}
 	for i, pn := range decl.Params {
@@ -385,7 +386,7 @@ func (c *compiler) lowerTables() error {
 			case p4r.ArgIdent:
 				id, ok := c.prog.Schema.Lookup(rk.Target.Ident)
 				if !ok {
-					return fmt.Errorf("table %s: unknown match field %q", t.Name, rk.Target.Ident)
+					return lerr(diag.LowerUnknown, rk.Line, rk.Col, "table %s: unknown match field %q", t.Name, rk.Target.Ident)
 				}
 				uk.FieldName = rk.Target.Ident
 				uk.Width = c.prog.Schema.Width(id)
@@ -409,10 +410,10 @@ func (c *compiler) lowerTables() error {
 				}
 				mf, isField := c.plan.MblFields[rk.Target.Mbl]
 				if !isField {
-					return fmt.Errorf("table %s: unknown malleable ${%s}", t.Name, rk.Target.Mbl)
+					return lerr(diag.LowerUnknown, rk.Line, rk.Col, "table %s: unknown malleable ${%s}", t.Name, rk.Target.Mbl)
 				}
 				if rk.MatchType == "range" {
-					return fmt.Errorf("table %s: range match on malleable field ${%s} is not supported", t.Name, mf.Name)
+					return lerr(diag.LowerInvalid, rk.Line, rk.Col, "table %s: range match on malleable field ${%s} is not supported", t.Name, mf.Name)
 				}
 				// Fig. 6: one ternary column per alternative. Exact user
 				// matches become ternary to admit the wildcard.
@@ -435,7 +436,7 @@ func (c *compiler) lowerTables() error {
 					tbl.Keys = append(tbl.Keys, mk)
 				}
 			default:
-				return fmt.Errorf("table %s: invalid match key", t.Name)
+				return lerr(diag.LowerInvalid, rk.Line, rk.Col, "table %s: invalid match key", t.Name)
 			}
 			info.Keys = append(info.Keys, uk)
 		}
@@ -451,7 +452,7 @@ func (c *compiler) lowerTables() error {
 				continue
 			}
 			if _, ok := c.prog.Actions[an]; !ok {
-				return fmt.Errorf("table %s: unknown action %q", t.Name, an)
+				return lerr(diag.LowerUnknown, t.Line, t.Col, "table %s: unknown action %q", t.Name, an)
 			}
 			tbl.ActionNames = append(tbl.ActionNames, an)
 		}
@@ -468,10 +469,10 @@ func (c *compiler) lowerTables() error {
 
 		if t.Default != nil {
 			if _, specialized := c.specs[t.Default.Action]; specialized {
-				return fmt.Errorf("table %s: default action %q uses malleable fields, which is not supported (install a low-priority entry instead)", t.Name, t.Default.Action)
+				return lerr(diag.LowerInvalid, t.Line, t.Col, "table %s: default action %q uses malleable fields, which is not supported (install a low-priority entry instead)", t.Name, t.Default.Action)
 			}
 			if _, ok := c.prog.Actions[t.Default.Action]; !ok {
-				return fmt.Errorf("table %s: unknown default action %q", t.Name, t.Default.Action)
+				return lerr(diag.LowerUnknown, t.Line, t.Col, "table %s: unknown default action %q", t.Name, t.Default.Action)
 			}
 			tbl.DefaultAction = &p4.ActionCall{Action: t.Default.Action, Data: append([]uint64(nil), t.Default.Args...)}
 		}
@@ -508,7 +509,7 @@ func (c *compiler) condOperand(arg p4r.Arg) (p4.Operand, error) {
 	case p4r.ArgIdent:
 		id, ok := c.prog.Schema.Lookup(arg.Ident)
 		if !ok {
-			return p4.Operand{}, fmt.Errorf("unknown field %q in condition", arg.Ident)
+			return p4.Operand{}, lerr(diag.LowerUnknown, arg.Line, arg.Col, "unknown field %q in condition", arg.Ident)
 		}
 		return p4.FieldOp(id, arg.Ident), nil
 	case p4r.ArgMblRef:
@@ -522,9 +523,9 @@ func (c *compiler) condOperand(arg p4r.Arg) (p4.Operand, error) {
 			}
 			return p4.FieldOp(c.prog.Schema.MustID(carrier), carrier), nil
 		}
-		return p4.Operand{}, fmt.Errorf("unknown malleable ${%s} in condition", arg.Mbl)
+		return p4.Operand{}, lerr(diag.LowerUnknown, arg.Line, arg.Col, "unknown malleable ${%s} in condition", arg.Mbl)
 	}
-	return p4.Operand{}, fmt.Errorf("bad condition operand")
+	return p4.Operand{}, lerr(diag.LowerInvalid, arg.Line, arg.Col, "bad condition operand")
 }
 
 var cmpOps = map[string]p4.CmpOp{
@@ -537,7 +538,7 @@ func (c *compiler) lowerStmts(stmts []p4r.Stmt) ([]p4.ControlStmt, error) {
 		switch st := s.(type) {
 		case p4r.ApplyStmt:
 			if _, ok := c.prog.Tables[st.Table]; !ok {
-				return nil, fmt.Errorf("apply of unknown table %q", st.Table)
+				return nil, lerr(diag.LowerUnknown, st.Line, st.Col, "apply of unknown table %q", st.Table)
 			}
 			out = append(out, p4.Apply{Table: st.Table})
 		case p4r.IfStmt:

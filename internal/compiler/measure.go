@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/p4"
 	"repro/internal/p4r"
+	"repro/internal/p4r/diag"
 )
 
 func measTableName(reaction, pipe string) string {
@@ -28,7 +29,7 @@ func (c *compiler) lowerReactions() error {
 				if p.IsMbl {
 					if _, isVal := c.plan.MblValues[p.Target]; !isVal {
 						if _, isField := c.plan.MblFields[p.Target]; !isField {
-							return fmt.Errorf("reaction %s: unknown malleable parameter ${%s}", r.Name, p.Target)
+							return lerr(diag.LowerUnknown, p.Line, p.Col, "reaction %s: unknown malleable parameter ${%s}", r.Name, p.Target)
 						}
 					}
 					info.MblParams = append(info.MblParams, MblParamInfo{Name: p.Target, Var: sanitize(p.Target)})
@@ -36,11 +37,11 @@ func (c *compiler) lowerReactions() error {
 				}
 				id, ok := c.prog.Schema.Lookup(p.Target)
 				if !ok {
-					return fmt.Errorf("reaction %s: unknown field parameter %q", r.Name, p.Target)
+					return lerr(diag.LowerUnknown, p.Line, p.Col, "reaction %s: unknown field parameter %q", r.Name, p.Target)
 				}
 				sf := SlotField{Param: p.Target, Var: sanitize(p.Target), Width: c.prog.Schema.Width(id)}
 				if sf.Width > c.opts.MeasSlotBits {
-					return fmt.Errorf("reaction %s: field %q (%d bits) exceeds measurement slot width %d",
+					return lerr(diag.LowerCapacity, p.Line, p.Col, "reaction %s: field %q (%d bits) exceeds measurement slot width %d",
 						r.Name, p.Target, sf.Width, c.opts.MeasSlotBits)
 				}
 				if p.Kind == p4r.ParamIng {
@@ -51,14 +52,14 @@ func (c *compiler) lowerReactions() error {
 			case p4r.ParamReg:
 				reg, ok := c.prog.Registers[p.Target]
 				if !ok {
-					return fmt.Errorf("reaction %s: unknown register parameter %q", r.Name, p.Target)
+					return lerr(diag.LowerUnknown, p.Line, p.Col, "reaction %s: unknown register parameter %q", r.Name, p.Target)
 				}
 				lo, hi := p.Lo, p.Hi
 				if hi < 0 {
 					lo, hi = 0, reg.Instances-1
 				}
 				if hi >= reg.Instances {
-					return fmt.Errorf("reaction %s: register %s[%d:%d] out of range (instances %d)",
+					return lerr(diag.LowerCapacity, p.Line, p.Col, "reaction %s: register %s[%d:%d] out of range (instances %d)",
 						r.Name, p.Target, lo, hi, reg.Instances)
 				}
 				rp, exists := dupRegs[p.Target]

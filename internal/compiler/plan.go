@@ -16,6 +16,7 @@ package compiler
 
 import (
 	"repro/internal/p4"
+	"repro/internal/p4r/diag"
 	"repro/internal/rmt"
 )
 
@@ -51,6 +52,10 @@ type Plan struct {
 	// UsesVV/UsesMV report whether the program carries version bits.
 	UsesVV bool
 	UsesMV bool
+
+	// Diags holds the semantic analyzer's findings for this compile
+	// (warnings included even when compilation succeeds).
+	Diags *diag.List
 }
 
 // MblValueInfo describes one malleable value.

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// JournalIntentAnalyzer enforces the crash-consistency discipline from
+// the failover work (internal/core + internal/journal): within a
+// function, the write-ahead intent record must be durably journaled
+// BEFORE the driver mutation it covers. If the mutation comes first, a
+// crash between the two leaves the switch changed with no intent on
+// disk, and takeover reconciliation cannot classify — let alone roll
+// back — the half-applied iteration.
+//
+// The check is intra-function and order-based: when a function body
+// contains both an intent-journal write (journalBegin,
+// journalCommitStaged, or a WriteIntent call) and a driver mutation
+// (drvAddEntry, drvModifyEntry, drvDeleteEntry, drvSetDefaultAction,
+// drvSetHashSeed), the first intent write must precede the first
+// mutation in source order. Functions that only mutate (e.g. prologue
+// setup or reconciliation replay, which checkpoint afterwards) are not
+// flagged — the invariant binds the two together only where both occur.
+var JournalIntentAnalyzer = &Analyzer{
+	Name:  "journalintent",
+	Doc:   "journal intent writes in internal/core must precede the driver mutations they cover",
+	Match: func(p string) bool { return pathIn(p, "repro/internal/core") },
+	Run:   runJournalIntent,
+}
+
+// intentWriters durably record what is about to be done.
+var intentWriters = map[string]bool{
+	"journalBegin": true, "journalCommitStaged": true, "WriteIntent": true,
+}
+
+// driverMutators are the core agent's switch-mutating driver wrappers.
+var driverMutators = map[string]bool{
+	"drvAddEntry": true, "drvModifyEntry": true, "drvDeleteEntry": true,
+	"drvSetDefaultAction": true, "drvSetHashSeed": true,
+}
+
+func runJournalIntent(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var firstIntent, firstMut token.Pos
+			var mutName string
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				switch {
+				case intentWriters[name]:
+					if firstIntent == token.NoPos {
+						firstIntent = call.Pos()
+					}
+				case driverMutators[name]:
+					if firstMut == token.NoPos {
+						firstMut = call.Pos()
+						mutName = name
+					}
+				}
+				return true
+			})
+			if firstIntent != token.NoPos && firstMut != token.NoPos && firstMut < firstIntent {
+				pass.Reportf(firstMut,
+					"%s: driver mutation %s precedes the intent journal write; a crash here is unrecoverable (journal the intent first)",
+					fn.Name.Name, mutName)
+			}
+		}
+	}
+	return nil
+}

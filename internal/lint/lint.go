@@ -1,0 +1,170 @@
+// Package lint is a small, dependency-free static-analysis framework
+// for this repository's own Go invariants, in the spirit of
+// golang.org/x/tools/go/analysis but built on the standard library
+// only (go/ast, go/parser, go/token), so it works in hermetic builds
+// with no module downloads.
+//
+// Analyzers are purely syntactic: they inspect parsed ASTs plus each
+// file's import table, which is sufficient for the repo invariants they
+// encode (sentinel wrapping, wall-clock bans, journal-before-mutate
+// ordering). cmd/mantislint drives them either standalone or under
+// `go vet -vettool`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one finding, with a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	Name string
+	// Doc is a one-line description shown by mantislint -list.
+	Doc string
+	// Match reports whether the analyzer applies to a package import
+	// path. Analyzers are scoped: running them elsewhere would flag
+	// legitimate code.
+	Match func(importPath string) bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Path is the package's import path (e.g. "repro/internal/core").
+	Path string
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// TestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) TestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run applies one analyzer to a parsed package and returns its findings.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, path string) ([]Diagnostic, error) {
+	if a.Match != nil && !a.Match(path) {
+		return nil, nil
+	}
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Path: path}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, path, err)
+	}
+	return pass.diags, nil
+}
+
+// All lists every analyzer mantislint ships, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{WrapcheckAnalyzer, SimclockAnalyzer, JournalIntentAnalyzer}
+}
+
+// RunAll applies every analyzer whose Match accepts path.
+func RunAll(fset *token.FileSet, files []*ast.File, path string) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range All() {
+		ds, err := Run(a, fset, files, path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}
+
+// pathIn reports whether importPath is one of, or a sub-package of, the
+// given package roots (full import paths, e.g. "repro/internal/core").
+func pathIn(importPath string, roots ...string) bool {
+	for _, r := range roots {
+		if importPath == r || strings.HasPrefix(importPath, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// importLocal returns the identifier a file binds to the given import
+// path ("" if the file does not import it). A dot or blank import
+// returns "" as well — selector-based analyzers cannot see through
+// those, and the repo does not use them.
+func importLocal(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		// Default local name: the last path segment.
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// pkgCall matches a call of the form <local>.<name>(...) where local is
+// the file-level binding of an imported package, returning the function
+// name ("" if the call does not match).
+func pkgCall(call *ast.CallExpr, local string) string {
+	if local == "" {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || base.Name != local {
+		return ""
+	}
+	// A shadowed identifier (e.g. a local variable named rand) would
+	// have a non-nil Obj resolved to the local declaration.
+	if base.Obj != nil {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// calleeName returns the bare function or method name of a call:
+// f(...) -> "f", x.f(...) -> "f".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,91 @@
+// Package linttest runs lint analyzers over fixture directories, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture files
+// mark expected findings with trailing `// want "regexp"` comments, and
+// the runner fails on any missed or unexpected diagnostic.
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the quoted pattern of a `// want "..."` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run parses every .go file in dir as one package, applies the analyzer
+// under the given import path, and checks findings against the
+// fixtures' want-comments.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixtures in %s: %v", dir, err)
+	}
+	sort.Strings(paths)
+
+	var files []*ast.File
+	var wants []*expectation
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+			}
+			wants = append(wants, &expectation{file: path, line: i + 1, pattern: re})
+		}
+	}
+
+	diags, err := lint.Run(a, fset, files, importPath)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SimclockAnalyzer bans wall-clock time and nondeterministic randomness
+// in the packages whose correctness (and whose chaos/failover test
+// reproducibility) depends on the simulated clock: internal/sim,
+// internal/core, and internal/rmt. Those packages must take time from
+// sim.Simulator and randomness from a seeded rand.New(rand.NewSource(..));
+// a stray time.Now or global rand.Intn makes every recorded latency and
+// every chaos schedule unreproducible.
+//
+// Seeded construction (rand.New, rand.NewSource, rand.NewZipf) and
+// *rand.Rand method calls are allowed — they are how determinism is
+// implemented. Test files are exempt.
+var SimclockAnalyzer = &Analyzer{
+	Name: "simclock",
+	Doc:  "no wall-clock time.* or global math/rand calls in sim-clock-driven packages",
+	Match: func(p string) bool {
+		return pathIn(p, "repro/internal/sim", "repro/internal/core", "repro/internal/rmt")
+	},
+	Run: runSimclock,
+}
+
+// wallClockFuncs are the time package entry points that read or wait on
+// the real clock. Pure constructors/converters (time.Duration,
+// time.Unix) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+// seededRandFuncs are the math/rand constructors for deterministic,
+// locally-seeded generators; everything else on the package (Intn,
+// Int63, Float64, Perm, Shuffle, Seed, ...) hits the global source.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runSimclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		timeName := importLocal(f, "time")
+		randName := importLocal(f, "math/rand")
+		if timeName == "" && randName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := pkgCall(call, timeName); wallClockFuncs[fn] {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock; use the simulated clock (sim.Simulator) in %s", fn, pass.Path)
+			}
+			if fn := pkgCall(call, randName); fn != "" && !seededRandFuncs[fn] {
+				pass.Reportf(call.Pos(),
+					"rand.%s uses the global random source; use a seeded rand.New(rand.NewSource(seed)) in %s", fn, pass.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Fixture for the journalintent analyzer (analyzed as
+// repro/internal/core).
+package core
+
+type agent struct{}
+
+func (a *agent) journalBegin() error            { return nil }
+func (a *agent) journalCommitStaged() error     { return nil }
+func (a *agent) journalCheckpoint() error       { return nil }
+func (a *agent) drvModifyEntry(t string, k int) {}
+func (a *agent) drvAddEntry(t string, k int)    {}
+func (a *agent) drvBatchRead() int              { return 0 }
+
+func (a *agent) goodCommit() {
+	// Intent first, mutation second: the crash window is covered.
+	_ = a.journalCommitStaged()
+	a.drvModifyEntry("t", 1)
+}
+
+func (a *agent) badCommit() {
+	a.drvModifyEntry("t", 1) // want "driver mutation drvModifyEntry precedes the intent journal write"
+	_ = a.journalCommitStaged()
+}
+
+func (a *agent) badBegin() {
+	a.drvAddEntry("t", 2) // want "driver mutation drvAddEntry precedes the intent journal write"
+	_ = a.journalBegin()
+	a.drvModifyEntry("t", 3)
+}
+
+func (a *agent) mutateOnly() {
+	// No intent write in scope: reconciliation-style replay, not flagged.
+	a.drvAddEntry("t", 4)
+	a.drvModifyEntry("t", 5)
+}
+
+func (a *agent) checkpointAfter() {
+	// Checkpoints summarize state after the fact; they are not intent
+	// writes and impose no ordering.
+	a.drvModifyEntry("t", 6)
+	_ = a.journalCheckpoint()
+}
+
+func (a *agent) readsDontCount() {
+	_ = a.drvBatchRead()
+	_ = a.journalBegin()
+	a.drvModifyEntry("t", 7)
+}

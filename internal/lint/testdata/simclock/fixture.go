@@ -1,0 +1,46 @@
+// Fixture for the simclock analyzer (analyzed as repro/internal/sim).
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type proc struct {
+	rng *rand.Rand
+}
+
+func newProc(seed int64) *proc {
+	// Seeded construction is the sanctioned pattern: allowed.
+	return &proc{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *proc) step() int {
+	// Method calls on a seeded *rand.Rand are allowed.
+	return p.rng.Intn(10)
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global random source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global random source"
+}
+
+func duration(ms int) time.Duration {
+	// Pure conversion, no clock read: allowed.
+	return time.Duration(ms) * time.Millisecond
+}

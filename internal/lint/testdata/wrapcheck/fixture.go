@@ -1,0 +1,34 @@
+// Fixture for the wrapcheck analyzer (analyzed as repro/internal/driver).
+package driver
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrTransient = errors.New("transient")
+
+func bad(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want "without %w"
+}
+
+func badSentinel(reg string) error {
+	return fmt.Errorf("unknown register %q: %s", reg, ErrTransient) // want "without %w"
+}
+
+func good(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+func goodSentinel(reg string) error {
+	return fmt.Errorf("unknown register %q: %w", reg, ErrTransient)
+}
+
+func unrelated(name string) error {
+	return fmt.Errorf("no such table %q", name)
+}
+
+func stringified(err error) string {
+	// err.Error() is a string, not an error value: no finding.
+	return fmt.Errorf("wrapped: %s", err.Error()).Error()
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// WrapcheckAnalyzer enforces sentinel wrapping on the error paths the
+// agent's recovery logic depends on. internal/driver, internal/ctlplane
+// and internal/faults classify failures with errors.Is against typed
+// sentinels (driver.ErrTransient, ctlplane.ErrNotPrimary, ...); a
+// fmt.Errorf that formats an error with %v or %s instead of %w severs
+// the chain and silently disables retry/degraded-poll handling.
+var WrapcheckAnalyzer = &Analyzer{
+	Name: "wrapcheck",
+	Doc:  "fmt.Errorf over error values in driver/ctlplane/faults must wrap with %w",
+	Match: func(p string) bool {
+		return pathIn(p, "repro/internal/driver", "repro/internal/ctlplane", "repro/internal/faults")
+	},
+	Run: runWrapcheck,
+}
+
+func runWrapcheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		fmtName := importLocal(f, "fmt")
+		if fmtName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pkgCall(call, fmtName) != "Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := stringLit(call.Args[0])
+			if !ok {
+				return true
+			}
+			wraps := strings.Contains(format, "%w")
+			for _, arg := range call.Args[1:] {
+				if !errorish(arg) {
+					continue
+				}
+				if !wraps {
+					pass.Reportf(call.Pos(),
+						"fmt.Errorf formats error %s without %%w; errors.Is against the sentinel will fail downstream",
+						exprName(arg))
+				}
+				break
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorish reports whether an expression syntactically denotes an error
+// value: the identifier err, or an Err-prefixed/suffixed name — the
+// naming convention every sentinel and error variable in this repo
+// follows.
+func errorish(e ast.Expr) bool {
+	name := exprName(e)
+	return name == "err" ||
+		strings.HasPrefix(name, "Err") || strings.HasSuffix(name, "Err") ||
+		strings.HasSuffix(name, "err")
+}
+
+func exprName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		// err.Error(), sub.Err() and the like are strings, not errors.
+		return ""
+	}
+	return ""
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	// Strip the surrounding quotes; escapes don't matter for %-verb
+	// scanning.
+	return lit.Value, true
+}

@@ -1,0 +1,850 @@
+// Package analysis implements the semantic analyzer of the P4R
+// frontend. It runs over the parsed AST before lowering and reports
+// everything it finds as structured diagnostics (internal/p4r/diag)
+// instead of dying on the first problem, the way the backend's
+// fail-first lowering does.
+//
+// The passes encode the preconditions of the Mantis program
+// transformations (§4–§5 of the paper): malleable declaration/use
+// consistency, reaction read/write discipline against polled snapshots,
+// init-action and measurement-slot capacity, version-bit entry
+// expansion, and the static portion of the serializable-isolation
+// invariant (a reaction may only read registers the compiler protects
+// with the mv bit, i.e. registers it polls).
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/p4"
+	"repro/internal/p4r"
+	"repro/internal/p4r/diag"
+	"repro/internal/rcl"
+)
+
+// Limits are the platform capacities the analyzer checks against. They
+// mirror the knobs of compiler.Options so mantisc -check sees the same
+// limits the backend would enforce.
+type Limits struct {
+	// MaxInitActionBits bounds the total parameter width of one init
+	// action (§5.1.1); a single malleable wider than this can never be
+	// packed.
+	MaxInitActionBits int
+	// MeasSlotBits is the width of one packed measurement register slot
+	// (§5.2); a field parameter wider than this cannot be measured.
+	MeasSlotBits int
+	// MaxTableEntries bounds the generated (post-expansion) entry count
+	// of a single table: declared size × alt expansion × 2 version
+	// copies (§5.1.2).
+	MaxTableEntries int
+}
+
+// DefaultLimits mirrors compiler.DefaultOptions.
+func DefaultLimits() Limits {
+	return Limits{MaxInitActionBits: 512, MeasSlotBits: 64, MaxTableEntries: 1 << 20}
+}
+
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxInitActionBits == 0 {
+		l.MaxInitActionBits = d.MaxInitActionBits
+	}
+	if l.MeasSlotBits == 0 {
+		l.MeasSlotBits = d.MeasSlotBits
+	}
+	if l.MaxTableEntries == 0 {
+		l.MaxTableEntries = d.MaxTableEntries
+	}
+	return l
+}
+
+// checker carries the symbol tables shared by the passes.
+type checker struct {
+	f   *p4r.File
+	lim Limits
+	out *diag.List
+
+	fields    map[string]int // instance.field (and standard metadata) -> width
+	registers map[string]*p4r.RegisterDecl
+	mblValues map[string]*p4r.MblValue
+	mblFields map[string]*p4r.MblField
+	actions   map[string]*p4r.ActionDecl
+	tables    map[string]*p4r.TableDecl
+
+	mblUsed    map[string]bool // malleable name -> referenced anywhere
+	regWritten map[string]bool // register name -> written by a data-plane action
+}
+
+// Analyze runs every semantic pass over f and returns the collected
+// diagnostics, sorted by source position. The returned list may mix
+// errors and warnings; callers decide whether warnings block (Werror).
+func Analyze(f *p4r.File, lim Limits) *diag.List {
+	c := &checker{
+		f:          f,
+		lim:        lim.withDefaults(),
+		out:        &diag.List{},
+		fields:     make(map[string]int),
+		registers:  make(map[string]*p4r.RegisterDecl),
+		mblValues:  make(map[string]*p4r.MblValue),
+		mblFields:  make(map[string]*p4r.MblField),
+		actions:    make(map[string]*p4r.ActionDecl),
+		tables:     make(map[string]*p4r.TableDecl),
+		mblUsed:    make(map[string]bool),
+		regWritten: make(map[string]bool),
+	}
+	c.buildSymbols()
+	c.checkMblFieldAlts()
+	c.checkActions()
+	c.checkFieldLists()
+	c.checkTables()
+	c.checkReactions()
+	c.checkInitCapacity()
+	c.checkUnused()
+	c.out.Sort()
+	return c.out
+}
+
+func (c *checker) errorf(code string, line, col int, format string, args ...any) *diag.Diagnostic {
+	d := diag.Errorf(code, line, col, format, args...)
+	c.out.Add(d)
+	return d
+}
+
+func (c *checker) warnf(code string, line, col int, format string, args ...any) *diag.Diagnostic {
+	d := diag.Warnf(code, line, col, format, args...)
+	c.out.Add(d)
+	return d
+}
+
+// mblDeclared reports whether name is a declared malleable (value or
+// field), marking it used.
+func (c *checker) mblDeclared(name string) bool {
+	_, isVal := c.mblValues[name]
+	_, isField := c.mblFields[name]
+	if isVal || isField {
+		c.mblUsed[name] = true
+		return true
+	}
+	return false
+}
+
+// mblWidth returns the declared width of a malleable, or 0.
+func (c *checker) mblWidth(name string) int {
+	if mv, ok := c.mblValues[name]; ok {
+		return mv.Width
+	}
+	if mf, ok := c.mblFields[name]; ok {
+		return mf.Width
+	}
+	return 0
+}
+
+// ---- Symbol construction + duplicate detection (M013) ----
+
+func (c *checker) buildSymbols() {
+	// Standard metadata is always in scope (p4.DefineStandardMetadata).
+	for name, w := range map[string]int{
+		p4.FieldIngressPort: 16, p4.FieldEgressSpec: 16, p4.FieldPacketLen: 32,
+		p4.FieldTimestamp: 48, p4.FieldEnqQdepth: 24, p4.FieldEgressPort: 16,
+		p4.FieldPriority: 8,
+	} {
+		c.fields[name] = w
+	}
+
+	headerTypes := make(map[string]*p4r.HeaderType)
+	for _, ht := range c.f.HeaderTypes {
+		if prev, dup := headerTypes[ht.Name]; dup {
+			c.errorf(diag.DuplicateDecl, ht.Line, ht.Col, "duplicate header_type %s (first declared on line %d)", ht.Name, prev.Line)
+			continue
+		}
+		headerTypes[ht.Name] = ht
+	}
+	instances := make(map[string]*p4r.Instance)
+	for _, inst := range c.f.Instances {
+		if prev, dup := instances[inst.Name]; dup {
+			c.errorf(diag.DuplicateDecl, inst.Line, inst.Col, "duplicate instance %s (first declared on line %d)", inst.Name, prev.Line)
+			continue
+		}
+		instances[inst.Name] = inst
+		ht, ok := headerTypes[inst.TypeName]
+		if !ok {
+			c.errorf(diag.UnknownSymbol, inst.Line, inst.Col, "instance %s of unknown header_type %s", inst.Name, inst.TypeName)
+			continue
+		}
+		for _, fd := range ht.Fields {
+			c.fields[inst.Name+"."+fd.Name] = fd.Width
+		}
+	}
+	for _, r := range c.f.Registers {
+		if prev, dup := c.registers[r.Name]; dup {
+			c.errorf(diag.DuplicateDecl, r.Line, r.Col, "duplicate register %s (first declared on line %d)", r.Name, prev.Line)
+			continue
+		}
+		c.registers[r.Name] = r
+	}
+	for _, mv := range c.f.MblValues {
+		if c.declaredMblDup(mv.Name, mv.Line, mv.Col) {
+			continue
+		}
+		c.mblValues[mv.Name] = mv
+	}
+	for _, mf := range c.f.MblFields {
+		if c.declaredMblDup(mf.Name, mf.Line, mf.Col) {
+			continue
+		}
+		c.mblFields[mf.Name] = mf
+	}
+	for _, a := range c.f.Actions {
+		if prev, dup := c.actions[a.Name]; dup {
+			c.errorf(diag.DuplicateDecl, a.Line, a.Col, "duplicate action %s (first declared on line %d)", a.Name, prev.Line)
+			continue
+		}
+		c.actions[a.Name] = a
+	}
+	for _, t := range c.f.Tables {
+		if prev, dup := c.tables[t.Name]; dup {
+			c.errorf(diag.DuplicateDecl, t.Line, t.Col, "duplicate table %s (first declared on line %d)", t.Name, prev.Line)
+			continue
+		}
+		c.tables[t.Name] = t
+	}
+	seenRxn := make(map[string]*p4r.Reaction)
+	for _, r := range c.f.Reactions {
+		if prev, dup := seenRxn[r.Name]; dup {
+			c.errorf(diag.DuplicateDecl, r.Line, r.Col, "duplicate reaction %s (first declared on line %d)", r.Name, prev.Line)
+			continue
+		}
+		seenRxn[r.Name] = r
+	}
+
+	// Record which registers the data plane writes (register_write,
+	// register_increment, count, count_bytes): these are the registers
+	// whose unpolled reads are isolation hazards (M010).
+	for _, a := range c.f.Actions {
+		for _, call := range a.Body {
+			switch call.Name {
+			case "register_write", "register_increment", "count", "count_bytes":
+				if len(call.Args) > 0 && call.Args[0].Kind == p4r.ArgIdent {
+					c.regWritten[call.Args[0].Ident] = true
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) declaredMblDup(name string, line, col int) bool {
+	if prev, ok := c.mblValues[name]; ok {
+		c.errorf(diag.DuplicateDecl, line, col, "duplicate malleable %s (first declared on line %d)", name, prev.Line)
+		return true
+	}
+	if prev, ok := c.mblFields[name]; ok {
+		c.errorf(diag.DuplicateDecl, line, col, "duplicate malleable %s (first declared on line %d)", name, prev.Line)
+		return true
+	}
+	return false
+}
+
+// ---- Malleable field alternatives (M005/M014) ----
+
+func (c *checker) checkMblFieldAlts() {
+	for _, mf := range c.f.MblFields {
+		for _, alt := range mf.Alts {
+			w, ok := c.fields[alt]
+			if !ok {
+				c.errorf(diag.UnknownSymbol, mf.Line, mf.Col, "malleable field %s: unknown alt %q", mf.Name, alt)
+				continue
+			}
+			if w != mf.Width {
+				c.errorf(diag.WidthMismatch, mf.Line, mf.Col,
+					"malleable field %s (width %d): alt %q has width %d", mf.Name, mf.Width, alt, w)
+			}
+		}
+	}
+}
+
+// ---- Actions: malleable references + symbol resolution (M001) ----
+
+func (c *checker) checkActions() {
+	for _, a := range c.f.Actions {
+		params := make(map[string]bool, len(a.Params))
+		for _, pn := range a.Params {
+			params[pn] = true
+		}
+		for _, call := range a.Body {
+			for i, arg := range call.Args {
+				switch arg.Kind {
+				case p4r.ArgMblRef:
+					if !c.mblDeclared(arg.Mbl) {
+						c.errorf(diag.UndeclaredMbl, arg.Line, arg.Col,
+							"action %s: reference to undeclared malleable ${%s}", a.Name, arg.Mbl).Hint =
+							"declare it with `malleable value` or `malleable field`"
+					}
+				case p4r.ArgIdent:
+					// Identifiers resolve as action parameters, fields,
+					// registers (for register_* primitives), or hash
+					// calculation names. Leave primitive-specific arity and
+					// operand-kind checking to the backend; here only flag
+					// names that resolve to nothing at all.
+					if params[arg.Ident] {
+						continue
+					}
+					if _, ok := c.fields[arg.Ident]; ok {
+						continue
+					}
+					if _, ok := c.registers[arg.Ident]; ok {
+						continue
+					}
+					if c.isCalcName(arg.Ident) {
+						continue
+					}
+					c.errorf(diag.UnknownSymbol, arg.Line, arg.Col,
+						"action %s: %s argument %d: unknown field or parameter %q", a.Name, call.Name, i+1, arg.Ident)
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) isCalcName(name string) bool {
+	for _, calc := range c.f.Calcs {
+		if calc.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Field lists and hash calculations (M001/M014) ----
+
+func (c *checker) checkFieldLists() {
+	lists := make(map[string]*p4r.FieldList)
+	for _, fl := range c.f.FieldLists {
+		if prev, dup := lists[fl.Name]; dup {
+			c.errorf(diag.DuplicateDecl, fl.Line, fl.Col, "duplicate field_list %s (first declared on line %d)", fl.Name, prev.Line)
+			continue
+		}
+		lists[fl.Name] = fl
+		for _, e := range fl.Entries {
+			switch e.Kind {
+			case p4r.ArgIdent:
+				if _, ok := c.fields[e.Ident]; !ok {
+					c.errorf(diag.UnknownSymbol, e.Line, e.Col, "field_list %s: unknown field %q", fl.Name, e.Ident)
+				}
+			case p4r.ArgMblRef:
+				if !c.mblDeclared(e.Mbl) {
+					c.errorf(diag.UndeclaredMbl, e.Line, e.Col, "field_list %s: reference to undeclared malleable ${%s}", fl.Name, e.Mbl)
+				}
+			}
+		}
+	}
+	for _, calc := range c.f.Calcs {
+		if _, ok := lists[calc.Input]; !ok {
+			c.errorf(diag.UnknownSymbol, calc.Line, calc.Col, "field_list_calculation %s: unknown field_list %q", calc.Name, calc.Input)
+		}
+		switch calc.Algorithm {
+		case "crc16", "crc32", "identity", "":
+		default:
+			c.errorf(diag.UnknownSymbol, calc.Line, calc.Col, "field_list_calculation %s: unknown algorithm %q", calc.Name, calc.Algorithm)
+		}
+	}
+}
+
+// ---- Tables (M001, M008, M009, M012, M014) ----
+
+// actionMblFields returns the distinct malleable fields an action's body
+// references (the fields the compiler specializes over, Figs. 5–6).
+func (c *checker) actionMblFields(a *p4r.ActionDecl) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, call := range a.Body {
+		for _, arg := range call.Args {
+			if arg.Kind != p4r.ArgMblRef {
+				continue
+			}
+			if _, isField := c.mblFields[arg.Mbl]; isField && !seen[arg.Mbl] {
+				seen[arg.Mbl] = true
+				out = append(out, arg.Mbl)
+			}
+		}
+	}
+	return out
+}
+
+func (c *checker) checkTables() {
+	for _, t := range c.f.Tables {
+		expansion := 1
+		expanded := map[string]bool{}
+		noteMbl := func(name string) {
+			if mf, ok := c.mblFields[name]; ok && !expanded[name] {
+				expanded[name] = true
+				expansion *= len(mf.Alts)
+			}
+		}
+
+		for _, rk := range t.Reads {
+			switch rk.Target.Kind {
+			case p4r.ArgIdent:
+				if _, ok := c.fields[rk.Target.Ident]; !ok {
+					c.errorf(diag.UnknownSymbol, rk.Line, rk.Col, "table %s: unknown match field %q", t.Name, rk.Target.Ident)
+				}
+			case p4r.ArgMblRef:
+				if !c.mblDeclared(rk.Target.Mbl) {
+					c.errorf(diag.UndeclaredMbl, rk.Line, rk.Col, "table %s: reference to undeclared malleable ${%s}", t.Name, rk.Target.Mbl)
+					continue
+				}
+				if mf, isField := c.mblFields[rk.Target.Mbl]; isField {
+					if rk.MatchType == "range" {
+						c.errorf(diag.LowerInvalid, rk.Line, rk.Col, "table %s: range match on malleable field ${%s} is not supported", t.Name, mf.Name)
+					}
+					noteMbl(mf.Name)
+				}
+			}
+		}
+
+		seenAction := map[string]int{}
+		for _, an := range t.Actions {
+			if line, dup := seenAction[an]; dup {
+				c.errorf(diag.DuplicateAction, t.Line, t.Col,
+					"table %s: action %s listed more than once", t.Name, an).Hint =
+					fmt.Sprintf("first listed for this table on line %d", line)
+				continue
+			}
+			seenAction[an] = t.Line
+			a, ok := c.actions[an]
+			if !ok {
+				c.errorf(diag.UnknownSymbol, t.Line, t.Col, "table %s: unknown action %q", t.Name, an)
+				continue
+			}
+			for _, fn := range c.actionMblFields(a) {
+				noteMbl(fn)
+			}
+		}
+
+		if t.Default != nil {
+			a, ok := c.actions[t.Default.Action]
+			switch {
+			case !ok:
+				c.errorf(diag.UnknownSymbol, t.Line, t.Col, "table %s: unknown default action %q", t.Name, t.Default.Action)
+			case len(c.actionMblFields(a)) > 0:
+				c.errorf(diag.LowerInvalid, t.Line, t.Col,
+					"table %s: default action %q uses malleable fields, which is not supported", t.Name, t.Default.Action).Hint =
+					"install a low-priority entry instead"
+			case len(t.Default.Args) != len(a.Params):
+				c.errorf(diag.DefaultArity, t.Line, t.Col,
+					"table %s: default_action %s takes %d arguments, got %d", t.Name, a.Name, len(a.Params), len(t.Default.Args))
+			}
+		}
+
+		// §5.1.2: every user entry of a malleable table is installed once
+		// per alt combination and doubled for the two config versions. The
+		// generated capacity must fit the platform table limit.
+		if t.Size > 0 {
+			gen := t.Size * expansion
+			if t.Malleable {
+				gen *= 2
+			}
+			if gen > c.lim.MaxTableEntries {
+				c.errorf(diag.TableExpansion, t.Line, t.Col,
+					"table %s: %d declared entries expand to %d generated entries (× %d alt combinations%s), exceeding the platform table capacity %d",
+					t.Name, t.Size, gen, expansion, versionNote(t.Malleable), c.lim.MaxTableEntries).Hint =
+					"shrink the table, reduce alts, or split the malleable field"
+			}
+		}
+	}
+
+	// Control blocks: applied tables must exist (M014). Walked here so
+	// table-name typos surface in -check, not just at lowering.
+	var walk func(stmts []p4r.Stmt)
+	walk = func(stmts []p4r.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case p4r.ApplyStmt:
+				if _, ok := c.tables[st.Table]; !ok {
+					c.errorf(diag.UnknownSymbol, st.Line, st.Col, "apply of unknown table %q", st.Table)
+				}
+			case p4r.IfStmt:
+				for _, arg := range []p4r.Arg{st.Cond.Left, st.Cond.Right} {
+					switch arg.Kind {
+					case p4r.ArgIdent:
+						if _, ok := c.fields[arg.Ident]; !ok {
+							c.errorf(diag.UnknownSymbol, arg.Line, arg.Col, "unknown field %q in condition", arg.Ident)
+						}
+					case p4r.ArgMblRef:
+						if !c.mblDeclared(arg.Mbl) {
+							c.errorf(diag.UndeclaredMbl, arg.Line, arg.Col, "reference to undeclared malleable ${%s} in condition", arg.Mbl)
+						}
+					}
+				}
+				walk(st.Then)
+				walk(st.Else)
+			}
+		}
+	}
+	walk(c.f.Ingress)
+	walk(c.f.Egress)
+}
+
+func versionNote(malleable bool) string {
+	if malleable {
+		return " × 2 version copies"
+	}
+	return ""
+}
+
+// ---- Init-table capacity (M006) ----
+
+func (c *checker) checkInitCapacity() {
+	for _, mv := range c.f.MblValues {
+		if mv.Width > c.lim.MaxInitActionBits {
+			c.errorf(diag.InitCapacity, mv.Line, mv.Col,
+				"malleable value %s (%d bits) exceeds the init-action capacity %d", mv.Name, mv.Width, c.lim.MaxInitActionBits)
+		}
+	}
+	// Selector widths (ceil log2 of the alt count) are tiny; only a
+	// pathological alt count could exceed the cap, but check anyway so
+	// the invariant is complete.
+	for _, mf := range c.f.MblFields {
+		sel := 1
+		for (1 << sel) < len(mf.Alts) {
+			sel++
+		}
+		if sel > c.lim.MaxInitActionBits {
+			c.errorf(diag.InitCapacity, mf.Line, mf.Col,
+				"malleable field %s selector (%d bits) exceeds the init-action capacity %d", mf.Name, sel, c.lim.MaxInitActionBits)
+		}
+	}
+}
+
+// ---- Unused declarations (M002, M011 — warnings) ----
+
+func (c *checker) checkUnused() {
+	for _, mv := range c.f.MblValues {
+		if !c.mblUsed[mv.Name] {
+			c.warnf(diag.UnusedMbl, mv.Line, mv.Col, "malleable value %s is declared but never used", mv.Name)
+		}
+	}
+	for _, mf := range c.f.MblFields {
+		if !c.mblUsed[mf.Name] {
+			c.warnf(diag.UnusedMbl, mf.Line, mf.Col, "malleable field %s is declared but never used", mf.Name)
+		}
+	}
+	referenced := map[string]bool{}
+	for _, t := range c.f.Tables {
+		for _, an := range t.Actions {
+			referenced[an] = true
+		}
+		if t.Default != nil {
+			referenced[t.Default.Action] = true
+		}
+	}
+	for _, a := range c.f.Actions {
+		if !referenced[a.Name] {
+			c.warnf(diag.UnreachableDecl, a.Line, a.Col,
+				"action %s is not reachable from any table", a.Name).Hint =
+				"add it to a table's actions block or delete it"
+		}
+	}
+}
+
+// ---- Reactions (M001, M003, M004, M005, M006, M007, M010, M014) ----
+
+func (c *checker) checkReactions() {
+	for _, r := range c.f.Reactions {
+		rx := &reactionScope{
+			c:          c,
+			r:          r,
+			fieldParam: make(map[string]int),
+			regParam:   make(map[string]bool),
+			locals:     make(map[string]bool),
+		}
+		for _, p := range r.Params {
+			switch p.Kind {
+			case p4r.ParamIng, p4r.ParamEgr:
+				if p.IsMbl {
+					if !c.mblDeclared(p.Target) {
+						c.errorf(diag.UndeclaredMbl, p.Line, p.Col,
+							"reaction %s: reference to undeclared malleable ${%s}", r.Name, p.Target)
+					}
+					continue
+				}
+				w, ok := c.fields[p.Target]
+				if !ok {
+					c.errorf(diag.UnknownSymbol, p.Line, p.Col, "reaction %s: unknown field parameter %q", r.Name, p.Target)
+					continue
+				}
+				if w > c.lim.MeasSlotBits {
+					c.errorf(diag.InitCapacity, p.Line, p.Col,
+						"reaction %s: field %q (%d bits) exceeds the measurement slot width %d", r.Name, p.Target, w, c.lim.MeasSlotBits)
+				}
+				rx.fieldParam[sanitize(p.Target)] = w
+			case p4r.ParamReg:
+				reg, ok := c.registers[p.Target]
+				if !ok {
+					c.errorf(diag.UnknownSymbol, p.Line, p.Col, "reaction %s: unknown register parameter %q", r.Name, p.Target)
+					continue
+				}
+				n := reg.InstanceCount
+				if n == 0 {
+					n = 1
+				}
+				if p.Hi >= 0 && p.Hi >= n {
+					c.errorf(diag.RegSliceRange, p.Line, p.Col,
+						"reaction %s: register %s[%d:%d] out of range (instance_count %d)", r.Name, p.Target, p.Lo, p.Hi, n)
+				}
+				rx.regParam[p.Target] = true
+			}
+		}
+		rx.checkBody()
+	}
+}
+
+// reactionScope tracks name bindings while walking one reaction body.
+type reactionScope struct {
+	c          *checker
+	r          *p4r.Reaction
+	fieldParam map[string]int // sanitized field-param var -> width
+	regParam   map[string]bool
+	locals     map[string]bool
+}
+
+// checkBody parses the C-like reaction body and walks it. Bodies that do
+// not parse as RCL are assumed to be stand-ins for native Go reactions
+// (the runtime requires a registered native implementation for them) and
+// are skipped.
+func (rx *reactionScope) checkBody() {
+	stmts, err := rcl.ParseBody(rx.r.Body)
+	if err != nil {
+		return
+	}
+	// First collect every declared local (including statics and loop-init
+	// declarations) so use-sites resolve regardless of order.
+	var collect func(stmts []rcl.Stmt)
+	collect = func(stmts []rcl.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case rcl.DeclStmt:
+				for _, v := range st.Vars {
+					rx.locals[v.Name] = true
+				}
+			case rcl.IfStmt:
+				collect(st.Then)
+				collect(st.Else)
+			case rcl.WhileStmt:
+				collect(st.Body)
+			case rcl.ForStmt:
+				if st.Init != nil {
+					collect([]rcl.Stmt{st.Init})
+				}
+				collect(st.Body)
+			}
+		}
+	}
+	collect(stmts)
+	rx.walkStmts(stmts)
+}
+
+func (rx *reactionScope) walkStmts(stmts []rcl.Stmt) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case rcl.DeclStmt:
+			for _, v := range st.Vars {
+				if v.Init != nil {
+					rx.walkExpr(v.Init)
+				}
+			}
+		case rcl.ExprStmt:
+			rx.walkExpr(st.E)
+		case rcl.IfStmt:
+			rx.walkExpr(st.Cond)
+			rx.walkStmts(st.Then)
+			rx.walkStmts(st.Else)
+		case rcl.WhileStmt:
+			rx.walkExpr(st.Cond)
+			rx.walkStmts(st.Body)
+		case rcl.ForStmt:
+			if st.Init != nil {
+				rx.walkStmts([]rcl.Stmt{st.Init})
+			}
+			if st.Cond != nil {
+				rx.walkExpr(st.Cond)
+			}
+			if st.Post != nil {
+				rx.walkExpr(st.Post)
+			}
+			rx.walkStmts(st.Body)
+		case rcl.ReturnStmt:
+			if st.E != nil {
+				rx.walkExpr(st.E)
+			}
+		}
+	}
+}
+
+func (rx *reactionScope) walkExpr(e rcl.Expr) {
+	switch x := e.(type) {
+	case rcl.VarRef:
+		rx.checkRead(x.Name, x.Line)
+	case rcl.MblExpr:
+		if !rx.c.mblDeclared(x.Name) {
+			rx.c.errorf(diag.UndeclaredMbl, bodyLine(rx.r, x.Line), 0,
+				"reaction %s: reference to undeclared malleable ${%s}", rx.r.Name, x.Name)
+		}
+	case rcl.IndexExpr:
+		rx.walkExpr(x.Base)
+		rx.walkExpr(x.Idx)
+	case rcl.UnaryExpr:
+		if x.Op == "++" || x.Op == "--" {
+			rx.checkWrite(x.X, x.Line, nil)
+		}
+		rx.walkExpr(x.X)
+	case rcl.BinaryExpr:
+		rx.checkCompareWidths(x)
+		rx.walkExpr(x.L)
+		rx.walkExpr(x.R)
+	case rcl.TernaryExpr:
+		rx.walkExpr(x.Cond)
+		rx.walkExpr(x.T)
+		rx.walkExpr(x.F)
+	case rcl.AssignExpr:
+		rx.checkWrite(x.Target, x.Line, x.Val)
+		rx.walkExpr(x.Val)
+		// The target's sub-expressions (array index) still count as reads.
+		if ix, ok := x.Target.(rcl.IndexExpr); ok {
+			rx.walkExpr(ix.Idx)
+		}
+	case rcl.CallExpr:
+		for _, a := range x.Args {
+			rx.walkExpr(a)
+		}
+	case rcl.TableCallExpr:
+		if _, ok := rx.c.tables[x.Table]; !ok {
+			rx.c.errorf(diag.UnknownSymbol, bodyLine(rx.r, x.Line), 0,
+				"reaction %s: table call on unknown table %q", rx.r.Name, x.Table)
+		}
+		for _, a := range x.Args {
+			rx.walkExpr(a)
+		}
+	}
+}
+
+// checkRead flags reads of register state the reaction did not poll. A
+// polled register is snapshotted under the mv bit by the generated
+// duplicate/mirror machinery (§5.2); reading any other register from the
+// control plane races the data plane and breaks serializable isolation.
+func (rx *reactionScope) checkRead(name string, line int) {
+	if rx.locals[name] || rx.regParam[name] {
+		return
+	}
+	if _, ok := rx.fieldParam[name]; ok {
+		return
+	}
+	if _, isReg := rx.c.registers[name]; isReg {
+		if rx.c.regWritten[name] {
+			rx.c.errorf(diag.IsolationHazard, bodyLine(rx.r, line), 0,
+				"reaction %s: reads register %s, which the data plane writes, without polling it", rx.r.Name, name).Hint =
+				fmt.Sprintf("add `reg %s` to the reaction parameters so the compiler mv-protects it", name)
+		} else {
+			rx.c.errorf(diag.ReadBeforePoll, bodyLine(rx.r, line), 0,
+				"reaction %s: reads register %s without polling it", rx.r.Name, name).Hint =
+				fmt.Sprintf("add `reg %s` to the reaction parameters", name)
+		}
+	}
+	// Other unknown names may be host builtins or native bindings; the
+	// interpreter reports those at run time.
+}
+
+// checkWrite flags writes through anything but a local variable or a
+// declared malleable. Polled parameters are immutable snapshots (§4.2):
+// assigning to them cannot reach the switch and indicates a confused
+// program.
+func (rx *reactionScope) checkWrite(target rcl.Expr, line int, val rcl.Expr) {
+	switch t := target.(type) {
+	case rcl.MblExpr:
+		if !rx.c.mblDeclared(t.Name) {
+			rx.c.errorf(diag.UndeclaredMbl, bodyLine(rx.r, line), 0,
+				"reaction %s: write to undeclared malleable ${%s}", rx.r.Name, t.Name)
+			return
+		}
+		rx.checkMblValueWidth(t.Name, line, val)
+	case rcl.VarRef:
+		if rx.locals[t.Name] {
+			return
+		}
+		if _, ok := rx.fieldParam[t.Name]; ok {
+			rx.c.errorf(diag.WriteNonMbl, bodyLine(rx.r, line), 0,
+				"reaction %s: writes to polled field parameter %s", rx.r.Name, t.Name).Hint =
+				"polled parameters are read-only snapshots; stage changes through a malleable"
+			return
+		}
+		if rx.regParam[t.Name] || rx.c.registers[t.Name] != nil {
+			rx.c.errorf(diag.WriteNonMbl, bodyLine(rx.r, line), 0,
+				"reaction %s: writes to register %s", rx.r.Name, t.Name).Hint =
+				"register snapshots are read-only; the data plane owns register state"
+		}
+	case rcl.IndexExpr:
+		if base, ok := t.Base.(rcl.VarRef); ok && !rx.locals[base.Name] {
+			if rx.regParam[base.Name] || rx.c.registers[base.Name] != nil {
+				rx.c.errorf(diag.WriteNonMbl, bodyLine(rx.r, line), 0,
+					"reaction %s: writes to polled register %s", rx.r.Name, base.Name).Hint =
+					"register snapshots are read-only; the data plane owns register state"
+			}
+		}
+	}
+}
+
+// checkMblValueWidth reports constant stores that cannot fit the
+// malleable's declared width (M005).
+func (rx *reactionScope) checkMblValueWidth(name string, line int, val rcl.Expr) {
+	lit, ok := val.(rcl.NumLit)
+	if !ok || lit.V < 0 {
+		return
+	}
+	if mf, isField := rx.c.mblFields[name]; isField {
+		if int(lit.V) >= len(mf.Alts) {
+			rx.c.errorf(diag.WidthMismatch, bodyLine(rx.r, line), 0,
+				"reaction %s: alt index %d out of range for malleable field %s (%d alts)", rx.r.Name, lit.V, name, len(mf.Alts))
+		}
+		return
+	}
+	if w := rx.c.mblWidth(name); w > 0 && w < 64 && uint64(lit.V) >= 1<<uint(w) {
+		rx.c.errorf(diag.WidthMismatch, bodyLine(rx.r, line), 0,
+			"reaction %s: constant %d does not fit malleable %s (width %d)", rx.r.Name, lit.V, name, w)
+	}
+}
+
+// checkCompareWidths warns about comparisons of a polled field parameter
+// against a constant that its width can never produce (M005): the branch
+// is statically dead.
+func (rx *reactionScope) checkCompareWidths(x rcl.BinaryExpr) {
+	switch x.Op {
+	case "==", "!=", "<", "<=", ">", ">=":
+	default:
+		return
+	}
+	ref, lit := x.L, x.R
+	if _, ok := ref.(rcl.VarRef); !ok {
+		ref, lit = x.R, x.L
+	}
+	v, okV := ref.(rcl.VarRef)
+	n, okN := lit.(rcl.NumLit)
+	if !okV || !okN || n.V < 0 {
+		return
+	}
+	if w, ok := rx.fieldParam[v.Name]; ok && w < 64 && uint64(n.V) >= 1<<uint(w) {
+		rx.c.warnf(diag.WidthMismatch, bodyLine(rx.r, x.Line), 0,
+			"reaction %s: %s is %d bits wide and can never equal or exceed %d; comparison is constant", rx.r.Name, v.Name, w, n.V)
+	}
+}
+
+// bodyLine converts a 1-based line within a reaction body to an absolute
+// source line. The body starts on the reaction declaration's line (the
+// capture begins right after the opening brace).
+func bodyLine(r *p4r.Reaction, rel int) int {
+	if rel <= 0 {
+		return r.Line
+	}
+	return r.Line + rel - 1
+}
+
+func sanitize(name string) string { return strings.ReplaceAll(name, ".", "_") }

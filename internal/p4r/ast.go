@@ -23,6 +23,7 @@ type HeaderType struct {
 	Name   string
 	Fields []FieldDef
 	Line   int
+	Col    int
 }
 
 // FieldDef is one field of a header type.
@@ -37,6 +38,7 @@ type Instance struct {
 	Name     string
 	Metadata bool
 	Line     int
+	Col      int
 }
 
 // RegisterDecl declares a stateful register array.
@@ -45,6 +47,7 @@ type RegisterDecl struct {
 	Width         int
 	InstanceCount int
 	Line          int
+	Col           int
 }
 
 // FieldList names an ordered list of fields (possibly malleable refs).
@@ -52,6 +55,7 @@ type FieldList struct {
 	Name    string
 	Entries []Arg
 	Line    int
+	Col     int
 }
 
 // FieldListCalc declares a hash over a field list.
@@ -61,6 +65,7 @@ type FieldListCalc struct {
 	Algorithm   string
 	OutputWidth int
 	Line        int
+	Col         int
 }
 
 // ArgKind discriminates Arg variants.
@@ -84,6 +89,7 @@ type Arg struct {
 	Value uint64
 	Mbl   string
 	Line  int
+	Col   int
 }
 
 func (a Arg) String() string {
@@ -102,6 +108,7 @@ type PrimCall struct {
 	Name string
 	Args []Arg
 	Line int
+	Col  int
 }
 
 // ActionDecl declares a compound action.
@@ -110,6 +117,7 @@ type ActionDecl struct {
 	Params []string
 	Body   []PrimCall
 	Line   int
+	Col    int
 }
 
 // ReadKey is one column of a table's reads block.
@@ -120,6 +128,7 @@ type ReadKey struct {
 	Mask    uint64
 	HasMask bool
 	Line    int
+	Col     int
 }
 
 // DefaultCall is a table's default action with constant arguments.
@@ -138,6 +147,7 @@ type TableDecl struct {
 	Default   *DefaultCall
 	Size      int
 	Line      int
+	Col       int
 }
 
 // MblValue is a `malleable value` declaration: a runtime-settable
@@ -147,6 +157,7 @@ type MblValue struct {
 	Width int
 	Init  uint64
 	Line  int
+	Col   int
 }
 
 // MblField is a `malleable field` declaration: a runtime-shiftable
@@ -157,6 +168,7 @@ type MblField struct {
 	Init  string
 	Alts  []string
 	Line  int
+	Col   int
 }
 
 // InitAltIndex returns the index of the init field within Alts, or -1.
@@ -191,6 +203,7 @@ type ReactionParam struct {
 	// (inclusive, as in the paper's `reg qdepths[1:10]`).
 	Lo, Hi int
 	Line   int
+	Col    int
 }
 
 // Reaction is a reaction declaration. Body is the raw C-like source,
@@ -200,13 +213,18 @@ type Reaction struct {
 	Params []ReactionParam
 	Body   string
 	Line   int
+	Col    int
 }
 
 // Stmt is a control-flow statement (apply or if).
 type Stmt interface{ stmt() }
 
 // ApplyStmt applies a table.
-type ApplyStmt struct{ Table string }
+type ApplyStmt struct {
+	Table string
+	Line  int
+	Col   int
+}
 
 // IfStmt branches on a condition.
 type IfStmt struct {

@@ -15,6 +15,8 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"repro/internal/p4r/diag"
 )
 
 // TokenKind classifies lexical tokens.
@@ -99,7 +101,7 @@ func (lx *Lexer) skipSpaceAndComments() error {
 				lx.advance()
 			}
 		case c == '/' && lx.peekByteAt(1) == '*':
-			startLine := lx.line
+			startLine, startCol := lx.line, lx.col
 			lx.advance()
 			lx.advance()
 			closed := false
@@ -113,7 +115,7 @@ func (lx *Lexer) skipSpaceAndComments() error {
 				lx.advance()
 			}
 			if !closed {
-				return fmt.Errorf("line %d: unterminated block comment", startLine)
+				return diag.Errorf(diag.BadLiteral, startLine, startCol, "unterminated block comment")
 			}
 		default:
 			return nil
@@ -152,10 +154,10 @@ func (lx *Lexer) Next() (Token, error) {
 		}
 		name := lx.src[start:lx.pos]
 		if name == "" {
-			return Token{}, fmt.Errorf("line %d:%d: empty malleable reference", line, col)
+			return Token{}, diag.Errorf(diag.BadLiteral, line, col, "empty malleable reference")
 		}
 		if lx.peekByte() != '}' {
-			return Token{}, fmt.Errorf("line %d:%d: malleable reference ${%s missing '}'", line, col, name)
+			return Token{}, diag.Errorf(diag.BadLiteral, line, col, "malleable reference ${%s missing '}'", name)
 		}
 		lx.advance()
 		return Token{Kind: TokMblRef, Text: name, Line: line, Col: col}, nil
@@ -180,7 +182,7 @@ func (lx *Lexer) Next() (Token, error) {
 			text := lx.src[start:lx.pos]
 			v, err := strconv.ParseUint(text, 0, 64)
 			if err != nil {
-				return Token{}, fmt.Errorf("line %d:%d: bad hex literal %q", line, col, text)
+				return Token{}, diag.Errorf(diag.BadLiteral, line, col, "bad hex literal %q", text)
 			}
 			return Token{Kind: TokNumber, Text: text, Num: v, Line: line, Col: col}, nil
 		}
@@ -190,7 +192,7 @@ func (lx *Lexer) Next() (Token, error) {
 		text := lx.src[start:lx.pos]
 		v, err := strconv.ParseUint(text, 10, 64)
 		if err != nil {
-			return Token{}, fmt.Errorf("line %d:%d: bad number literal %q", line, col, text)
+			return Token{}, diag.Errorf(diag.BadLiteral, line, col, "bad number literal %q", text)
 		}
 		return Token{Kind: TokNumber, Text: text, Num: v, Line: line, Col: col}, nil
 	}
@@ -221,7 +223,7 @@ func isHex(c byte) bool {
 func (lx *Lexer) captureBraceBlock() (string, error) {
 	depth := 1
 	var b strings.Builder
-	startLine := lx.line
+	startLine, startCol := lx.line, lx.col
 	for lx.pos < len(lx.src) {
 		c := lx.peekByte()
 		if c == '/' && lx.peekByteAt(1) == '/' {
@@ -242,5 +244,5 @@ func (lx *Lexer) captureBraceBlock() (string, error) {
 		}
 		b.WriteByte(lx.advance())
 	}
-	return "", fmt.Errorf("line %d: unterminated block", startLine)
+	return "", diag.Errorf(diag.BadLiteral, startLine, startCol, "unterminated block")
 }

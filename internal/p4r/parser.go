@@ -1,7 +1,7 @@
 package p4r
 
 import (
-	"fmt"
+	"repro/internal/p4r/diag"
 )
 
 // Parser is a recursive-descent parser for P4R source with one token of
@@ -35,8 +35,14 @@ func (p *Parser) next() error {
 	return nil
 }
 
+// errf reports a generic syntax error at the current token.
 func (p *Parser) errf(format string, args ...any) error {
-	return fmt.Errorf("line %d:%d: %s", p.cur.Line, p.cur.Col, fmt.Sprintf(format, args...))
+	return p.errc(diag.SyntaxError, format, args...)
+}
+
+// errc reports a coded syntax error at the current token.
+func (p *Parser) errc(code, format string, args ...any) error {
+	return diag.Errorf(code, p.cur.Line, p.cur.Col, format, args...)
 }
 
 func (p *Parser) expectIdent() (Token, error) {
@@ -115,12 +121,12 @@ func (p *Parser) parseTopLevel() error {
 	case "control":
 		return p.parseControl()
 	default:
-		return p.errf("unknown declaration %q", p.cur.Text)
+		return p.errc(diag.UnknownConstruct, "unknown declaration %q", p.cur.Text)
 	}
 }
 
 func (p *Parser) parseHeaderType() error {
-	line := p.cur.Line
+	line, col := p.cur.Line, p.cur.Col
 	if err := p.next(); err != nil {
 		return err
 	}
@@ -131,7 +137,7 @@ func (p *Parser) parseHeaderType() error {
 	if err := p.expectPunct("{"); err != nil {
 		return err
 	}
-	ht := &HeaderType{Name: name.Text, Line: line}
+	ht := &HeaderType{Name: name.Text, Line: line, Col: col}
 	// fields { name : width; ... }
 	kw, err := p.expectIdent()
 	if err != nil {
@@ -166,7 +172,7 @@ func (p *Parser) parseHeaderType() error {
 
 func (p *Parser) parseInstance() error {
 	meta := p.cur.Text == "metadata"
-	line := p.cur.Line
+	line, col := p.cur.Line, p.cur.Col
 	if err := p.next(); err != nil {
 		return err
 	}
@@ -182,13 +188,13 @@ func (p *Parser) parseInstance() error {
 		return err
 	}
 	p.f.Instances = append(p.f.Instances, &Instance{
-		TypeName: typ.Text, Name: name.Text, Metadata: meta, Line: line,
+		TypeName: typ.Text, Name: name.Text, Metadata: meta, Line: line, Col: col,
 	})
 	return nil
 }
 
 func (p *Parser) parseRegister() error {
-	line := p.cur.Line
+	line, col := p.cur.Line, p.cur.Col
 	if err := p.next(); err != nil {
 		return err
 	}
@@ -199,7 +205,7 @@ func (p *Parser) parseRegister() error {
 	if err := p.expectPunct("{"); err != nil {
 		return err
 	}
-	r := &RegisterDecl{Name: name.Text, Line: line}
+	r := &RegisterDecl{Name: name.Text, Line: line, Col: col}
 	for !p.isPunct("}") {
 		key, err := p.expectIdent()
 		if err != nil {
@@ -215,14 +221,14 @@ func (p *Parser) parseRegister() error {
 		case "instance_count":
 			r.InstanceCount = int(v)
 		default:
-			return p.errf("unknown register attribute %q", key.Text)
+			return diag.Errorf(diag.UnknownConstruct, key.Line, key.Col, "unknown register attribute %q", key.Text)
 		}
 	}
 	if err := p.next(); err != nil {
 		return err
 	}
 	if r.Width == 0 {
-		return fmt.Errorf("line %d: register %s missing width", line, r.Name)
+		return diag.Errorf(diag.MissingAttr, name.Line, name.Col, "register %s missing width", r.Name)
 	}
 	if r.InstanceCount == 0 {
 		r.InstanceCount = 1
@@ -235,13 +241,13 @@ func (p *Parser) parseRegister() error {
 func (p *Parser) parseArg() (Arg, error) {
 	switch p.cur.Kind {
 	case TokIdent:
-		a := Arg{Kind: ArgIdent, Ident: p.cur.Text, Line: p.cur.Line}
+		a := Arg{Kind: ArgIdent, Ident: p.cur.Text, Line: p.cur.Line, Col: p.cur.Col}
 		return a, p.next()
 	case TokNumber:
-		a := Arg{Kind: ArgConst, Value: p.cur.Num, Line: p.cur.Line}
+		a := Arg{Kind: ArgConst, Value: p.cur.Num, Line: p.cur.Line, Col: p.cur.Col}
 		return a, p.next()
 	case TokMblRef:
-		a := Arg{Kind: ArgMblRef, Mbl: p.cur.Text, Line: p.cur.Line}
+		a := Arg{Kind: ArgMblRef, Mbl: p.cur.Text, Line: p.cur.Line, Col: p.cur.Col}
 		return a, p.next()
 	default:
 		return Arg{}, p.errf("expected argument, got %s", p.cur)
@@ -249,7 +255,7 @@ func (p *Parser) parseArg() (Arg, error) {
 }
 
 func (p *Parser) parseFieldList() error {
-	line := p.cur.Line
+	line, col := p.cur.Line, p.cur.Col
 	if err := p.next(); err != nil {
 		return err
 	}
@@ -260,7 +266,7 @@ func (p *Parser) parseFieldList() error {
 	if err := p.expectPunct("{"); err != nil {
 		return err
 	}
-	fl := &FieldList{Name: name.Text, Line: line}
+	fl := &FieldList{Name: name.Text, Line: line, Col: col}
 	for !p.isPunct("}") {
 		a, err := p.parseArg()
 		if err != nil {
@@ -283,7 +289,7 @@ func (p *Parser) parseFieldList() error {
 }
 
 func (p *Parser) parseFieldListCalc() error {
-	line := p.cur.Line
+	line, col := p.cur.Line, p.cur.Col
 	if err := p.next(); err != nil {
 		return err
 	}
@@ -294,7 +300,7 @@ func (p *Parser) parseFieldListCalc() error {
 	if err := p.expectPunct("{"); err != nil {
 		return err
 	}
-	c := &FieldListCalc{Name: name.Text, Line: line}
+	c := &FieldListCalc{Name: name.Text, Line: line, Col: col}
 	for !p.isPunct("}") {
 		key, err := p.expectIdent()
 		if err != nil {
@@ -335,7 +341,7 @@ func (p *Parser) parseFieldListCalc() error {
 			}
 			c.OutputWidth = int(w)
 		default:
-			return p.errf("unknown field_list_calculation attribute %q", key.Text)
+			return diag.Errorf(diag.UnknownConstruct, key.Line, key.Col, "unknown field_list_calculation attribute %q", key.Text)
 		}
 	}
 	if err := p.next(); err != nil {
@@ -346,7 +352,7 @@ func (p *Parser) parseFieldListCalc() error {
 }
 
 func (p *Parser) parseAction() error {
-	line := p.cur.Line
+	line, col := p.cur.Line, p.cur.Col
 	if err := p.next(); err != nil {
 		return err
 	}
@@ -357,7 +363,7 @@ func (p *Parser) parseAction() error {
 	if err := p.expectPunct("("); err != nil {
 		return err
 	}
-	a := &ActionDecl{Name: name.Text, Line: line}
+	a := &ActionDecl{Name: name.Text, Line: line, Col: col}
 	for !p.isPunct(")") {
 		param, err := p.expectIdent()
 		if err != nil {
@@ -379,7 +385,7 @@ func (p *Parser) parseAction() error {
 		if err != nil {
 			return err
 		}
-		call := PrimCall{Name: prim.Text, Line: prim.Line}
+		call := PrimCall{Name: prim.Text, Line: prim.Line, Col: prim.Col}
 		if err := p.expectPunct("("); err != nil {
 			return err
 		}
@@ -411,7 +417,7 @@ func (p *Parser) parseAction() error {
 var matchTypes = map[string]bool{"exact": true, "ternary": true, "lpm": true, "range": true}
 
 func (p *Parser) parseTable(malleable bool) error {
-	line := p.cur.Line
+	line, col := p.cur.Line, p.cur.Col
 	name, err := p.expectIdent()
 	if err != nil {
 		return err
@@ -419,7 +425,7 @@ func (p *Parser) parseTable(malleable bool) error {
 	if err := p.expectPunct("{"); err != nil {
 		return err
 	}
-	t := &TableDecl{Name: name.Text, Malleable: malleable, Line: line}
+	t := &TableDecl{Name: name.Text, Malleable: malleable, Line: line, Col: col}
 	for !p.isPunct("}") {
 		key, err := p.expectIdent()
 		if err != nil {
@@ -436,9 +442,9 @@ func (p *Parser) parseTable(malleable bool) error {
 					return err
 				}
 				if target.Kind == ArgConst {
-					return p.errf("table %s: read key cannot be a constant", t.Name)
+					return diag.Errorf(diag.SyntaxError, target.Line, target.Col, "table %s: read key cannot be a constant", t.Name)
 				}
-				rk := ReadKey{Target: target, Line: target.Line}
+				rk := ReadKey{Target: target, Line: target.Line, Col: target.Col}
 				if p.cur.Kind == TokIdent && p.cur.Text == "mask" {
 					if err := p.next(); err != nil {
 						return err
@@ -457,7 +463,7 @@ func (p *Parser) parseTable(malleable bool) error {
 					return err
 				}
 				if !matchTypes[mt.Text] {
-					return p.errf("table %s: unknown match type %q", t.Name, mt.Text)
+					return diag.Errorf(diag.UnknownConstruct, mt.Line, mt.Col, "table %s: unknown match type %q", t.Name, mt.Text)
 				}
 				if err := p.expectPunct(";"); err != nil {
 					return err
@@ -522,7 +528,7 @@ func (p *Parser) parseTable(malleable bool) error {
 			}
 			t.Size = int(v)
 		default:
-			return p.errf("unknown table attribute %q", key.Text)
+			return diag.Errorf(diag.UnknownConstruct, key.Line, key.Col, "unknown table attribute %q", key.Text)
 		}
 	}
 	if err := p.next(); err != nil {
@@ -548,7 +554,7 @@ func (p *Parser) parseMalleable() error {
 	case "table":
 		return p.parseTable(true)
 	default:
-		return p.errf("malleable %q: expected value, field, or table", kind.Text)
+		return diag.Errorf(diag.BadMalleable, kind.Line, kind.Col, "malleable %q: expected value, field, or table", kind.Text)
 	}
 }
 
@@ -557,11 +563,11 @@ func (p *Parser) parseMblValue() error {
 	if err != nil {
 		return err
 	}
-	line := name.Line
+	line, col := name.Line, name.Col
 	if err := p.expectPunct("{"); err != nil {
 		return err
 	}
-	m := &MblValue{Name: name.Text, Line: line}
+	m := &MblValue{Name: name.Text, Line: line, Col: col}
 	for !p.isPunct("}") {
 		key, err := p.expectIdent()
 		if err != nil {
@@ -577,14 +583,14 @@ func (p *Parser) parseMblValue() error {
 		case "init":
 			m.Init = v
 		default:
-			return p.errf("unknown malleable value attribute %q", key.Text)
+			return diag.Errorf(diag.UnknownConstruct, key.Line, key.Col, "unknown malleable value attribute %q", key.Text)
 		}
 	}
 	if err := p.next(); err != nil {
 		return err
 	}
 	if m.Width == 0 {
-		return fmt.Errorf("line %d: malleable value %s missing width", line, m.Name)
+		return diag.Errorf(diag.MissingAttr, line, col, "malleable value %s missing width", m.Name)
 	}
 	p.f.MblValues = append(p.f.MblValues, m)
 	return nil
@@ -595,11 +601,11 @@ func (p *Parser) parseMblField() error {
 	if err != nil {
 		return err
 	}
-	line := name.Line
+	line, col := name.Line, name.Col
 	if err := p.expectPunct("{"); err != nil {
 		return err
 	}
-	m := &MblField{Name: name.Text, Line: line}
+	m := &MblField{Name: name.Text, Line: line, Col: col}
 	for !p.isPunct("}") {
 		key, err := p.expectIdent()
 		if err != nil {
@@ -652,30 +658,30 @@ func (p *Parser) parseMblField() error {
 				return err
 			}
 		default:
-			return p.errf("unknown malleable field attribute %q", key.Text)
+			return diag.Errorf(diag.UnknownConstruct, key.Line, key.Col, "unknown malleable field attribute %q", key.Text)
 		}
 	}
 	if err := p.next(); err != nil {
 		return err
 	}
 	if m.Width == 0 {
-		return fmt.Errorf("line %d: malleable field %s missing width", line, m.Name)
+		return diag.Errorf(diag.MissingAttr, line, col, "malleable field %s missing width", m.Name)
 	}
 	if len(m.Alts) == 0 {
-		return fmt.Errorf("line %d: malleable field %s has no alts", line, m.Name)
+		return diag.Errorf(diag.MissingAttr, line, col, "malleable field %s has no alts", m.Name)
 	}
 	if m.Init == "" {
 		m.Init = m.Alts[0]
 	}
 	if m.InitAltIndex() < 0 {
-		return fmt.Errorf("line %d: malleable field %s: init %q not in alts", line, m.Name, m.Init)
+		return diag.Errorf(diag.BadMalleable, line, col, "malleable field %s: init %q not in alts", m.Name, m.Init)
 	}
 	p.f.MblFields = append(p.f.MblFields, m)
 	return nil
 }
 
 func (p *Parser) parseReaction() error {
-	line := p.cur.Line
+	line, col := p.cur.Line, p.cur.Col
 	if err := p.next(); err != nil {
 		return err
 	}
@@ -686,7 +692,7 @@ func (p *Parser) parseReaction() error {
 	if err := p.expectPunct("("); err != nil {
 		return err
 	}
-	r := &Reaction{Name: name.Text, Line: line}
+	r := &Reaction{Name: name.Text, Line: line, Col: col}
 	for !p.isPunct(")") {
 		param, err := p.parseReactionParam()
 		if err != nil {
@@ -723,7 +729,7 @@ func (p *Parser) parseReactionParam() (ReactionParam, error) {
 	if err != nil {
 		return ReactionParam{}, err
 	}
-	rp := ReactionParam{Line: kindTok.Line}
+	rp := ReactionParam{Line: kindTok.Line, Col: kindTok.Col}
 	switch kindTok.Text {
 	case "ing":
 		rp.Kind = ParamIng
@@ -732,7 +738,7 @@ func (p *Parser) parseReactionParam() (ReactionParam, error) {
 	case "reg":
 		rp.Kind = ParamReg
 	default:
-		return ReactionParam{}, p.errf("reaction parameter must start with ing, egr, or reg (got %q)", kindTok.Text)
+		return ReactionParam{}, diag.Errorf(diag.BadReactionParam, kindTok.Line, kindTok.Col, "reaction parameter must start with ing, egr, or reg (got %q)", kindTok.Text)
 	}
 	if rp.Kind == ParamReg {
 		name, err := p.expectIdent()
@@ -759,7 +765,7 @@ func (p *Parser) parseReactionParam() (ReactionParam, error) {
 			}
 			rp.Lo, rp.Hi = int(lo), int(hi)
 			if rp.Hi < rp.Lo {
-				return ReactionParam{}, fmt.Errorf("line %d: register slice [%d:%d] inverted", rp.Line, rp.Lo, rp.Hi)
+				return ReactionParam{}, diag.Errorf(diag.BadReactionParam, rp.Line, rp.Col, "register slice [%d:%d] inverted", rp.Lo, rp.Hi)
 			}
 		} else {
 			rp.Lo, rp.Hi = 0, -1 // full array, resolved at compile time
@@ -777,7 +783,7 @@ func (p *Parser) parseReactionParam() (ReactionParam, error) {
 		rp.Target = arg.Mbl
 		rp.IsMbl = true
 	default:
-		return ReactionParam{}, p.errf("reaction parameter cannot be a constant")
+		return ReactionParam{}, diag.Errorf(diag.BadReactionParam, arg.Line, arg.Col, "reaction parameter cannot be a constant")
 	}
 	return rp, nil
 }
@@ -841,7 +847,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err := p.expectPunct(";"); err != nil {
 			return nil, err
 		}
-		return ApplyStmt{Table: name.Text}, nil
+		return ApplyStmt{Table: name.Text, Line: name.Line, Col: name.Col}, nil
 	case "if":
 		if err := p.expectPunct("("); err != nil {
 			return nil, err

@@ -50,6 +50,11 @@ func Compile(src string) (*Program, error) {
 	return &Program{stmts: stmts, statics: make(map[string]*cell)}, nil
 }
 
+// ParseBody parses a reaction body and returns its statement AST without
+// building an executable Program. Static analyzers (internal/p4r/analysis)
+// use this to walk reaction bodies for reads, writes, and declarations.
+func ParseBody(src string) ([]Stmt, error) { return parseBody(src) }
+
 // cell is a variable binding: a scalar or an array, with an optional
 // width mask applied on store.
 type cell struct {
