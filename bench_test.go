@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/experiments"
+	"repro/internal/perf"
 	"repro/internal/rcl"
 	"repro/internal/rmt"
 	"repro/internal/sim"
@@ -23,6 +24,7 @@ import (
 // ---- One benchmark per table/figure ----
 
 func BenchmarkFig10aMeasurement(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig10a(); err != nil {
 			b.Fatal(err)
@@ -31,6 +33,7 @@ func BenchmarkFig10aMeasurement(b *testing.B) {
 }
 
 func BenchmarkFig10bUpdate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig10b(); err != nil {
 			b.Fatal(err)
@@ -39,6 +42,7 @@ func BenchmarkFig10bUpdate(b *testing.B) {
 }
 
 func BenchmarkFig11DutyCycle(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig11(); err != nil {
 			b.Fatal(err)
@@ -47,6 +51,7 @@ func BenchmarkFig11DutyCycle(b *testing.B) {
 }
 
 func BenchmarkFig12LegacyContention(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig12(); err != nil {
 			b.Fatal(err)
@@ -55,6 +60,7 @@ func BenchmarkFig12LegacyContention(b *testing.B) {
 }
 
 func BenchmarkFig13TCAMUsage(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig13a(32); err != nil {
 			b.Fatal(err)
@@ -66,6 +72,7 @@ func BenchmarkFig13TCAMUsage(b *testing.B) {
 }
 
 func BenchmarkTable1Inventory(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := usecases.Table1(); err != nil {
 			b.Fatal(err)
@@ -74,6 +81,7 @@ func BenchmarkTable1Inventory(b *testing.B) {
 }
 
 func BenchmarkFig14Estimation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig14(0.01, 1); err != nil {
 			b.Fatal(err)
@@ -82,6 +90,7 @@ func BenchmarkFig14Estimation(b *testing.B) {
 }
 
 func BenchmarkFig15DosMitigation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := usecases.RunFig15(usecases.DefaultFig15Config(), int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -90,6 +99,7 @@ func BenchmarkFig15DosMitigation(b *testing.B) {
 }
 
 func BenchmarkFig16GrayFailure(b *testing.B) {
+	b.ReportAllocs()
 	ports := []int{2, 3, 4, 5}
 	for i := 0; i < b.N; i++ {
 		res, err := usecases.RunFig16(int64(i+1), ports, 3, 300*time.Microsecond, 50*time.Microsecond, 0.5)
@@ -103,6 +113,7 @@ func BenchmarkFig16GrayFailure(b *testing.B) {
 }
 
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunAblations(); err != nil {
 			b.Fatal(err)
@@ -133,6 +144,7 @@ control ingress { apply(t); }
 
 // BenchmarkCompile measures the Mantis compiler end to end.
 func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := compiler.CompileSource(benchSrc, compiler.DefaultOptions()); err != nil {
 			b.Fatal(err)
@@ -144,6 +156,7 @@ func BenchmarkCompile(b *testing.B) {
 // virtual dialogue iteration including measurement, the interpreted
 // reaction, and the serializable commit.
 func BenchmarkDialogueIteration(b *testing.B) {
+	b.ReportAllocs()
 	plan, err := compiler.CompileSource(benchSrc, compiler.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
@@ -167,6 +180,7 @@ func BenchmarkDialogueIteration(b *testing.B) {
 // compiled pipeline (init tables, user tables, measurement export,
 // register mirroring).
 func BenchmarkSwitchPipeline(b *testing.B) {
+	b.ReportAllocs()
 	plan, err := compiler.CompileSource(benchSrc, compiler.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
@@ -188,6 +202,7 @@ func BenchmarkSwitchPipeline(b *testing.B) {
 
 // BenchmarkRclReaction measures the interpreted reaction body alone.
 func BenchmarkRclReaction(b *testing.B) {
+	b.ReportAllocs()
 	prog, err := rcl.Compile(`
 	uint16_t m = 0;
 	for (int i = 0; i < 16; ++i) { if (q[i] > m) { m = q[i]; } }
@@ -216,6 +231,7 @@ func (benchHost) Call(string, []rcl.Arg) (int64, error)           { return 0, ni
 // BenchmarkTraceGeneration measures the workload generator at the
 // scaled Fig. 14 size.
 func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	cfg := workload.DefaultTraceConfig()
 	for i := 0; i < b.N; i++ {
 		tr := workload.Generate(cfg)
@@ -227,23 +243,36 @@ func BenchmarkTraceGeneration(b *testing.B) {
 
 // BenchmarkEstimators measures the Fig. 14 estimators' per-packet cost.
 func BenchmarkEstimators(b *testing.B) {
+	b.ReportAllocs()
 	tr := workload.Generate(workload.TraceConfig{
 		Flows: 1000, TotalPackets: 100000, Duration: 100 * time.Millisecond,
 		ZipfS: 1.1, MinPktSize: 64, MaxPktSize: 1500, Sources: 128, Seed: 1,
 	})
 	b.Run("mantis", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			baseline.RunEstimator(tr, baseline.NewMantisSampler(5*time.Microsecond))
 		}
 	})
 	b.Run("sflow", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			baseline.RunEstimator(tr, baseline.NewSFlow(30000, 1))
 		}
 	})
 	b.Run("countmin", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			baseline.RunEstimator(tr, baseline.NewCountMin(2, 8192, 1))
 		}
 	})
+}
+
+// BenchmarkHotPaths runs the perf-regression suite (the source of
+// BENCH_rmt.json) under the normal `go test -bench` machinery, so its
+// metrics are reproducible without cmd/perfbench.
+func BenchmarkHotPaths(b *testing.B) {
+	for _, nb := range perf.HotPathBenchmarks() {
+		b.Run(nb.Name, nb.Bench)
+	}
 }

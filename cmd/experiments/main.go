@@ -5,7 +5,7 @@
 //	experiments -run all
 //	experiments -run fig10a,fig10b,fig11,fig12,fig12x,fig13,table1,fig14,fig15,fig16,ablations
 //	experiments -run fig14 -scale 0.1
-//	experiments -run fig16 -trials 5
+//	experiments -run fig16 -trials 5 -parallel 4
 //	experiments -run fig10a,fig10b -json out/   # also write out/BENCH_<name>.json
 package main
 
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig12x,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations,faults,fig-takeover")
 	scale := flag.Float64("scale", 0.05, "fig14 trace scale relative to one full CAIDA block (8.9M packets)")
 	trials := flag.Int("trials", 5, "fig16 trials per parameter point")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulation trials in flight at once (1 = serial; results are identical at any value)")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonDir := flag.String("json", "", "directory to write BENCH_<name>.json machine-readable results into (created if missing)")
 	flag.Parse()
@@ -143,7 +145,7 @@ func main() {
 		return experiments.FormatFig15(res), res, nil
 	})
 	step("fig16", func() (string, any, error) {
-		res, err := experiments.RunFig16(*trials)
+		res, err := experiments.RunFig16Parallel(*trials, *parallel)
 		if err != nil {
 			return "", nil, err
 		}

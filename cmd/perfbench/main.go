@@ -1,0 +1,67 @@
+// Command perfbench runs the hot-path microbenchmark suite and manages
+// the checked-in performance baseline.
+//
+// Regenerate the baseline (after intentional perf-relevant changes):
+//
+//	perfbench -out BENCH_rmt.json -note "dev laptop, go1.24"
+//
+// Check the current tree against the baseline (CI runs this with
+// -report-only so shared-runner noise cannot fail the build; locally,
+// drop -report-only to get a non-zero exit on regression):
+//
+//	perfbench -baseline BENCH_rmt.json -check
+//	perfbench -baseline BENCH_rmt.json -check -report-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	out := flag.String("out", "", "write measured metrics to this baseline file")
+	baseline := flag.String("baseline", "", "baseline file to compare against")
+	check := flag.Bool("check", false, "compare against -baseline and fail on regression")
+	tolerance := flag.Float64("tolerance", perf.DefaultOptions().NsTolerance,
+		"allowed relative ns/op growth before a time regression is flagged")
+	allocTolerance := flag.Int64("alloc-tolerance", perf.DefaultOptions().AllocTolerance,
+		"allowed absolute allocs/op growth before an alloc regression is flagged")
+	reportOnly := flag.Bool("report-only", false, "report regressions but exit 0")
+	note := flag.String("note", "", "provenance note stored in the baseline")
+	flag.Parse()
+
+	if *out == "" && !*check {
+		fmt.Fprintln(os.Stderr, "perfbench: nothing to do: pass -out and/or -check (see -h)")
+		os.Exit(2)
+	}
+	if *check && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "perfbench: -check requires -baseline")
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "perfbench: running %d benchmarks...\n", len(perf.HotPathBenchmarks()))
+	cur := &perf.Baseline{Note: *note, Metrics: perf.Run()}
+	fmt.Print(perf.FormatMetrics(cur.Metrics))
+
+	if *out != "" {
+		if err := cur.Save(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "perfbench: wrote %s\n", *out)
+	}
+	if *check {
+		base, err := perf.Load(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			os.Exit(1)
+		}
+		opt := perf.Options{NsTolerance: *tolerance, AllocTolerance: *allocTolerance}
+		regs := perf.Compare(base, cur, opt)
+		fmt.Print(perf.FormatReport(regs))
+		os.Exit(perf.CheckResult(regs, *reportOnly))
+	}
+}

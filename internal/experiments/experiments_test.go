@@ -1,7 +1,12 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -238,6 +243,67 @@ func TestFig16Sweep(t *testing.T) {
 	}
 	if FormatFig16(s) == "" {
 		t.Fatal("format empty")
+	}
+}
+
+// TestFig16ParallelDeterminism: the worker-pool fan-out must be
+// indistinguishable from the serial sweep — byte-identical JSON, the
+// same bytes the experiments CLI writes to BENCH_fig16.json.
+func TestFig16ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	serial, err := RunFig16Parallel(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFig16Parallel(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.MarshalIndent(serial, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(par, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("parallel sweep diverged from serial:\nserial: %s\nparallel: %s", a, b)
+	}
+}
+
+// TestForEach covers the pool helper itself: full coverage of the index
+// space at any worker count, and lowest-index error selection.
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		var hits [37]int32
+		err := forEach(len(hits), workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	wantErr := errors.New("boom")
+	err := forEach(16, 4, func(i int) error {
+		if i == 11 || i == 5 {
+			return fmt.Errorf("job %d: %w", i, wantErr)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "job 5") {
+		t.Fatalf("err = %v, want lowest-index job 5", err)
+	}
+	if err := forEach(0, 4, func(int) error { return wantErr }); err != nil {
+		t.Fatalf("n=0 ran jobs: %v", err)
 	}
 }
 

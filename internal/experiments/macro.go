@@ -133,39 +133,69 @@ type Fig16Sweep struct {
 // delivery expectation eta (Fig. 16b), with several failure phases per
 // point to capture the variance from failure position in the window.
 func RunFig16(trials int) (*Fig16Sweep, error) {
-	ports := []int{2, 3, 4, 5}
-	sweep := &Fig16Sweep{}
-	run := func(td time.Duration, eta float64) (stats.DurationStats, error) {
-		var ds []time.Duration
-		for trial := 0; trial < trials; trial++ {
-			failAt := 300*time.Microsecond + time.Duration(trial)*td/time.Duration(trials)
-			res, err := usecases.RunFig16(int64(trial+1), ports, 3, failAt, td, eta)
-			if err != nil {
-				return stats.DurationStats{}, err
-			}
-			if !res.Detected {
-				return stats.DurationStats{}, fmt.Errorf("td=%v eta=%v trial %d: not detected", td, eta, trial)
-			}
-			ds = append(ds, res.ReactionTime)
-		}
-		return stats.SummarizeDurations(ds), nil
-	}
+	return RunFig16Parallel(trials, 1)
+}
+
+// fig16Point is one parameter point of the Fig. 16 sweeps.
+type fig16Point struct {
+	td  time.Duration
+	eta float64
+	// byEta marks the point as part of the eta sweep (Fig. 16b) rather
+	// than the T_d sweep (Fig. 16a).
+	byEta bool
+}
+
+func fig16Points() []fig16Point {
+	var pts []fig16Point
 	for _, td := range []time.Duration{20 * time.Microsecond, 50 * time.Microsecond,
 		100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond} {
-		st, err := run(td, 0.5)
-		if err != nil {
-			return nil, err
-		}
-		sweep.TdValues = append(sweep.TdValues, td)
-		sweep.ByTd = append(sweep.ByTd, st)
+		pts = append(pts, fig16Point{td: td, eta: 0.5})
 	}
 	for _, eta := range []float64{0.2, 0.4, 0.6, 0.8, 0.9} {
-		st, err := run(50*time.Microsecond, eta)
+		pts = append(pts, fig16Point{td: 50 * time.Microsecond, eta: eta, byEta: true})
+	}
+	return pts
+}
+
+// RunFig16Parallel runs the Fig. 16 sweeps with up to workers trials in
+// flight at once. Every (parameter point, trial) pair is an independent
+// deterministic simulation seeded by its trial number, and reaction
+// times land in slices indexed by (point, trial), so the result is
+// bit-identical to the serial run (workers <= 1) for any worker count.
+func RunFig16Parallel(trials, workers int) (*Fig16Sweep, error) {
+	ports := []int{2, 3, 4, 5}
+	pts := fig16Points()
+	durs := make([][]time.Duration, len(pts))
+	for i := range durs {
+		durs[i] = make([]time.Duration, trials)
+	}
+	err := forEach(len(pts)*trials, workers, func(j int) error {
+		pi, trial := j/trials, j%trials
+		p := pts[pi]
+		failAt := 300*time.Microsecond + time.Duration(trial)*p.td/time.Duration(trials)
+		res, err := usecases.RunFig16(int64(trial+1), ports, 3, failAt, p.td, p.eta)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sweep.EtaValues = append(sweep.EtaValues, eta)
-		sweep.ByEta = append(sweep.ByEta, st)
+		if !res.Detected {
+			return fmt.Errorf("td=%v eta=%v trial %d: not detected", p.td, p.eta, trial)
+		}
+		durs[pi][trial] = res.ReactionTime
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweep := &Fig16Sweep{}
+	for i, p := range pts {
+		st := stats.SummarizeDurations(durs[i])
+		if p.byEta {
+			sweep.EtaValues = append(sweep.EtaValues, p.eta)
+			sweep.ByEta = append(sweep.ByEta, st)
+		} else {
+			sweep.TdValues = append(sweep.TdValues, p.td)
+			sweep.ByTd = append(sweep.ByTd, st)
+		}
 	}
 	return sweep, nil
 }

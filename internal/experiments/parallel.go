@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0..n-1) across a pool of workers goroutines and
+// returns the error of the lowest-index failing job, if any.
+//
+// Each simulation trial is an independent deterministic simulator with
+// its own seed, so trials can run concurrently without changing any
+// result — as long as callers make fn write into index-addressed
+// storage, which keeps the assembled output identical to the serial
+// order regardless of scheduling. With workers <= 1 the jobs run
+// serially on the calling goroutine, which is the reference order the
+// parallel path must be indistinguishable from.
+func forEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next int64 = -1
+		errs       = make([]error, n)
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -178,6 +178,11 @@ func (op ALUOp) String() string {
 	return fmt.Sprintf("ALUOp(%d)", int(op))
 }
 
+// Apply computes the operation over two operand values. Exposed so
+// execution engines (e.g. the rmt compiled pipeline) can evaluate ALU
+// primitives without going through the Primitive interface.
+func (op ALUOp) Apply(a, b uint64) uint64 { return op.apply(a, b) }
+
 func (op ALUOp) apply(a, b uint64) uint64 {
 	switch op {
 	case ALUAdd:

@@ -154,3 +154,58 @@ func (p *Packet) Clone() *Packet {
 	q.fields = append([]uint64(nil), p.fields...)
 	return &q
 }
+
+// CloneInto deep-copies p into dst (same schema), reusing dst's field
+// storage. It is the allocation-free counterpart of Clone for callers
+// that recycle packets through a Pool.
+func (p *Packet) CloneInto(dst *Packet) {
+	fields := dst.fields
+	*dst = *p
+	dst.fields = append(fields[:0], p.fields...)
+}
+
+// Reset zeroes the packet back to its post-New state so it can be
+// reused for a fresh unit of traffic.
+func (p *Packet) Reset() {
+	for i := range p.fields {
+		p.fields[i] = 0
+	}
+	p.Size = 0
+	p.IngressPort = 0
+	p.EgressPort = -1
+	p.Dropped = false
+	p.Recirculations = 0
+	p.Priority = 0
+	p.Payload = nil
+}
+
+// Pool recycles packets of one schema so per-packet hot paths (traffic
+// generators, benchmarks) run allocation-free in steady state. It is a
+// plain freelist, not a sync.Pool: simulations are single-threaded by
+// design, and a deterministic freelist keeps runs reproducible. Not
+// safe for concurrent use; give each simulation its own Pool.
+type Pool struct {
+	schema *Schema
+	free   []*Packet
+}
+
+// NewPool returns an empty pool producing packets of schema s.
+func NewPool(s *Schema) *Pool { return &Pool{schema: s} }
+
+// Get returns a zeroed packet, reusing a returned one when available.
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return pl.schema.New()
+}
+
+// Put resets p and returns it to the pool. The caller must not use p
+// afterwards.
+func (pl *Pool) Put(p *Packet) {
+	p.Reset()
+	pl.free = append(pl.free, p)
+}

@@ -1,0 +1,244 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/p4"
+	"repro/internal/packet"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// NamedBench is one entry of the hot-path suite: a benchmark runnable
+// both under `go test -bench` (bench_test.go wraps the suite in b.Run)
+// and from cmd/perfbench via testing.Benchmark.
+type NamedBench struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// HotPathBenchmarks returns the microbenchmark suite behind
+// BENCH_rmt.json. The names are the baseline's metric keys — renaming
+// one is a baseline change, and the comparator flags the old name as
+// missing until the baseline is regenerated.
+func HotPathBenchmarks() []NamedBench {
+	return []NamedBench{
+		{"exact_lookup_1k", benchExactLookup},
+		{"ternary_lookup_bucketed_1k", benchTernaryBucketed},
+		{"ternary_lookup_linear_1k", benchTernaryLinear},
+		{"pipeline_packet", benchPipelinePacket},
+		{"dialogue_iteration", benchDialogueIteration},
+	}
+}
+
+const lookupEntries = 1024
+
+// lookupProbe builds a switch with one 1k-entry table and returns its
+// raw lookup hook. kind selects the index under test: a single-column
+// exact table ("exact"), a two-column table whose exact first column
+// partitions the TCAM into buckets ("bucketed"), or a pure-ternary
+// table that can only scan linearly ("linear").
+func lookupProbe(b *testing.B, kind string) func(vals []uint64) bool {
+	b.Helper()
+	prog := p4.NewProgram("perf-" + kind)
+	prog.DefineStandardMetadata()
+	fsel := prog.Schema.Define("h.sel", 16)
+	faddr := prog.Schema.Define("h.addr", 32)
+	prog.AddAction(&p4.Action{Name: "hit", Body: []p4.Primitive{p4.NoOp{}}})
+	keys := []p4.MatchKey{{FieldName: "h.sel", Field: fsel, Width: 16, Kind: p4.MatchExact}}
+	if kind != "exact" {
+		first := p4.MatchExact
+		if kind == "linear" {
+			first = p4.MatchTernary
+		}
+		keys = []p4.MatchKey{
+			{FieldName: "h.sel", Field: fsel, Width: 16, Kind: first},
+			{FieldName: "h.addr", Field: faddr, Width: 32, Kind: p4.MatchTernary},
+		}
+	}
+	prog.AddTable(&p4.Table{Name: "t", Keys: keys, ActionNames: []string{"hit"}, Size: lookupEntries})
+	s := sim.New(1)
+	sw, err := rmt.New(s, prog, rmt.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < lookupEntries; i++ {
+		sel := rmt.ExactKey(uint64(i))
+		if kind == "linear" {
+			sel = rmt.TernaryKey(uint64(i), 0xFFFF)
+		}
+		e := rmt.Entry{Keys: []rmt.KeySpec{sel}, Action: "hit"}
+		if kind != "exact" {
+			e.Keys = append(e.Keys, rmt.TernaryKey(0, 0))
+		}
+		if _, err := sw.AddEntry("t", e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probe, err := sw.LookupProbe("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return probe
+}
+
+func benchLookup(b *testing.B, kind string, ncols int) {
+	probe := lookupProbe(b, kind)
+	vals := make([]uint64, ncols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals[0] = uint64(i % lookupEntries)
+		if !probe(vals) {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func benchExactLookup(b *testing.B)     { benchLookup(b, "exact", 1) }
+func benchTernaryBucketed(b *testing.B) { benchLookup(b, "bucketed", 2) }
+func benchTernaryLinear(b *testing.B)   { benchLookup(b, "linear", 2) }
+
+// benchPipelinePacket measures one full ingress-to-egress pass —
+// admission, compiled ingress (ternary ACL + exact forward + register
+// count), queueing, serialization, compiled egress — with a pooled
+// packet. Steady state must be allocation-free.
+func benchPipelinePacket(b *testing.B) {
+	prog := p4.NewProgram("perf-pipeline")
+	prog.DefineStandardMetadata()
+	dst := prog.Schema.Define("ipv4.dstAddr", 32)
+	proto := prog.Schema.Define("ipv4.protocol", 8)
+	egr := prog.Schema.MustID(p4.FieldEgressSpec)
+	inp := prog.Schema.MustID(p4.FieldIngressPort)
+	plen := prog.Schema.MustID(p4.FieldPacketLen)
+	prog.AddRegister(&p4.Register{Name: "port_bytes", Width: 64, Instances: 32})
+	prog.AddAction(&p4.Action{
+		Name:   "set_egress",
+		Params: []p4.Param{{Name: "port", Width: 16}},
+		Body:   []p4.Primitive{p4.ModifyField{Dst: egr, DstName: p4.FieldEgressSpec, Src: p4.ParamOp(0, "port")}},
+	})
+	prog.AddAction(&p4.Action{Name: "allow", Body: []p4.Primitive{p4.NoOp{}}})
+	prog.AddAction(&p4.Action{Name: "count_rx", Body: []p4.Primitive{
+		p4.RegisterIncrement{Reg: "port_bytes", Index: p4.FieldOp(inp, p4.FieldIngressPort), By: p4.FieldOp(plen, p4.FieldPacketLen)},
+	}})
+	prog.AddTable(&p4.Table{
+		Name:          "acl",
+		Keys:          []p4.MatchKey{{FieldName: "ipv4.protocol", Field: proto, Width: 8, Kind: p4.MatchTernary}},
+		ActionNames:   []string{"allow"},
+		DefaultAction: &p4.ActionCall{Action: "allow"},
+		Size:          16,
+	})
+	prog.AddTable(&p4.Table{
+		Name:        "forward",
+		Keys:        []p4.MatchKey{{FieldName: "ipv4.dstAddr", Field: dst, Width: 32, Kind: p4.MatchExact}},
+		ActionNames: []string{"set_egress"},
+		Size:        256,
+	})
+	prog.AddTable(&p4.Table{
+		Name:          "rx_counter",
+		ActionNames:   []string{"count_rx"},
+		DefaultAction: &p4.ActionCall{Action: "count_rx"},
+		Size:          1,
+	})
+	prog.Ingress = []p4.ControlStmt{
+		p4.Apply{Table: "acl"}, p4.Apply{Table: "forward"}, p4.Apply{Table: "rx_counter"},
+	}
+	s := sim.New(1)
+	sw, err := rmt.New(s, prog, rmt.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sw.AddEntry("forward", rmt.Entry{
+		Keys: []rmt.KeySpec{rmt.ExactKey(7)}, Action: "set_egress", Data: []uint64{2},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	pool := packet.NewPool(prog.Schema)
+	tmpl := prog.Schema.New()
+	tmpl.SetName("ipv4.dstAddr", 7)
+	tmpl.Size = 256
+	send := func() {
+		p := pool.Get()
+		tmpl.CloneInto(p)
+		sw.Inject(0, p)
+		s.Run()
+		pool.Put(p)
+	}
+	for i := 0; i < 100; i++ {
+		send() // warm the packet pool and event freelist
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+	}
+	if sw.Stats().TxPackets == 0 {
+		b.Fatal("no packets transmitted")
+	}
+}
+
+// dialogueSrc is a representative Mantis program: a register-mirroring
+// measurement, an interpreted reaction folding 16 cells, and a
+// malleable-value update committed back through the serializable
+// dialogue protocol.
+const dialogueSrc = `
+header_type h_t { fields { tag : 16; port : 8; } }
+header h_t hdr;
+register qdepths { width : 32; instance_count : 16; }
+malleable value v { width : 16; init : 0; }
+action observe() {
+  register_write(qdepths, hdr.port, standard_metadata.packet_length);
+  modify_field(hdr.tag, ${v});
+  modify_field(standard_metadata.egress_spec, 1);
+}
+table t { actions { observe; } default_action : observe; size : 1; }
+reaction r(reg qdepths) {
+  uint16_t m = 0;
+  for (int i = 0; i < 16; ++i) { if (qdepths[i] > m) { m = qdepths[i]; } }
+  ${v} = m;
+}
+control ingress { apply(t); }
+`
+
+// benchDialogueIteration measures the host cost of one virtual dialogue
+// iteration: measurement reads, the interpreted reaction, and the
+// serializable commit.
+func benchDialogueIteration(b *testing.B) {
+	plan, err := compiler.CompileSource(dialogueSrc, compiler.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sim.New(1)
+	sw, err := rmt.New(s, plan.Prog, rmt.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	drv := driver.New(s, sw, driver.DefaultCostModel())
+	agent := core.NewAgent(s, drv, plan, core.Options{MaxIterations: uint64(b.N)})
+	b.ResetTimer()
+	agent.Start()
+	s.Run()
+	if err := agent.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Run executes the whole suite via testing.Benchmark and returns the
+// measured metrics in suite order. It is the entry point cmd/perfbench
+// uses to produce a Baseline outside `go test`.
+func Run() []Metric {
+	var ms []Metric
+	for _, nb := range HotPathBenchmarks() {
+		r := testing.Benchmark(nb.Bench)
+		ms = append(ms, Metric{
+			Name:        nb.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return ms
+}

@@ -1,0 +1,137 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineFixture() *Baseline {
+	return &Baseline{
+		Note: "test",
+		Metrics: []Metric{
+			{Name: "exact_lookup_1k", NsPerOp: 50, AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "pipeline_packet", NsPerOp: 2000, AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "dialogue_iteration", NsPerOp: 30000, AllocsPerOp: 120, BytesPerOp: 9000},
+		},
+	}
+}
+
+// TestCompareSyntheticRegression is the harness's own regression test:
+// an inflated current run must be flagged and must map to a non-zero
+// exit, while report-only mode and a clean run must not.
+func TestCompareSyntheticRegression(t *testing.T) {
+	base := baselineFixture()
+	opt := Options{NsTolerance: 0.5, AllocTolerance: 0}
+
+	clean := baselineFixture()
+	clean.Metrics[0].NsPerOp = 70 // +40%, inside the 50% tolerance
+	if regs := Compare(base, clean, opt); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+
+	bad := baselineFixture()
+	bad.Metrics[0].NsPerOp = 500   // 10x: time regression
+	bad.Metrics[1].AllocsPerOp = 3 // new allocations on a zero-alloc path
+	regs := Compare(base, bad, opt)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want time + allocs", regs)
+	}
+	if regs[0].Kind != "time" || regs[0].Name != "exact_lookup_1k" {
+		t.Fatalf("first regression = %+v", regs[0])
+	}
+	if regs[1].Kind != "allocs" || regs[1].Name != "pipeline_packet" {
+		t.Fatalf("second regression = %+v", regs[1])
+	}
+	if got := CheckResult(regs, false); got != 1 {
+		t.Fatalf("CheckResult(regressions) = %d, want 1", got)
+	}
+	if got := CheckResult(regs, true); got != 0 {
+		t.Fatalf("CheckResult(report-only) = %d, want 0", got)
+	}
+	if got := CheckResult(nil, false); got != 0 {
+		t.Fatalf("CheckResult(clean) = %d, want 0", got)
+	}
+	out := FormatReport(regs)
+	if !strings.Contains(out, "exact_lookup_1k") || !strings.Contains(out, "allocs/op") {
+		t.Fatalf("report incomplete:\n%s", out)
+	}
+}
+
+// TestCompareMissingMetric: dropping a benchmark from the suite must
+// fail the comparison rather than silently hiding its regression.
+func TestCompareMissingMetric(t *testing.T) {
+	base := baselineFixture()
+	cur := baselineFixture()
+	cur.Metrics = cur.Metrics[1:]
+	regs := Compare(base, cur, DefaultOptions())
+	if len(regs) != 1 || regs[0].Kind != "missing" || regs[0].Name != "exact_lookup_1k" {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// The reverse — a brand-new benchmark — is not a regression.
+	grown := baselineFixture()
+	grown.Metrics = append(grown.Metrics, Metric{Name: "new_bench", NsPerOp: 1})
+	if regs := Compare(base, grown, DefaultOptions()); len(regs) != 0 {
+		t.Fatalf("new metric flagged: %v", regs)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_rmt.json")
+	b := baselineFixture()
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != b.Note || len(got.Metrics) != len(b.Metrics) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	// Save sorts by name for stable diffs.
+	for i := 1; i < len(got.Metrics); i++ {
+		if got.Metrics[i-1].Name > got.Metrics[i].Name {
+			t.Fatalf("metrics not sorted: %v", got.Metrics)
+		}
+	}
+	if regs := Compare(b, got, Options{}); len(regs) != 0 {
+		t.Fatalf("round trip not comparison-clean: %v", regs)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading a missing baseline succeeded")
+	}
+}
+
+// TestHotPathSuite runs the real suite once (the same entry point
+// cmd/perfbench uses) and checks the invariants the checked-in baseline
+// encodes: every metric measured, and the lookup and per-packet paths
+// allocation-free.
+func TestHotPathSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark suite is slow")
+	}
+	ms := Run()
+	if len(ms) != len(HotPathBenchmarks()) {
+		t.Fatalf("measured %d of %d benchmarks", len(ms), len(HotPathBenchmarks()))
+	}
+	byName := map[string]Metric{}
+	for _, m := range ms {
+		if m.NsPerOp <= 0 {
+			t.Fatalf("%s: ns/op = %v", m.Name, m.NsPerOp)
+		}
+		byName[m.Name] = m
+	}
+	for _, name := range []string{"exact_lookup_1k", "ternary_lookup_bucketed_1k", "pipeline_packet"} {
+		if m := byName[name]; m.AllocsPerOp != 0 {
+			t.Errorf("%s allocates %d/op, want 0", name, m.AllocsPerOp)
+		}
+	}
+	// The point of the bucket index: beating the linear scan by a wide
+	// margin on a 1k-entry table. The acceptance floor is 10x; use 5x
+	// here to keep the test robust to a noisy machine.
+	lin, buck := byName["ternary_lookup_linear_1k"], byName["ternary_lookup_bucketed_1k"]
+	if buck.NsPerOp*5 > lin.NsPerOp {
+		t.Errorf("bucketed TCAM %.1f ns/op not ≥5x faster than linear %.1f ns/op", buck.NsPerOp, lin.NsPerOp)
+	}
+}

@@ -24,6 +24,7 @@ package rmt
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/p4"
@@ -75,9 +76,14 @@ type Stats struct {
 	Recirculated  uint64
 }
 
-// port models one egress port: a FIFO queue drained at link bandwidth.
+// port models one egress port: a priority queue drained at link
+// bandwidth. The queue is a sliding window [head, head+n) over a
+// fixed-capacity buffer allocated at switch construction, so enqueue
+// and drain never allocate; the window compacts to the front when it
+// reaches the end of the buffer.
 type port struct {
-	queue   []*packet.Packet
+	buf     []*packet.Packet
+	head, n int
 	up      bool
 	busy    bool
 	txBytes uint64
@@ -94,9 +100,36 @@ type Switch struct {
 
 	tables    map[string]*tableInstance
 	registers map[string]*registerInstance
-	hashSeeds map[string]uint64
+
+	// Hash calculations are resolved to slice indices at New() so the
+	// data plane reads seeds and definitions without map lookups.
+	hashIndex map[string]int
+	hashDefs  []*p4.HashCalc
+	hashSeeds []uint64
+
+	// actionCode holds the compiled body of every program action.
+	actionCode map[string]*caction
+
+	// ingressProg/egressProg are the control flows compiled to flat
+	// instruction slices (see compiled.go).
+	ingressProg []instr
+	egressProg  []instr
 
 	ports []*port
+
+	// env is the reusable per-packet execution environment. Pipeline
+	// passes are atomic and the simulator is single-threaded, so one
+	// environment per switch suffices; reusing it keeps the per-packet
+	// path allocation-free.
+	env execEnv
+
+	// enqueueFn/txDoneFn/admitFn/ingressFn are the per-packet event
+	// callbacks, bound once so scheduling them (via sim.ScheduleCall)
+	// does not allocate a closure per packet.
+	enqueueFn func(any)
+	txDoneFn  func(any)
+	admitFn   func(any)
+	ingressFn func(any)
 
 	// Tx is invoked when a packet leaves a port (after egress pipeline
 	// and serialization). The netsim layer wires this to links.
@@ -125,24 +158,53 @@ func New(s *sim.Simulator, prog *p4.Program, cfg Config) (*Switch, error) {
 	if cfg.NumPorts <= 0 {
 		return nil, fmt.Errorf("rmt: NumPorts must be positive")
 	}
+	if cfg.QueueCapacity < 0 {
+		cfg.QueueCapacity = 0
+	}
 	sw := &Switch{
 		sim:       s,
 		prog:      prog,
 		cfg:       cfg,
 		tables:    make(map[string]*tableInstance),
 		registers: make(map[string]*registerInstance),
-		hashSeeds: make(map[string]uint64),
-	}
-	for name, def := range prog.Tables {
-		sw.tables[name] = newTableInstance(prog, def)
+		hashIndex: make(map[string]int),
 	}
 	for name, def := range prog.Registers {
 		sw.registers[name] = newRegisterInstance(def)
 	}
+	hashNames := make([]string, 0, len(prog.Hashes))
+	for name := range prog.Hashes {
+		hashNames = append(hashNames, name)
+	}
+	sort.Strings(hashNames)
+	for _, name := range hashNames {
+		sw.hashIndex[name] = len(sw.hashDefs)
+		sw.hashDefs = append(sw.hashDefs, prog.Hashes[name])
+		sw.hashSeeds = append(sw.hashSeeds, 0)
+	}
+	sw.actionCode = make(map[string]*caction, len(prog.Actions))
+	for name, a := range prog.Actions {
+		sw.actionCode[name] = sw.compileAction(a)
+	}
+	for name, def := range prog.Tables {
+		ti := newTableInstance(prog, def)
+		ti.codeOf = sw.actionCode
+		if ti.defaultAction != nil {
+			ti.defaultCode = sw.actionCode[ti.defaultAction.Action]
+		}
+		sw.tables[name] = ti
+	}
+	sw.ingressProg = sw.compileControl(nil, prog.Ingress)
+	sw.egressProg = sw.compileControl(nil, prog.Egress)
 	sw.ports = make([]*port, cfg.NumPorts)
 	for i := range sw.ports {
-		sw.ports[i] = &port{up: true}
+		sw.ports[i] = &port{up: true, buf: make([]*packet.Packet, cfg.QueueCapacity)}
 	}
+	sw.env.sw = sw
+	sw.enqueueFn = sw.enqueueArg
+	sw.txDoneFn = sw.txDoneArg
+	sw.admitFn = sw.admitArg
+	sw.ingressFn = sw.runIngressArg
 	mustID := func(name string) packet.FieldID { return prog.Schema.MustID(name) }
 	sw.fIngressPort = mustID(p4.FieldIngressPort)
 	sw.fEgressSpec = mustID(p4.FieldEgressSpec)
@@ -184,7 +246,7 @@ func (sw *Switch) PortUp(portN int) bool { return sw.ports[portN].up }
 
 // QueueDepth returns the instantaneous egress queue occupancy of a port,
 // in packets.
-func (sw *Switch) QueueDepth(portN int) int { return len(sw.ports[portN].queue) }
+func (sw *Switch) QueueDepth(portN int) int { return sw.ports[portN].n }
 
 // PortTxBytes returns the cumulative bytes transmitted by a port.
 func (sw *Switch) PortTxBytes(portN int) uint64 { return sw.ports[portN].txBytes }
@@ -221,7 +283,36 @@ func (sw *Switch) admit(pkt *packet.Packet) {
 		return
 	}
 	sw.ingressBusyUntil = start.Add(slot)
-	sw.sim.At(start, func() { sw.runIngress(pkt) })
+	sw.sim.AtCall(start, sw.ingressFn, pkt)
+}
+
+// admitArg/runIngressArg/enqueueArg/txDoneArg adapt the per-packet
+// pipeline steps to sim.ScheduleCall's func(any) shape; they are bound
+// to fields once at New() so scheduling never allocates a closure.
+func (sw *Switch) admitArg(arg any)      { sw.admit(arg.(*packet.Packet)) }
+func (sw *Switch) runIngressArg(arg any) { sw.runIngress(arg.(*packet.Packet)) }
+
+func (sw *Switch) enqueueArg(arg any) {
+	pkt := arg.(*packet.Packet)
+	sw.enqueue(pkt.EgressPort, pkt)
+}
+
+func (sw *Switch) txDoneArg(arg any) {
+	pkt := arg.(*packet.Packet)
+	portN := pkt.EgressPort
+	sw.finishEgress(portN, pkt)
+	sw.drain(portN)
+}
+
+// resetEnv readies the shared execution environment for one pipeline
+// pass over pkt.
+func (sw *Switch) resetEnv(pkt *packet.Packet) *execEnv {
+	env := &sw.env
+	env.pkt = pkt
+	env.params = nil
+	env.dropped = false
+	env.recirculate = false
+	return env
 }
 
 func (sw *Switch) runIngress(pkt *packet.Packet) {
@@ -230,22 +321,23 @@ func (sw *Switch) runIngress(pkt *packet.Packet) {
 	pkt.Set(sw.fTimestamp, uint64(sw.sim.Now()))
 	pkt.Set(sw.fPriority, uint64(pkt.Priority))
 
-	env := execEnv{sw: sw, pkt: pkt}
-	sw.runControl(&env, sw.prog.Ingress)
+	env := sw.resetEnv(pkt)
+	sw.runCompiled(env, sw.ingressProg)
 
 	if env.dropped {
 		pkt.Dropped = true
 		sw.stats.IngressDrops++
 		return
 	}
-	egress := int(pkt.Get(sw.fEgressSpec))
-	pkt.EgressPort = egress
-	recirc := env.recirculate
+	pkt.EgressPort = int(pkt.Get(sw.fEgressSpec))
+	if env.recirculate {
+		pkt.Recirculations++
+	}
 	// Traffic-manager admission happens after the ingress pipeline delay.
-	sw.sim.Schedule(sw.cfg.PipelineLatency, func() { sw.enqueue(egress, pkt, recirc) })
+	sw.sim.ScheduleCall(sw.cfg.PipelineLatency, sw.enqueueFn, pkt)
 }
 
-func (sw *Switch) enqueue(portN int, pkt *packet.Packet, recirc bool) {
+func (sw *Switch) enqueue(portN int, pkt *packet.Packet) {
 	if portN < 0 || portN >= len(sw.ports) {
 		pkt.Dropped = true
 		sw.stats.IngressDrops++
@@ -257,13 +349,13 @@ func (sw *Switch) enqueue(portN int, pkt *packet.Packet, recirc bool) {
 		sw.stats.PortDownDrops++
 		return
 	}
-	if len(p.queue) >= sw.cfg.QueueCapacity {
+	if p.n >= len(p.buf) {
 		// Strict-priority admission: a higher-priority arrival may evict
 		// the lowest-priority tail packet (how heartbeats survive a
 		// congested port in the gray-failure use case).
 		victim := -1
-		for i := len(p.queue) - 1; i >= 0; i-- {
-			if p.queue[i].Priority < pkt.Priority {
+		for i := p.head + p.n - 1; i >= p.head; i-- {
+			if p.buf[i].Priority < pkt.Priority {
 				victim = i
 				break
 			}
@@ -273,22 +365,29 @@ func (sw *Switch) enqueue(portN int, pkt *packet.Packet, recirc bool) {
 			sw.stats.QueueDrops++
 			return
 		}
-		p.queue[victim].Dropped = true
+		p.buf[victim].Dropped = true
 		sw.stats.QueueDrops++
-		p.queue = append(p.queue[:victim], p.queue[victim+1:]...)
+		copy(p.buf[victim:], p.buf[victim+1:p.head+p.n])
+		p.n--
+		p.buf[p.head+p.n] = nil
 	}
-	pkt.Set(sw.fEnqQdepth, uint64(len(p.queue)))
-	if recirc {
-		pkt.Recirculations++
+	pkt.Set(sw.fEnqQdepth, uint64(p.n))
+	// Slide the window back to the front when it hits the buffer end.
+	if p.head+p.n == len(p.buf) && p.head > 0 {
+		copy(p.buf, p.buf[p.head:p.head+p.n])
+		for i := p.n; i < p.head+p.n; i++ {
+			p.buf[i] = nil
+		}
+		p.head = 0
 	}
 	// Insert in strict priority order (FIFO within a priority class).
-	pos := len(p.queue)
-	for pos > 0 && p.queue[pos-1].Priority < pkt.Priority {
+	pos := p.head + p.n
+	for pos > p.head && p.buf[pos-1].Priority < pkt.Priority {
 		pos--
 	}
-	p.queue = append(p.queue, nil)
-	copy(p.queue[pos+1:], p.queue[pos:])
-	p.queue[pos] = pkt
+	copy(p.buf[pos+1:p.head+p.n+1], p.buf[pos:p.head+p.n])
+	p.buf[pos] = pkt
+	p.n++
 	if !p.busy {
 		sw.drain(portN)
 	}
@@ -296,13 +395,19 @@ func (sw *Switch) enqueue(portN int, pkt *packet.Packet, recirc bool) {
 
 func (sw *Switch) drain(portN int) {
 	p := sw.ports[portN]
-	if len(p.queue) == 0 {
+	if p.n == 0 {
 		p.busy = false
+		p.head = 0
 		return
 	}
 	p.busy = true
-	pkt := p.queue[0]
-	p.queue = p.queue[1:]
+	pkt := p.buf[p.head]
+	p.buf[p.head] = nil
+	p.head++
+	p.n--
+	if p.n == 0 {
+		p.head = 0
+	}
 	bw := sw.cfg.PortBandwidth
 	if p.bandwidth > 0 {
 		bw = p.bandwidth
@@ -311,16 +416,13 @@ func (sw *Switch) drain(portN int) {
 	if txTime <= 0 {
 		txTime = time.Nanosecond
 	}
-	sw.sim.Schedule(txTime, func() {
-		sw.finishEgress(portN, pkt)
-		sw.drain(portN)
-	})
+	sw.sim.ScheduleCall(txTime, sw.txDoneFn, pkt)
 }
 
 func (sw *Switch) finishEgress(portN int, pkt *packet.Packet) {
 	pkt.Set(sw.fEgressPort, uint64(portN))
-	env := execEnv{sw: sw, pkt: pkt}
-	sw.runControl(&env, sw.prog.Egress)
+	env := sw.resetEnv(pkt)
+	sw.runCompiled(env, sw.egressProg)
 	if env.dropped {
 		pkt.Dropped = true
 		sw.stats.IngressDrops++
@@ -329,7 +431,7 @@ func (sw *Switch) finishEgress(portN int, pkt *packet.Packet) {
 	if env.recirculate && pkt.Recirculations < sw.cfg.MaxRecirculations {
 		sw.stats.Recirculated++
 		pkt.Recirculations++
-		sw.sim.Schedule(sw.cfg.RecirculationLatency, func() { sw.admit(pkt) })
+		sw.sim.ScheduleCall(sw.cfg.RecirculationLatency, sw.admitFn, pkt)
 		return
 	}
 	p := sw.ports[portN]
@@ -338,24 +440,6 @@ func (sw *Switch) finishEgress(portN int, pkt *packet.Packet) {
 	sw.stats.TxPackets++
 	if sw.Tx != nil {
 		sw.Tx(portN, pkt)
-	}
-}
-
-func (sw *Switch) runControl(env *execEnv, stmts []p4.ControlStmt) {
-	for _, s := range stmts {
-		if env.dropped {
-			return
-		}
-		switch st := s.(type) {
-		case p4.Apply:
-			sw.applyTable(env, st.Table)
-		case p4.If:
-			if evalCond(env, st.Cond) {
-				sw.runControl(env, st.Then)
-			} else {
-				sw.runControl(env, st.Else)
-			}
-		}
 	}
 }
 
@@ -376,32 +460,6 @@ func evalCond(env *execEnv, c p4.CondExpr) bool {
 		return l >= r
 	}
 	return false
-}
-
-func (sw *Switch) applyTable(env *execEnv, name string) {
-	ti := sw.tables[name]
-	vals := make([]uint64, len(ti.def.Keys))
-	for i, k := range ti.def.Keys {
-		vals[i] = env.pkt.Get(k.Field)
-		if k.StaticMask != 0 {
-			vals[i] &= k.StaticMask
-		}
-	}
-	var call *p4.ActionCall
-	if e := ti.lookup(vals); e != nil {
-		call = &p4.ActionCall{Action: e.Action, Data: e.Data}
-	} else {
-		call = ti.defaultAction
-	}
-	if call == nil {
-		return
-	}
-	action := sw.prog.Actions[call.Action]
-	env.params = call.Data
-	for _, prim := range action.Body {
-		prim.Exec(env)
-	}
-	env.params = nil
 }
 
 // execEnv implements p4.Env for one packet's pipeline pass.
@@ -426,23 +484,28 @@ func (e *execEnv) Param(i int) uint64 { return e.params[i] }
 func (e *execEnv) Recirculate()       { e.recirculate = true }
 
 func (e *execEnv) Hash(name string) uint64 {
-	h := e.sw.prog.Hashes[name]
-	seed := e.sw.hashSeeds[name]
+	return e.sw.hashValue(e.pkt, e.sw.hashIndex[name])
+}
+
+// hashValue computes hash idx over pkt's fields. Written without an
+// inner closure so the accumulator stays in registers on the per-packet
+// path.
+func (sw *Switch) hashValue(pkt *packet.Packet, idx int) uint64 {
+	h := sw.hashDefs[idx]
+	seed := sw.hashSeeds[idx]
 	var acc uint64 = 14695981039346656037 ^ seed // FNV offset basis, seed-mixed
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			acc ^= (v >> uint(8*i)) & 0xFF
-			acc *= 1099511628211
-		}
-	}
 	if h.Algo == p4.HashIdentity {
 		acc = seed
 		for _, f := range h.Fields {
-			acc = acc<<8 | (e.pkt.Get(f) & 0xFF)
+			acc = acc<<8 | (pkt.Get(f) & 0xFF)
 		}
 	} else {
 		for _, f := range h.Fields {
-			mix(e.pkt.Get(f))
+			v := pkt.Get(f)
+			for i := 0; i < 8; i++ {
+				acc ^= (v >> uint(8*i)) & 0xFF
+				acc *= 1099511628211
+			}
 		}
 		if h.Algo == p4.HashCRC16 {
 			acc ^= acc >> 16
@@ -454,10 +517,11 @@ func (e *execEnv) Hash(name string) uint64 {
 // SetHashSeed rotates the seed of a hash calculation at runtime, the
 // mechanism behind shifting ECMP hash functions (use case #3).
 func (sw *Switch) SetHashSeed(name string, seed uint64) error {
-	if _, ok := sw.prog.Hashes[name]; !ok {
+	idx, ok := sw.hashIndex[name]
+	if !ok {
 		return fmt.Errorf("rmt: unknown hash calculation %q: %w", name, ErrUnknownHash)
 	}
-	sw.hashSeeds[name] = seed
+	sw.hashSeeds[idx] = seed
 	sw.configWrites++
 	return nil
 }
@@ -541,6 +605,58 @@ func (sw *Switch) TableCounters(table string) (hits, misses uint64, err error) {
 		return 0, 0, fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
 	}
 	return ti.Hits, ti.Misses, nil
+}
+
+// TableStats describes one table's runtime state: occupancy, lookup
+// counters, and which index the lookups took. It makes the fast-path
+// index structures observable from the control plane instead of
+// trusted.
+type TableStats struct {
+	// Entries is the current occupancy.
+	Entries int
+	// Hits and Misses count data-plane lookups.
+	Hits, Misses uint64
+	// Index names the lookup structure in use: "exact" (hash index),
+	// "bucketed" (TCAM partitioned by an exact column), or "linear"
+	// (full TCAM scan).
+	Index string
+	// Buckets is the number of populated partitions when Index is
+	// "bucketed" (0 otherwise).
+	Buckets int
+}
+
+// TableStats reports a table's occupancy, hit/miss counters, and index
+// kind.
+func (sw *Switch) TableStats(table string) (TableStats, error) {
+	ti, ok := sw.tables[table]
+	if !ok {
+		return TableStats{}, fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
+	}
+	st := TableStats{Entries: len(ti.byHandle), Hits: ti.Hits, Misses: ti.Misses}
+	switch {
+	case ti.allExact:
+		st.Index = "exact"
+	case ti.buckets != nil:
+		st.Index = "bucketed"
+		st.Buckets = len(ti.buckets)
+	default:
+		st.Index = "linear"
+	}
+	return st, nil
+}
+
+// LookupProbe returns a function performing raw match lookups against
+// one table, bypassing action execution. This is the microbenchmark and
+// diagnostics hook behind cmd/perfbench: it exposes exactly the lookup
+// the data plane performs (including index selection) without the rest
+// of the pipeline around it. Probes count toward the table's hit/miss
+// counters like any lookup. vals must have one value per key column.
+func (sw *Switch) LookupProbe(table string) (func(vals []uint64) bool, error) {
+	ti, ok := sw.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("rmt: unknown table %q: %w", table, ErrUnknownTable)
+	}
+	return func(vals []uint64) bool { return ti.lookup(vals) != nil }, nil
 }
 
 // RegRead reads one register cell from the control plane.

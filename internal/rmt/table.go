@@ -62,6 +62,44 @@ type Entry struct {
 	Priority int
 	Action   string
 	Data     []uint64
+
+	// act and code cache the resolved and compiled action so the
+	// per-packet path skips the program's Actions map and interprets no
+	// AST. Both are filled on add/modify.
+	act  *p4.Action
+	code *caction
+}
+
+// exactKeyWidth is the number of key columns an exactKey holds inline.
+// Wider keys fall back to a heap-encoded string (none of the paper's
+// programs get near this: the widest Mantis table has 3 columns).
+const exactKeyWidth = 4
+
+// exactKey is a comparable fixed-size map key for all-exact tables.
+// Building one from a lookup's column values is allocation-free for up
+// to exactKeyWidth columns, unlike the old []byte-to-string encoding
+// which heap-allocated on every lookup.
+type exactKey struct {
+	vals [exactKeyWidth]uint64
+	n    uint8
+	// wide is the fallback encoding for tables with more than
+	// exactKeyWidth key columns; empty otherwise.
+	wide string
+}
+
+func makeExactKey(vals []uint64) exactKey {
+	var k exactKey
+	if len(vals) <= exactKeyWidth {
+		k.n = uint8(len(vals))
+		copy(k.vals[:], vals)
+		return k
+	}
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(buf[i*8:], v)
+	}
+	k.wide = string(buf)
+	return k
 }
 
 // tableInstance is the runtime state of one match-action table.
@@ -72,12 +110,36 @@ type tableInstance struct {
 
 	byHandle map[EntryHandle]*Entry
 	// exactIdx indexes entries by encoded key for all-exact tables.
-	exactIdx map[string]*Entry
+	exactIdx map[exactKey]*Entry
 	// ordered holds entries in match-priority order for TCAM tables.
 	ordered []*Entry
 
+	// bucketCol, when >= 0, is an all-exact key column of a TCAM table.
+	// Entries are then partitioned into buckets by that column's value:
+	// a lookup only ever scans the one bucket whose key equals the
+	// packet's column value, turning the O(entries) TCAM scan into
+	// O(bucket). Each bucket keeps the same (priority desc, handle asc)
+	// order as ordered, so match priority is preserved.
+	bucketCol int
+	buckets   map[uint64][]*Entry
+
 	defaultAction *p4.ActionCall
-	nextHandle    EntryHandle
+	// defaultAct/defaultCode/defaultData cache the resolved default
+	// action for the per-packet miss path.
+	defaultAct  *p4.Action
+	defaultCode *caction
+	defaultData []uint64
+
+	// codeOf maps action names to their compiled bodies; set by the
+	// owning Switch once all actions are compiled (nil when a
+	// tableInstance is built standalone in tests).
+	codeOf map[string]*caction
+
+	nextHandle EntryHandle
+
+	// keyScratch is the reusable lookup-key buffer for applyTable; the
+	// simulator is single-threaded, so one buffer per table suffices.
+	keyScratch []uint64
 
 	// Hits and Misses count lookups for observability.
 	Hits, Misses uint64
@@ -85,35 +147,46 @@ type tableInstance struct {
 
 func newTableInstance(prog *p4.Program, def *p4.Table) *tableInstance {
 	ti := &tableInstance{
-		def:      def,
-		prog:     prog,
-		allExact: !def.HasTernary(),
-		byHandle: make(map[EntryHandle]*Entry),
+		def:        def,
+		prog:       prog,
+		allExact:   !def.HasTernary(),
+		byHandle:   make(map[EntryHandle]*Entry),
+		bucketCol:  -1,
+		keyScratch: make([]uint64, len(def.Keys)),
 	}
 	if ti.allExact {
-		ti.exactIdx = make(map[string]*Entry)
+		ti.exactIdx = make(map[exactKey]*Entry)
+	} else {
+		for i, k := range def.Keys {
+			if k.Kind == p4.MatchExact {
+				ti.bucketCol = i
+				ti.buckets = make(map[uint64][]*Entry)
+				break
+			}
+		}
 	}
 	if def.DefaultAction != nil {
 		da := *def.DefaultAction
 		ti.defaultAction = &da
+		ti.defaultAct = prog.Actions[da.Action]
+		ti.defaultData = da.Data
 	}
 	return ti
 }
 
-func (ti *tableInstance) encodeExact(keys []KeySpec) string {
-	buf := make([]byte, 8*len(keys))
+func (ti *tableInstance) encodeExact(keys []KeySpec) exactKey {
+	var vals [exactKeyWidth]uint64
+	if len(keys) <= exactKeyWidth {
+		for i, k := range keys {
+			vals[i] = k.Value
+		}
+		return exactKey{vals: vals, n: uint8(len(keys))}
+	}
+	wide := make([]uint64, len(keys))
 	for i, k := range keys {
-		binary.BigEndian.PutUint64(buf[i*8:], k.Value)
+		wide[i] = k.Value
 	}
-	return string(buf)
-}
-
-func (ti *tableInstance) encodeLookup(vals []uint64) string {
-	buf := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.BigEndian.PutUint64(buf[i*8:], v)
-	}
-	return string(buf)
+	return makeExactKey(wide)
 }
 
 func (ti *tableInstance) validate(e *Entry) error {
@@ -146,6 +219,11 @@ func (ti *tableInstance) add(e Entry) (EntryHandle, error) {
 	if ti.def.Size > 0 && len(ti.byHandle) >= ti.def.Size {
 		return 0, fmt.Errorf("table %s: full (%d entries): %w", ti.def.Name, ti.def.Size, ErrTableFull)
 	}
+	e.act = ti.prog.Actions[e.Action]
+	e.code = ti.codeOf[e.Action]
+	// Own the Data storage: modify reuses its capacity in place, which
+	// must never scribble over a slice the caller still holds.
+	e.Data = append(make([]uint64, 0, len(e.Data)), e.Data...)
 	if ti.allExact {
 		key := ti.encodeExact(e.Keys)
 		if _, dup := ti.exactIdx[key]; dup {
@@ -164,20 +242,40 @@ func (ti *tableInstance) add(e Entry) (EntryHandle, error) {
 	ti.byHandle[e.Handle] = &stored
 	ti.ordered = append(ti.ordered, &stored)
 	ti.sortEntries()
+	if ti.buckets != nil {
+		bk := stored.Keys[ti.bucketCol].Value
+		ti.buckets[bk] = insertByPriority(ti.buckets[bk], &stored)
+	}
 	return e.Handle, nil
+}
+
+func entryLess(a, b *Entry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Handle < b.Handle
+}
+
+// insertByPriority inserts e into a (priority desc, handle asc) sorted
+// bucket, keeping the order lookup depends on.
+func insertByPriority(bucket []*Entry, e *Entry) []*Entry {
+	pos := sort.Search(len(bucket), func(i int) bool { return entryLess(e, bucket[i]) })
+	bucket = append(bucket, nil)
+	copy(bucket[pos+1:], bucket[pos:])
+	bucket[pos] = e
+	return bucket
 }
 
 func (ti *tableInstance) sortEntries() {
 	sort.SliceStable(ti.ordered, func(i, j int) bool {
-		if ti.ordered[i].Priority != ti.ordered[j].Priority {
-			return ti.ordered[i].Priority > ti.ordered[j].Priority
-		}
-		return ti.ordered[i].Handle < ti.ordered[j].Handle
+		return entryLess(ti.ordered[i], ti.ordered[j])
 	})
 }
 
 // modify rebinds an entry's action and data without touching its keys,
-// the common fast path of Mantis reactions.
+// the common fast path of Mantis reactions. The entry's Data storage is
+// reused when capacity allows, so steady-state reactions (same action,
+// new arguments) do not allocate.
 func (ti *tableInstance) modify(h EntryHandle, action string, data []uint64) error {
 	e, ok := ti.byHandle[h]
 	if !ok {
@@ -188,7 +286,9 @@ func (ti *tableInstance) modify(h EntryHandle, action string, data []uint64) err
 		return err
 	}
 	e.Action = action
-	e.Data = append([]uint64(nil), data...)
+	e.act = ti.prog.Actions[action]
+	e.code = ti.codeOf[action]
+	e.Data = append(e.Data[:0], data...)
 	return nil
 }
 
@@ -208,6 +308,21 @@ func (ti *tableInstance) del(h EntryHandle) error {
 			break
 		}
 	}
+	if ti.buckets != nil {
+		bk := e.Keys[ti.bucketCol].Value
+		bucket := ti.buckets[bk]
+		for i, x := range bucket {
+			if x.Handle == h {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(ti.buckets, bk)
+		} else {
+			ti.buckets[bk] = bucket
+		}
+	}
 	return nil
 }
 
@@ -221,8 +336,16 @@ func (ti *tableInstance) setDefault(call *p4.ActionCall) error {
 			return fmt.Errorf("table %s: default action %s takes %d args, got %d: %w",
 				ti.def.Name, call.Action, len(a.Params), len(call.Data), ErrBadEntry)
 		}
+		ti.defaultAction = call
+		ti.defaultAct = a
+		ti.defaultCode = ti.codeOf[call.Action]
+		ti.defaultData = call.Data
+		return nil
 	}
-	ti.defaultAction = call
+	ti.defaultAction = nil
+	ti.defaultAct = nil
+	ti.defaultCode = nil
+	ti.defaultData = nil
 	return nil
 }
 
@@ -238,26 +361,35 @@ func matchKey(kind p4.MatchKind, spec KeySpec, v uint64) bool {
 	return false
 }
 
+// matches reports whether entry e matches the key column values.
+func (ti *tableInstance) matches(e *Entry, vals []uint64) bool {
+	for i := range ti.def.Keys {
+		if !matchKey(ti.def.Keys[i].Kind, e.Keys[i], vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // lookup finds the matching entry for the given key column values, or
 // nil on a miss (caller then applies the default action).
 func (ti *tableInstance) lookup(vals []uint64) *Entry {
 	if ti.allExact {
-		if e, ok := ti.exactIdx[ti.encodeLookup(vals)]; ok {
+		if e, ok := ti.exactIdx[makeExactKey(vals)]; ok {
 			ti.Hits++
 			return e
 		}
 		ti.Misses++
 		return nil
 	}
-	for _, e := range ti.ordered {
-		matched := true
-		for i, k := range ti.def.Keys {
-			if !matchKey(k.Kind, e.Keys[i], vals[i]) {
-				matched = false
-				break
-			}
-		}
-		if matched {
+	scan := ti.ordered
+	if ti.buckets != nil {
+		// Only the bucket whose exact column equals the packet value can
+		// contain a match; other buckets' entries fail that column.
+		scan = ti.buckets[vals[ti.bucketCol]]
+	}
+	for _, e := range scan {
+		if ti.matches(e, vals) {
 			ti.Hits++
 			return e
 		}
@@ -267,10 +399,14 @@ func (ti *tableInstance) lookup(vals []uint64) *Entry {
 }
 
 // entries returns a snapshot of all installed entries sorted by handle.
+// Data slices are deep-copied: modify reuses an entry's Data storage in
+// place, so snapshots must not alias it.
 func (ti *tableInstance) entries() []Entry {
 	out := make([]Entry, 0, len(ti.byHandle))
 	for _, e := range ti.byHandle {
-		out = append(out, *e)
+		c := *e
+		c.Data = append([]uint64(nil), e.Data...)
+		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Handle < out[j].Handle })
 	return out

@@ -46,11 +46,17 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // String formats the time as a duration since simulation start.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback: either a plain closure fn, or an
+// arg-passing afn(arg) pair (see ScheduleCall). The latter lets hot
+// paths schedule per-packet work without allocating a capturing
+// closure; combined with the simulator's event freelist the schedule
+// operation itself is allocation-free in steady state.
 type event struct {
 	at  Time
 	seq uint64 // tie-break so equal-time events run FIFO
 	fn  func()
+	afn func(any)
+	arg any
 	id  uint64
 }
 
@@ -84,6 +90,9 @@ type Simulator struct {
 	stopped   bool
 	rng       *rand.Rand
 	executed  uint64
+	// free recycles event structs so steady-state scheduling does not
+	// allocate (one event is reused as soon as it has run).
+	free []*event
 }
 
 // New returns a Simulator whose clock starts at 0 and whose deterministic
@@ -117,14 +126,57 @@ func (s *Simulator) Schedule(delay time.Duration, fn func()) EventID {
 // error in simulation logic; it is clamped to "now" to keep the clock
 // monotonic, since a discrete-event clock must never run backwards.
 func (s *Simulator) At(t Time, fn func()) EventID {
+	e := s.newEvent(t)
+	e.fn = fn
+	heap.Push(&s.queue, e)
+	return EventID(e.id)
+}
+
+// ScheduleCall runs fn(arg) after delay of virtual time. Unlike
+// Schedule it takes the callback and its argument separately, so
+// callers on per-packet paths can pass a preallocated func(any) plus
+// the packet itself and avoid a closure allocation per event.
+func (s *Simulator) ScheduleCall(delay time.Duration, fn func(any), arg any) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.AtCall(s.now.Add(delay), fn, arg)
+}
+
+// AtCall runs fn(arg) at the absolute virtual time t (clamped to now,
+// like At).
+func (s *Simulator) AtCall(t Time, fn func(any), arg any) EventID {
+	e := s.newEvent(t)
+	e.afn, e.arg = fn, arg
+	heap.Push(&s.queue, e)
+	return EventID(e.id)
+}
+
+// newEvent takes an event from the freelist (or allocates one), stamps
+// it with the next sequence number and ID, and clamps t to now.
+func (s *Simulator) newEvent(t Time) *event {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
 	s.nextID++
-	e := &event{at: t, seq: s.seq, fn: fn, id: s.nextID}
-	heap.Push(&s.queue, e)
-	return EventID(s.nextID)
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	e.at, e.seq, e.id = t, s.seq, s.nextID
+	return e
+}
+
+// release clears an executed (or cancelled) event and returns it to the
+// freelist for reuse by the next schedule call.
+func (s *Simulator) release(e *event) {
+	*e = event{}
+	s.free = append(s.free, e)
 }
 
 // Cancel prevents a pending event from running. Cancelling an event that
@@ -168,13 +220,22 @@ func (s *Simulator) step() {
 	e := heap.Pop(&s.queue).(*event)
 	if s.cancelled[e.id] {
 		delete(s.cancelled, e.id)
+		s.release(e)
 		return
 	}
 	if e.at > s.now {
 		s.now = e.at
 	}
 	s.executed++
-	e.fn()
+	// Copy the callback out and recycle the event before running it, so
+	// events the callback schedules can reuse the struct immediately.
+	fn, afn, arg := e.fn, e.afn, e.arg
+	s.release(e)
+	if afn != nil {
+		afn(arg)
+		return
+	}
+	fn()
 }
 
 // Every schedules fn to run repeatedly with the given period, starting
