@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mantisd [-duration 10ms] [-pacing 0] [-pps 100000] [-faults transient] [-legacy-clients 4] program.p4r
+//	mantisd -ctl-loss 0.01 -ctl-partition 700us/300us -ctl-delay 500ns program.p4r
 package main
 
 import (
@@ -13,19 +14,48 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/ctlchan"
 	"repro/internal/ctlplane"
 	"repro/internal/driver"
 	"repro/internal/faults"
 	"repro/internal/journal"
+	"repro/internal/netsim"
 	"repro/internal/p4"
 	"repro/internal/rmt"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// ctlLinkProfile assembles the message-channel fault profile from the
+// -ctl-* flags. The -ctl-partition value is EVERY/FOR, two durations:
+// the link partitions for FOR every EVERY (e.g. 700us/300us).
+func ctlLinkProfile(loss float64, partition string) (faults.LinkProfile, error) {
+	prof := faults.LinkProfile{Name: "ctl", Loss: loss}
+	if partition != "" {
+		parts := strings.SplitN(partition, "/", 2)
+		if len(parts) != 2 {
+			return prof, fmt.Errorf("-ctl-partition %q: want EVERY/FOR (e.g. 700us/300us)", partition)
+		}
+		every, err := time.ParseDuration(parts[0])
+		if err != nil {
+			return prof, fmt.Errorf("-ctl-partition: %v", err)
+		}
+		for_, err := time.ParseDuration(parts[1])
+		if err != nil {
+			return prof, fmt.Errorf("-ctl-partition: %v", err)
+		}
+		if every <= 0 || for_ <= 0 {
+			return prof, fmt.Errorf("-ctl-partition %q: durations must be positive", partition)
+		}
+		prof.PartitionEvery, prof.PartitionFor = every, for_
+	}
+	return prof, nil
+}
 
 // faultProfile maps the -faults flag value to an injector profile.
 func faultProfile(name string) (faults.Profile, bool) {
@@ -107,6 +137,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (independent of -seed)")
 	legacyClients := flag.Int("legacy-clients", 0, "concurrent legacy control-plane clients churning a table through bulk sessions")
 	sched := flag.String("sched", "priority", "control-plane scheduling policy: priority|fifo")
+	ctlDelay := flag.Duration("ctl-delay", 0, "run the dialogue over a message-based control channel with this one-way link delay (0 = in-process calls unless another -ctl-* flag is set, then 500ns)")
+	ctlLoss := flag.Float64("ctl-loss", 0, "control-channel frame loss probability per direction (implies the message channel)")
+	ctlPartition := flag.String("ctl-partition", "", "periodic control-channel partitions, EVERY/FOR (e.g. 700us/300us; implies the message channel)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -156,12 +189,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mantisd: unknown scheduling policy %q (want priority|fifo)\n", *sched)
 		os.Exit(2)
 	}
+	ctlEnabled := *ctlDelay > 0 || *ctlLoss > 0 || *ctlPartition != ""
+	if ctlEnabled && crash {
+		fmt.Fprintln(os.Stderr, "mantisd: -ctl-* flags cannot be combined with crash fault profiles (the standby takes over through the control-plane service, not the message channel)")
+		os.Exit(2)
+	}
 	// The control-plane service sits above the (possibly fault-injected)
 	// channel: the agent holds the primary session, legacy clients get
 	// bulk sessions, and dialogue ops are scheduled ahead of bulk churn.
 	svc := ctlplane.New(s, ch, ctlplane.Options{Policy: policy})
 	var agent *core.Agent
 	var sb *core.Standby
+	var ctlLink *netsim.Link
+	var ctlSrv *ctlchan.Server
+	var ctlCli *ctlchan.Client
 	if crash {
 		// A crash profile kills the agent process outright, so the wiring
 		// is the failover stack: the injector wraps the primary's own
@@ -190,6 +231,38 @@ func main() {
 			Plan:       plan,
 			Agent:      core.Options{Pacing: *pacing, Recovery: core.DefaultRecovery()},
 		})
+	} else if ctlEnabled {
+		// Message-channel mode: the agent's session is reached over a
+		// simulated lossy link — request/response frames with sequence
+		// numbers, retransmission, and epoch fencing — instead of
+		// in-process calls. The link starts clean so the prologue installs
+		// reliably; the configured faults arm at 50µs.
+		ctlProf, err := ctlLinkProfile(*ctlLoss, *ctlPartition)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+			os.Exit(2)
+		}
+		delay := *ctlDelay
+		if delay <= 0 {
+			delay = 500 * time.Nanosecond
+		}
+		sess, err := svc.Open(ctlplane.SessionOptions{
+			Name: "mantis-agent", Role: ctlplane.RolePrimary, ElectionID: 1,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+			os.Exit(1)
+		}
+		ctlLink = netsim.NewLink(s, delay, faults.LinkNone(), *seed)
+		ctlSrv = ctlchan.NewServer(s)
+		ctlSrv.Attach(ctlLink, netsim.LinkSideB, 1, 1, sess)
+		ctlCli = ctlchan.NewClient(s, ctlLink, netsim.LinkSideA, ctlchan.ClientOptions{
+			Session: 1, Epoch: 1, Meta: drv,
+		})
+		s.Schedule(50*sim.Microsecond, func() { ctlLink.SetProfile(ctlProf) })
+		opts.Recovery = core.RecoveryForChannel(ctlCli.RTT())
+		opts.Journal = &core.JournalConfig{Store: journal.NewMemStore()}
+		agent = core.NewAgent(s, ctlCli, plan, opts)
 	} else {
 		var err error
 		agent, _, err = core.NewSessionAgent(s, svc, 1, plan, opts)
@@ -318,6 +391,17 @@ func main() {
 			inj.Profile().Name, fst.Ops, fst.InjectedErrors, fst.InjectedSpikes, fst.PartialBatches, fst.StuckWaits, fst.StuckTime)
 		fmt.Printf("recovery:          %d retries, %d rollbacks, %d watchdog trips, %d abandoned, %d degraded, %d repair ops\n",
 			ast.Retries, ast.Rollbacks, ast.WatchdogTrips, ast.Abandoned, ast.Degraded, ast.RepairOps)
+	}
+	if ctlCli != nil {
+		cs, css, ls := ctlCli.ChanStats(), ctlSrv.Stats(), ctlLink.Stats()
+		fmt.Printf("ctl channel:       rtt %v, %d ops, %d frames sent, %d retransmits, %d timeouts, %d late responses, %d window waits\n",
+			ctlCli.RTT(), cs.Ops, cs.Sent, cs.Retransmits, cs.Timeouts, cs.LateResponses, cs.WindowWaits)
+		fmt.Printf("  server:          %d frames, %d executed (%d mutations), %d dedup hits, %d stale rejected, %d fenced\n",
+			css.Frames, css.Executed, css.MutationsExecuted, css.DedupHits, css.StaleWrites, css.FencedWrites)
+		fmt.Printf("  link:            %d sent, %d delivered, %d lost, %d partition drops, %d duplicated, %d reordered\n",
+			ls.Sent, ls.Delivered, ls.Lost, ls.PartitionDrops, ls.Duplicated, ls.Reordered)
+		fmt.Printf("  recovery:        %d retries, %d abandoned, %d degraded, %d resyncs (%d repair writes), %d staleness aborts\n",
+			ast.Retries, ast.Abandoned, ast.Degraded, ast.Resyncs, ast.ResyncWrites, ast.StalenessAborts)
 	}
 	if sb != nil {
 		if err := sb.Err(); err != nil {

@@ -95,6 +95,21 @@ type Stats struct {
 	// during rollback or mirror and were queued to drain before the
 	// next commit.
 	RepairOps uint64
+	// Resyncs counts completed channel resynchronizations: after an
+	// iteration died on driver.ErrChannelDegraded (the op's fate
+	// unknown), the agent audited the switch against its committed
+	// image and reconciled any divergence before proceeding.
+	Resyncs uint64
+	// ResyncWrites counts the fix-up writes those resyncs issued.
+	ResyncWrites uint64
+	// AmbiguousFlips counts master vv flips that timed out degraded and
+	// had to be resolved by reading the master back (the one op whose
+	// ambiguity cannot wait for a later audit — the flip decides which
+	// table copies packets see).
+	AmbiguousFlips uint64
+	// StalenessAborts counts iterations abandoned because a reaction's
+	// degradation snapshot aged past RecoveryOptions.StalenessBudget.
+	StalenessAborts uint64
 	// Busy is the total virtual time spent inside iterations (excludes
 	// pacing sleeps); divide by elapsed time for CPU utilization.
 	Busy time.Duration
@@ -115,9 +130,11 @@ type runtimeReaction struct {
 	// lastFields/lastRegs hold the most recent successfully polled
 	// parameters — the degradation snapshot used when polling fails and
 	// RecoveryOptions.DegradeOnPollFailure is set. Nil until the first
-	// successful poll.
+	// successful poll. lastPollAt stamps that poll, so the staleness
+	// budget can refuse snapshots that have aged past usefulness.
 	lastFields map[string]uint64
 	lastRegs   map[string][]uint64
+	lastPollAt sim.Time
 }
 
 // Agent is one Mantis control-plane instance driving one pipeline.
@@ -173,6 +190,16 @@ type Agent struct {
 	iterRetries    int
 	iterDegraded   bool
 	pendingRepairs []chanOp
+	// resyncPending marks that some abandoned operation may have applied
+	// switch-side (the channel went degraded mid-iteration); before the
+	// next iteration stages anything, resync audits the switch against
+	// the committed image and reconciles. flipUnresolved marks a stop
+	// honored while a master flip's fate was still unknown: the exit
+	// path must NOT roll back or retire the journal intent — the
+	// CommitStaged record is exactly what a successor needs to classify
+	// the torn state.
+	resyncPending  bool
+	flipUnresolved bool
 
 	// Journal state (see journal.go). stagedOps accumulates the
 	// iteration's user-level table ops in global staging order for the
@@ -374,6 +401,13 @@ func (a *Agent) run(p *sim.Proc) {
 				// iteration's staged changes and exit cleanly. The intent
 				// truncation is best-effort — if it fails, the leftover
 				// intent merely makes a successor re-verify a clean state.
+				// Exception: a stop that interrupted an unresolved master
+				// flip must leave everything in place — rolling back could
+				// fight a flip that actually landed, and the CommitStaged
+				// intent is the successor's map of the torn state.
+				if a.flipUnresolved {
+					return
+				}
 				a.rollbackIteration(p)
 				if a.journaling() {
 					_ = a.journalAbandon(p)
@@ -384,6 +418,11 @@ func (a *Agent) run(p *sim.Proc) {
 				// keep the committed configuration, and continue the loop.
 				if errors.Is(err, ErrWatchdog) {
 					a.stats.WatchdogTrips++
+				}
+				if errors.Is(err, driver.ErrChannelDegraded) {
+					// The abandoned op may have applied; audit before the
+					// next iteration stages anything new.
+					a.resyncPending = true
 				}
 				a.stats.Abandoned++
 				a.rollbackIteration(p)
@@ -542,11 +581,7 @@ func (a *Agent) updateMaster(p *sim.Proc, data []uint64) error {
 // pseudocode.
 func (a *Agent) iteration(p *sim.Proc) error {
 	start := p.Now()
-	if d := a.opts.Recovery.IterationDeadline; d > 0 {
-		a.iterDeadline = start.Add(d)
-	} else {
-		a.iterDeadline = 0
-	}
+	a.iterDeadline = a.opts.Recovery.watchdogDeadline(start)
 	a.iterRetries = 0
 	a.iterDegraded = false
 
@@ -558,6 +593,18 @@ func (a *Agent) iteration(p *sim.Proc) error {
 	// queued and the iteration is abandoned with nothing staged.
 	if err := a.drainRepairs(p); err != nil {
 		return err
+	}
+
+	// 0b. If a degraded-channel abandon left the switch's state in
+	// doubt, audit and reconcile before staging anything new. A resync
+	// that fails because the channel is still down is itself recoverable
+	// — the flag stays set and the next iteration tries again, which is
+	// what lets a partitioned agent heal without a session restart.
+	if a.resyncPending {
+		if err := a.resync(p); err != nil {
+			return err
+		}
+		a.resyncPending = false
 	}
 
 	// Write-ahead: log that an iteration is in flight before the first
@@ -700,9 +747,32 @@ func (a *Agent) commit(p *sim.Proc) error {
 	// Commit: one atomic master update flips vv and applies all pending
 	// master-resident malleable changes together (§5.1.1); the master is
 	// always updated last (§5.1.2).
-	if err := a.updateMaster(p, newMaster); err != nil {
-		a.undoNonMaster(p, prepared, newVV)
-		return err
+	//
+	// The flip is the one operation whose channel ambiguity cannot be
+	// deferred to a later audit: if a degraded report hides a flip that
+	// actually landed, the shadow copies are live and any rollback write
+	// would be packet-visible mid-iteration. So a degraded flip is
+	// resolved inline — read the master back (the MSL quarantine below
+	// the degraded report guarantees no stale flip copy is still in
+	// flight, so the read is definitive) and either proceed as committed
+	// or reissue.
+	for {
+		err := a.updateMaster(p, newMaster)
+		if err == nil {
+			break
+		}
+		if !a.opts.Recovery.Enabled() || !errors.Is(err, driver.ErrChannelDegraded) {
+			a.undoNonMaster(p, prepared, newVV)
+			return err
+		}
+		flipped, rerr := a.resolveFlip(p, newVV)
+		if rerr != nil {
+			return rerr
+		}
+		if flipped {
+			break
+		}
+		// Definitively not applied: reissue the identical flip.
 	}
 	a.initData[0] = newMaster
 	oldVV := a.vv

@@ -196,10 +196,20 @@ func (a *Agent) runReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64)
 	switch {
 	case err == nil:
 		rr.lastFields, rr.lastRegs = fields, regs
-	case a.opts.Recovery.DegradeOnPollFailure && errors.Is(err, ErrRetriesExhausted) && rr.lastFields != nil:
+		rr.lastPollAt = p.Now()
+	case a.opts.Recovery.DegradeOnPollFailure && rr.lastFields != nil &&
+		(errors.Is(err, ErrRetriesExhausted) || errors.Is(err, driver.ErrChannelDegraded)):
 		// Graceful degradation: the channel would not yield a fresh
 		// snapshot, so the reaction runs on the last checkpointed one.
 		// Both are consistent snapshots (Fig. 9); this one is just stale.
+		// A degraded message channel (loss, partition) degrades the same
+		// way as exhausted retries — but only within the staleness
+		// budget: past it, reacting to ancient measurements is worse
+		// than not reacting, so the iteration is abandoned instead.
+		if b := a.opts.Recovery.StalenessBudget; b > 0 && p.Now().Sub(rr.lastPollAt) > b {
+			a.stats.StalenessAborts++
+			return fmt.Errorf("reaction %s: degradation snapshot older than staleness budget %v: %w", rr.info.Name, b, err)
+		}
 		fields, regs = rr.lastFields, rr.lastRegs
 		a.iterDegraded = true
 	default:

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/driver"
+	"repro/internal/faults"
 	"repro/internal/p4"
 	"repro/internal/rmt"
 	"repro/internal/sim"
@@ -55,9 +56,11 @@ type RecoveryOptions struct {
 	// retry). Only failures wrapping driver.ErrTransient are retried;
 	// fatal errors (unknown table, range violation) propagate at once.
 	MaxAttempts int
-	// RetryBackoff is the sleep before the first retry; it doubles per
-	// attempt (plus deterministic jitter drawn from the simulation RNG).
-	// Zero defaults to 2µs, matching the scale of one driver op.
+	// RetryBackoff seeds the full-jitter exponential backoff between
+	// retries (faults.Backoff): retry k sleeps uniform in
+	// [0, min(MaxBackoff, RetryBackoff<<k)], drawn deterministically
+	// from the simulation RNG. Zero defaults to 2µs, matching the scale
+	// of one driver op.
 	RetryBackoff time.Duration
 	// MaxBackoff caps the exponential backoff. Zero defaults to 64µs.
 	MaxBackoff time.Duration
@@ -79,6 +82,20 @@ type RecoveryOptions struct {
 	// checkpoint (Fig. 9) is exactly a consistent snapshot, so reusing
 	// the last one preserves serializability.
 	DegradeOnPollFailure bool
+	// StalenessBudget bounds how old a degraded reaction's snapshot may
+	// be: once the last successful poll is further in the past than
+	// this, the iteration is abandoned instead of reacting to ancient
+	// data. Zero = no bound (a reaction degrades indefinitely).
+	StalenessBudget time.Duration
+	// ChannelRTT, when set with WatchdogRTTs, scales the iteration
+	// watchdog to the control channel: an explicit IterationDeadline
+	// wins, otherwise the deadline is WatchdogRTTs * ChannelRTT. A
+	// fixed wall deadline tuned for an in-process channel trips
+	// constantly once every driver op pays a real (and possibly
+	// retransmitted) round trip; scaling by RTT keeps the watchdog
+	// meaningful across channel speeds.
+	ChannelRTT   time.Duration
+	WatchdogRTTs int
 }
 
 // DefaultRecovery returns the recovery configuration used by cmd/mantisd
@@ -95,9 +112,47 @@ func DefaultRecovery() RecoveryOptions {
 	}
 }
 
+// RecoveryForChannel returns DefaultRecovery rescaled to a message
+// channel with the given fault-free round trip time: the watchdog
+// becomes RTT-proportional (DefaultWatchdogRTTs round trips) instead of
+// a fixed wall deadline, and the retry backoff starts at one RTT.
+func RecoveryForChannel(rtt time.Duration) RecoveryOptions {
+	r := DefaultRecovery()
+	if rtt > 0 {
+		r.IterationDeadline = 0
+		r.ChannelRTT = rtt
+		r.WatchdogRTTs = DefaultWatchdogRTTs
+		r.RetryBackoff = rtt
+		if r.MaxBackoff < 32*rtt {
+			r.MaxBackoff = 32 * rtt
+		}
+	}
+	return r
+}
+
+// DefaultWatchdogRTTs is the RTT-scaled watchdog budget: an iteration
+// gets this many channel round trips before it is abandoned. Sized for
+// the chaos suite's workloads (tens of ops per iteration, each possibly
+// retransmitted several times).
+const DefaultWatchdogRTTs = 400
+
+// watchdogDeadline computes the iteration watchdog cutoff starting at
+// start: an explicit IterationDeadline wins; otherwise WatchdogRTTs
+// channel round trips; otherwise no watchdog (0).
+func (r RecoveryOptions) watchdogDeadline(start sim.Time) sim.Time {
+	if r.IterationDeadline > 0 {
+		return start.Add(r.IterationDeadline)
+	}
+	if r.ChannelRTT > 0 && r.WatchdogRTTs > 0 {
+		return start.Add(time.Duration(r.WatchdogRTTs) * r.ChannelRTT)
+	}
+	return 0
+}
+
 // Enabled reports whether any recovery behavior is configured.
 func (r RecoveryOptions) Enabled() bool {
-	return r.MaxAttempts > 1 || r.IterationDeadline > 0 || r.DegradeOnPollFailure
+	return r.MaxAttempts > 1 || r.IterationDeadline > 0 || r.DegradeOnPollFailure ||
+		(r.ChannelRTT > 0 && r.WatchdogRTTs > 0)
 }
 
 // chanOp is one raw driver-channel operation queued for undo or repair.
@@ -109,12 +164,16 @@ type chanOp struct {
 }
 
 // recoverable reports whether err abandons the iteration (rollback and
-// continue) rather than killing the agent.
+// continue) rather than killing the agent. A degraded channel
+// (driver.ErrChannelDegraded) is recoverable but additionally marks the
+// agent for a resynchronizing audit before its next iteration, because
+// the abandoned operation may have applied switch-side.
 func (a *Agent) recoverable(err error) bool {
 	if !a.opts.Recovery.Enabled() {
 		return false
 	}
-	return errors.Is(err, ErrWatchdog) || errors.Is(err, ErrRetriesExhausted) || driver.IsTransient(err)
+	return errors.Is(err, ErrWatchdog) || errors.Is(err, ErrRetriesExhausted) ||
+		driver.IsTransient(err) || errors.Is(err, driver.ErrChannelDegraded)
 }
 
 // drvOp runs one driver operation with the retry policy: transient
@@ -135,6 +194,7 @@ func (a *Agent) drvOp(p *sim.Proc, op string, fn func() error) error {
 	if maxBackoff <= 0 {
 		maxBackoff = 64 * time.Microsecond
 	}
+	bo := faults.NewBackoff(a.sim.Rand(), backoff, maxBackoff)
 	for attempt := 1; ; attempt++ {
 		if a.iterDeadline > 0 && p.Now() >= a.iterDeadline {
 			return fmt.Errorf("%s: %w", op, ErrWatchdog)
@@ -160,11 +220,9 @@ func (a *Agent) drvOp(p *sim.Proc, op string, fn func() error) error {
 		}
 		a.iterRetries++
 		a.stats.Retries++
-		jitter := time.Duration(a.sim.Rand().Int63n(int64(backoff)/2 + 1))
-		p.Sleep(backoff + jitter)
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
+		// Full-jitter backoff (faults.Backoff): agents that tripped over
+		// the same fault window retry decorrelated instead of in lockstep.
+		p.Sleep(bo.Next())
 	}
 }
 

@@ -1,0 +1,461 @@
+package ctlchan
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/p4"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// ClientOptions tunes the agent-side endpoint of the control channel.
+type ClientOptions struct {
+	// Session identifies this client to the server; Epoch is its
+	// election epoch, stamped on every request for fencing.
+	Session uint32
+	Epoch   uint64
+
+	// RTO is the initial retransmission timeout; each retransmit re-arms
+	// at RTO plus a full-jitter backoff draw capped at MaxRTO. Default:
+	// 2 link RTTs plus a fixed service allowance (the server executes a
+	// request on its driver before replying, so the response takes wire +
+	// execution + wire — an RTO of bare wire time retransmits spuriously
+	// on a perfectly healthy channel). MaxRTO defaults to 8x RTO.
+	RTO    time.Duration
+	MaxRTO time.Duration
+	// OpDeadline bounds how long one operation retransmits before the
+	// client gives up and reports driver.ErrChannelDegraded. Default
+	// 5x RTO — roughly four retransmission opportunities.
+	OpDeadline time.Duration
+	// Window bounds in-flight requests; excess callers queue FIFO.
+	// Default 8.
+	Window int
+
+	// Meta, when set, serves the instantaneous wiring accessors of
+	// driver.Channel — Switch() and Stats() — which are simulation
+	// plumbing, not control messages, and do not cross the wire.
+	Meta driver.Channel
+}
+
+// ClientStats counts client-side channel behavior.
+type ClientStats struct {
+	// Ops counts operations issued through the client.
+	Ops uint64
+	// Sent counts frames transmitted (first sends and retransmits).
+	Sent uint64
+	// Retransmits counts re-sends after an un-acked timeout.
+	Retransmits uint64
+	// Timeouts counts operations that hit OpDeadline and were abandoned.
+	Timeouts uint64
+	// LateResponses counts responses that arrived after their operation
+	// was already resolved (duplicate or post-abandon arrivals).
+	LateResponses uint64
+	// WindowWaits counts callers that had to queue for a window slot.
+	WindowWaits uint64
+	// BadFrames counts undecodable response frames.
+	BadFrames uint64
+	// FencedOps counts operations refused because the session is fenced.
+	FencedOps uint64
+}
+
+// call is one in-flight request.
+type call struct {
+	seq      uint64
+	req      *request
+	waiter   *sim.Proc
+	bo       *faults.Backoff
+	timer    sim.EventID
+	armed    bool
+	lastTx   sim.Time
+	deadline sim.Time
+
+	done      bool
+	abandoned bool // past deadline, in MSL quarantine, no longer retransmitting
+	resp      *response
+	failErr   error
+}
+
+// Client is the agent-side endpoint: a driver.Channel whose every
+// operation becomes a sequenced request frame on a netsim.Link, with
+// retransmission, in-flight windowing, idempotent delivery (via server
+// dedup keyed on the seq), epoch fencing, and an MSL quarantine before
+// any mutation is reported as possibly-lost.
+//
+// The client assumes the single-threaded simulator discipline of the
+// rest of the tree: all calls come from simulator processes, and the
+// agent issues its mutations sequentially (one outstanding mutation per
+// agent process), which is what makes the quarantine argument airtight
+// — by the time a mutation's failure is reported, no copy of it remains
+// in flight, so a subsequent audit read observes its final effect.
+type Client struct {
+	sim  *sim.Simulator
+	link *netsim.Link
+	side int
+	opts ClientOptions
+
+	nextSeq  uint64
+	pending  map[uint64]*call
+	inFlight int
+	waitq    []*sim.Proc
+
+	// degraded latches true when an op times out and clears on the next
+	// response (late ones included) — the channel-health signal the
+	// agent's staleness budget consumes.
+	degraded bool
+	// fenced latches when the server rejects a mutation for a stale
+	// epoch; every later mutation fails fast with ErrFenced.
+	fenced bool
+
+	stats ClientStats
+}
+
+var _ driver.Channel = (*Client)(nil)
+
+// rtoServiceAllowance is the server-side execution budget folded into
+// the default RTO: a request is not late until wire + driver-op + wire
+// time has passed, and driver table/register operations cost single-digit
+// microseconds each, plus queueing behind other sessions' requests on
+// the serialized control CPU.
+const rtoServiceAllowance = 20 * time.Microsecond
+
+// NewClient opens the client endpoint on side of link. The opposite
+// side is expected to be served by a Server with a matching Attach.
+func NewClient(s *sim.Simulator, link *netsim.Link, side int, opts ClientOptions) *Client {
+	if opts.RTO <= 0 {
+		opts.RTO = 4*link.Delay() + rtoServiceAllowance
+	}
+	if opts.MaxRTO <= 0 {
+		opts.MaxRTO = 8 * opts.RTO
+	}
+	if opts.OpDeadline <= 0 {
+		opts.OpDeadline = 5 * opts.RTO
+	}
+	if opts.Window <= 0 {
+		opts.Window = 8
+	}
+	c := &Client{
+		sim: s, link: link, side: side, opts: opts,
+		nextSeq: 1, pending: make(map[uint64]*call),
+	}
+	link.SetRecv(side, c.onFrame)
+	return c
+}
+
+// RTT returns the link's fault-free round-trip time — the figure
+// watchdog and deadline budgets should scale from.
+func (c *Client) RTT() time.Duration { return 2 * c.link.Delay() }
+
+// Degraded reports whether the most recent channel evidence is bad: an
+// operation timed out and no response has arrived since.
+func (c *Client) Degraded() bool { return c.degraded }
+
+// Fenced reports whether the session has been fenced by a higher epoch.
+func (c *Client) Fenced() bool { return c.fenced }
+
+// ChanStats returns a copy of the client counters. (Stats() is taken by
+// the driver.Channel interface for switch-op accounting.)
+func (c *Client) ChanStats() ClientStats { return c.stats }
+
+// ackFloor is the lowest unresolved seq — everything below it is
+// settled client-side. Piggybacked on every frame so the server can
+// garbage-collect its response cache and reject ghost mutations.
+func (c *Client) ackFloor() uint64 {
+	if len(c.pending) == 0 {
+		return c.nextSeq
+	}
+	min := ^uint64(0)
+	for seq := range c.pending {
+		if seq < min {
+			min = seq
+		}
+	}
+	return min
+}
+
+// transmit (re-)encodes and sends a call's frame with a fresh ack.
+func (c *Client) transmit(cl *call) {
+	cl.req.Ack = c.ackFloor()
+	cl.lastTx = c.sim.Now()
+	c.stats.Sent++
+	c.link.Send(c.side, encodeRequest(cl.req))
+}
+
+// arm schedules the call's retransmission timer: RTO plus a full-jitter
+// draw, so clients that tripped over the same loss burst or partition
+// heal do not retransmit in lockstep.
+func (c *Client) arm(cl *call) {
+	cl.armed = true
+	cl.timer = c.sim.Schedule(c.opts.RTO+cl.bo.Next(), func() { c.onTimer(cl) })
+}
+
+// onTimer fires when a call's retransmission timer expires.
+func (c *Client) onTimer(cl *call) {
+	if cl.done || cl.abandoned {
+		return
+	}
+	cl.armed = false
+	now := c.sim.Now()
+	if now >= cl.deadline {
+		c.stats.Timeouts++
+		c.degraded = true
+		if mutatingVerb(cl.req.Verb) {
+			// Ambiguous abandon: the request (or only its ack) may be
+			// lost. Quarantine until every copy we ever sent is off the
+			// wire, so the failure we report is stable: either a
+			// response completes the call during quarantine, or no copy
+			// exists anywhere and an audit read is definitive.
+			cl.abandoned = true
+			quarantineEnd := cl.lastTx.Add(c.link.MaxDelay())
+			if now >= quarantineEnd {
+				c.fail(cl, c.degradedErr(cl))
+				return
+			}
+			c.sim.At(quarantineEnd, func() {
+				if !cl.done {
+					c.fail(cl, c.degradedErr(cl))
+				}
+			})
+			return
+		}
+		// Reads carry no risk of a lost update: fail immediately.
+		c.fail(cl, c.degradedErr(cl))
+		return
+	}
+	c.stats.Retransmits++
+	c.transmit(cl)
+	c.arm(cl)
+}
+
+func (c *Client) degradedErr(cl *call) error {
+	return fmt.Errorf("ctlchan: %s seq %d: no response within %v: %w",
+		verbNames[cl.req.Verb], cl.seq, c.opts.OpDeadline, driver.ErrChannelDegraded)
+}
+
+// onFrame handles a response frame arriving from the server.
+func (c *Client) onFrame(msg []byte) {
+	resp, err := decodeResponse(msg)
+	if err != nil {
+		c.stats.BadFrames++
+		return
+	}
+	cl, ok := c.pending[resp.Seq]
+	if !ok || cl.done {
+		// Resolved already (duplicate response, or a ghost's answer
+		// arriving after abandon). Still a proof of life for the wire.
+		c.stats.LateResponses++
+		c.degraded = false
+		return
+	}
+	cl.done = true
+	cl.resp = resp
+	c.degraded = false
+	if cl.armed {
+		c.sim.Cancel(cl.timer)
+		cl.armed = false
+	}
+	c.resolve(cl)
+	cl.waiter.Unpark()
+}
+
+// fail resolves a call with a local error (deadline expiry).
+func (c *Client) fail(cl *call, err error) {
+	cl.done = true
+	cl.failErr = err
+	if cl.armed {
+		c.sim.Cancel(cl.timer)
+		cl.armed = false
+	}
+	c.resolve(cl)
+	cl.waiter.Unpark()
+}
+
+// resolve releases a finished call's bookkeeping: pending entry and
+// window slot, waking the next queued caller if any.
+func (c *Client) resolve(cl *call) {
+	delete(c.pending, cl.seq)
+	c.inFlight--
+	if len(c.waitq) > 0 {
+		next := c.waitq[0]
+		c.waitq = c.waitq[1:]
+		next.Unpark()
+	}
+}
+
+// roundTrip runs one request to completion: admission, transmit,
+// retransmit until response or deadline, classify.
+func (c *Client) roundTrip(p *sim.Proc, req *request) (*response, error) {
+	c.stats.Ops++
+	if c.fenced && mutatingVerb(req.Verb) {
+		c.stats.FencedOps++
+		return nil, fmt.Errorf("ctlchan: %s refused: %w", verbNames[req.Verb], ErrFenced)
+	}
+	for c.inFlight >= c.opts.Window {
+		c.stats.WindowWaits++
+		c.waitq = append(c.waitq, p)
+		p.Park()
+	}
+	c.inFlight++
+
+	req.Kind = frameRequest
+	req.Session = c.opts.Session
+	req.Epoch = c.opts.Epoch
+	req.Seq = c.nextSeq
+	c.nextSeq++
+
+	cl := &call{
+		seq: req.Seq, req: req, waiter: p,
+		bo:       faults.NewBackoff(c.sim.Rand(), c.opts.RTO, c.opts.MaxRTO),
+		deadline: c.sim.Now().Add(c.opts.OpDeadline),
+	}
+	c.pending[cl.seq] = cl
+	c.transmit(cl)
+	c.arm(cl)
+	p.Park()
+
+	if cl.failErr != nil {
+		return nil, cl.failErr
+	}
+	resp := cl.resp
+	switch resp.Status {
+	case statusOK:
+		return resp, nil
+	case statusTransient:
+		return nil, fmt.Errorf("ctlchan: remote %s: %s: %w",
+			verbNames[req.Verb], resp.ErrMsg, driver.ErrTransient)
+	case statusFenced:
+		c.fenced = true
+		c.stats.FencedOps++
+		return nil, fmt.Errorf("ctlchan: %s seq %d: %w", verbNames[req.Verb], cl.seq, ErrFenced)
+	case statusStale:
+		// A live call answered stale means the server's floor passed our
+		// seq — only possible through frame corruption or a server bug.
+		// Surface as degraded: the op's fate is unknown.
+		return nil, fmt.Errorf("ctlchan: %s seq %d: stale-rejected: %w",
+			verbNames[req.Verb], cl.seq, driver.ErrChannelDegraded)
+	default:
+		return nil, fmt.Errorf("ctlchan: remote %s: %s", verbNames[req.Verb], resp.ErrMsg)
+	}
+}
+
+// ---- driver.Channel ----
+
+// AddEntry installs a match-action entry over the wire.
+func (c *Client) AddEntry(p *sim.Proc, table string, e rmt.Entry) (rmt.EntryHandle, error) {
+	resp, err := c.roundTrip(p, &request{Verb: verbAddEntry, Table: table, Entry: e})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Handle, nil
+}
+
+// ModifyEntry rewrites an installed entry's action over the wire.
+func (c *Client) ModifyEntry(p *sim.Proc, table string, h rmt.EntryHandle, action string, data []uint64) error {
+	_, err := c.roundTrip(p, &request{Verb: verbModifyEntry, Table: table, Handle: h, Action: action, Data: data})
+	return err
+}
+
+// DeleteEntry removes an installed entry over the wire.
+func (c *Client) DeleteEntry(p *sim.Proc, table string, h rmt.EntryHandle) error {
+	_, err := c.roundTrip(p, &request{Verb: verbDeleteEntry, Table: table, Handle: h})
+	return err
+}
+
+// SetDefaultAction rewrites a table's default action over the wire.
+func (c *Client) SetDefaultAction(p *sim.Proc, table string, call *p4.ActionCall) error {
+	_, err := c.roundTrip(p, &request{Verb: verbSetDefaultAction, Table: table, Call: call})
+	return err
+}
+
+// SetHashSeed reseeds a hash unit over the wire.
+func (c *Client) SetHashSeed(p *sim.Proc, name string, seed uint64) error {
+	_, err := c.roundTrip(p, &request{Verb: verbSetHashSeed, Name: name, Seed: seed})
+	return err
+}
+
+// RegWrite writes one register cell over the wire.
+func (c *Client) RegWrite(p *sim.Proc, reg string, idx uint64, v uint64) error {
+	_, err := c.roundTrip(p, &request{Verb: verbRegWrite, Reg: reg, Idx: idx, Val: v})
+	return err
+}
+
+// RegRead reads one register cell over the wire.
+func (c *Client) RegRead(p *sim.Proc, reg string, idx uint64) (uint64, error) {
+	resp, err := c.roundTrip(p, &request{Verb: verbRegRead, Reg: reg, Idx: idx})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Val, nil
+}
+
+// BatchRead reads register ranges in one request frame.
+func (c *Client) BatchRead(p *sim.Proc, reqs []driver.ReadReq) ([][]uint64, error) {
+	resp, err := c.roundTrip(p, &request{Verb: verbBatchRead, Reqs: reqs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vals, nil
+}
+
+// UnbatchedRead reads register ranges one request frame each — the
+// unbatched baseline pays a full channel round trip per range here just
+// as it pays per-op channel latency below.
+func (c *Client) UnbatchedRead(p *sim.Proc, reqs []driver.ReadReq) ([][]uint64, error) {
+	out := make([][]uint64, 0, len(reqs))
+	for _, rq := range reqs {
+		resp, err := c.roundTrip(p, &request{Verb: verbBatchRead, Reqs: []driver.ReadReq{rq}})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, resp.Vals...)
+	}
+	return out, nil
+}
+
+// ReadEntries audits a table's installed entries over the wire.
+func (c *Client) ReadEntries(p *sim.Proc, table string) ([]rmt.Entry, error) {
+	resp, err := c.roundTrip(p, &request{Verb: verbReadEntries, Table: table})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// ReadDefaultAction audits a table's default action over the wire.
+func (c *Client) ReadDefaultAction(p *sim.Proc, table string) (*p4.ActionCall, error) {
+	resp, err := c.roundTrip(p, &request{Verb: verbReadDefaultAction, Table: table})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Call, nil
+}
+
+// Memoize ships as a fire-and-forget datagram: it is a hint, losing one
+// costs a future lookup, not correctness, so it gets no retransmission.
+func (c *Client) Memoize(table string, handle rmt.EntryHandle) {
+	c.link.Send(c.side, encodeRequest(&request{
+		Kind: frameDatagram, Session: c.opts.Session, Epoch: c.opts.Epoch,
+		Ack: c.ackFloor(), Verb: verbMemoize, Table: table, Handle: handle,
+	}))
+}
+
+// Switch returns the wired switch via the Meta backdoor (simulation
+// plumbing — not a control message).
+func (c *Client) Switch() *rmt.Switch {
+	if c.opts.Meta == nil {
+		return nil
+	}
+	return c.opts.Meta.Switch()
+}
+
+// Stats returns the underlying driver's op counters via the Meta
+// backdoor. The client's own wire counters live in ChanStats.
+func (c *Client) Stats() driver.Stats {
+	if c.opts.Meta == nil {
+		return driver.Stats{}
+	}
+	return c.opts.Meta.Stats()
+}

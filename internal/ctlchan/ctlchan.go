@@ -1,0 +1,487 @@
+// Package ctlchan turns the driver.Channel method set into sequenced
+// request/response messages carried over a netsim.Link — the control
+// channel between a Mantis agent and its switch, made explicit so it
+// can drop, duplicate, reorder, delay, and partition like a real one.
+//
+// The in-process layers below (driver, ctlplane, faults) keep a clean
+// failure model: an operation either applies or it doesn't, and the
+// caller always learns which. A message channel breaks that assumption
+// in one specific way — the request or its acknowledgment can be lost
+// independently — and this package contains the machinery that puts the
+// pieces back together:
+//
+//   - Sequencing and idempotency. Every request carries a per-session
+//     sequence number, which doubles as its idempotency token: the
+//     server caches each executed request's response by (session, seq)
+//     and answers retransmits from the cache without re-executing, so a
+//     mutation applies at-most-once no matter how many copies of the
+//     request arrive. Each request also piggybacks the client's lowest
+//     unresolved sequence number; the server garbage-collects its cache
+//     below that floor and rejects (never executes) mutations that
+//     surface from the network after their seq dropped below it.
+//
+//   - Retransmission with a deadline. The client retransmits un-acked
+//     requests on a full-jitter backoff (faults.Backoff) until a
+//     response arrives or the per-op deadline passes. A deadline expiry
+//     surfaces driver.ErrChannelDegraded: the op may or may not have
+//     applied. Before reporting it for a mutation, the client sits out
+//     the link's maximum message lifetime (netsim.Link.MaxDelay) so no
+//     stale copy of the abandoned request is still in flight — the
+//     virtual-clock analogue of TCP's MSL quarantine — which makes a
+//     subsequent switch audit definitive.
+//
+//   - Epoch fencing. Write sessions carry an election epoch. The server
+//     tracks the highest epoch it has seen and rejects lower-epoch
+//     mutations with ErrFenced, so a partitioned-then-healed old
+//     primary cannot push stale writes past a standby takeover. The
+//     per-session execution channel is expected to be a ctlplane
+//     session opened with the same epoch as its election ID, so
+//     demotion fences writes at the dispatcher too — two independent
+//     fences.
+//
+// In-flight windowing bounds the number of outstanding requests per
+// client; excess callers queue FIFO. Reads share the same machinery but
+// skip the quarantine (a stale read executing late is harmless).
+package ctlchan
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/p4"
+	"repro/internal/rmt"
+)
+
+// ErrFenced marks a mutation rejected because a higher election epoch
+// has been seen by the server: the issuing session lost a takeover while
+// partitioned. Fenced is terminal for the session — not transient — so
+// a demoted agent stops instead of retrying into a split brain.
+var ErrFenced = errors.New("ctlchan: session fenced by higher epoch")
+
+// Frame kinds (first byte on the wire).
+const (
+	frameRequest  uint8 = 0xC1
+	frameResponse uint8 = 0xC2
+	frameDatagram uint8 = 0xC3 // fire-and-forget request, no response
+)
+
+// Verbs, one per driver.Channel operation that crosses the wire.
+const (
+	verbAddEntry uint8 = iota + 1
+	verbModifyEntry
+	verbDeleteEntry
+	verbSetDefaultAction
+	verbSetHashSeed
+	verbRegWrite
+	verbRegRead
+	verbBatchRead
+	verbReadEntries
+	verbReadDefaultAction
+	verbMemoize
+)
+
+var verbNames = map[uint8]string{
+	verbAddEntry:          "AddEntry",
+	verbModifyEntry:       "ModifyEntry",
+	verbDeleteEntry:       "DeleteEntry",
+	verbSetDefaultAction:  "SetDefaultAction",
+	verbSetHashSeed:       "SetHashSeed",
+	verbRegWrite:          "RegWrite",
+	verbRegRead:           "RegRead",
+	verbBatchRead:         "BatchRead",
+	verbReadEntries:       "ReadEntries",
+	verbReadDefaultAction: "ReadDefaultAction",
+	verbMemoize:           "Memoize",
+}
+
+// mutatingVerb reports whether the verb changes switch state — the set
+// subject to idempotency tokens, the MSL quarantine, and epoch fencing.
+func mutatingVerb(v uint8) bool {
+	switch v {
+	case verbAddEntry, verbModifyEntry, verbDeleteEntry, verbSetDefaultAction,
+		verbSetHashSeed, verbRegWrite:
+		return true
+	}
+	return false
+}
+
+// Response status codes.
+const (
+	statusOK uint8 = iota
+	// statusTransient: the inner channel failed transiently; the client
+	// rebuilds an error wrapping driver.ErrTransient so the agent's
+	// retry policy applies unchanged.
+	statusTransient
+	// statusFenced: the mutation was rejected by epoch fencing.
+	statusFenced
+	// statusStale: the request's seq is below the session's resolved
+	// floor — a ghost copy of an operation the client already gave up
+	// on. Never executed; no caller is waiting.
+	statusStale
+	// statusError: a non-transient remote error, carried as text.
+	statusError
+)
+
+// request is the decoded form of one client→server frame. Exactly the
+// fields of its verb are meaningful.
+type request struct {
+	Kind    uint8
+	Session uint32
+	Epoch   uint64
+	Seq     uint64
+	// Ack is the client's lowest unresolved seq: everything below it is
+	// resolved client-side and can be dropped from the server's caches.
+	Ack  uint64
+	Verb uint8
+
+	Table  string
+	Entry  rmt.Entry
+	Handle rmt.EntryHandle
+	Action string
+	Data   []uint64
+	Call   *p4.ActionCall
+	Name   string
+	Seed   uint64
+	Reg    string
+	Idx    uint64
+	Val    uint64
+	Reqs   []driver.ReadReq
+}
+
+// response is the decoded form of one server→client frame.
+type response struct {
+	Session uint32
+	Seq     uint64
+	Status  uint8
+	ErrMsg  string
+
+	Handle  rmt.EntryHandle
+	Val     uint64
+	Vals    [][]uint64
+	Entries []rmt.Entry
+	Call    *p4.ActionCall
+}
+
+// ---- Wire codec ----
+//
+// Fixed-width little-endian integers with length-prefixed strings and
+// slices: simple enough to decode incrementally and strict enough that
+// a truncated or corrupted frame fails loudly instead of misparsing.
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (e *enc) u64(v uint64) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) u64s(vs []uint64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.u64(v)
+	}
+}
+func (e *enc) keys(ks []rmt.KeySpec) {
+	e.u32(uint32(len(ks)))
+	for _, k := range ks {
+		e.u64(k.Value)
+		e.u64(k.Mask)
+		e.u64(k.Lo)
+		e.u64(k.Hi)
+	}
+}
+func (e *enc) entry(en rmt.Entry) {
+	e.u64(uint64(en.Handle))
+	e.u64(uint64(int64(en.Priority)))
+	e.str(en.Action)
+	e.keys(en.Keys)
+	e.u64s(en.Data)
+}
+func (e *enc) call(c *p4.ActionCall) {
+	if c == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.str(c.Action)
+	e.u64s(c.Data)
+}
+
+var errShortFrame = errors.New("ctlchan: truncated frame")
+
+// maxSliceLen rejects length prefixes a sane frame cannot carry, so a
+// corrupted frame fails instead of allocating gigabytes.
+const maxSliceLen = 1 << 20
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() { d.err = errShortFrame }
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	b := d.b[d.off:]
+	d.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	b := d.b[d.off:]
+	d.off += 8
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil || n > maxSliceLen || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+func (d *dec) u64s() []uint64 {
+	n := int(d.u32())
+	if d.err != nil || n > maxSliceLen {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = d.u64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return vs
+}
+func (d *dec) keys() []rmt.KeySpec {
+	n := int(d.u32())
+	if d.err != nil || n > maxSliceLen {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	ks := make([]rmt.KeySpec, n)
+	for i := range ks {
+		ks[i] = rmt.KeySpec{Value: d.u64(), Mask: d.u64(), Lo: d.u64(), Hi: d.u64()}
+	}
+	if d.err != nil {
+		return nil
+	}
+	return ks
+}
+func (d *dec) entry() rmt.Entry {
+	return rmt.Entry{
+		Handle:   rmt.EntryHandle(d.u64()),
+		Priority: int(int64(d.u64())),
+		Action:   d.str(),
+		Keys:     d.keys(),
+		Data:     d.u64s(),
+	}
+}
+func (d *dec) callv() *p4.ActionCall {
+	if d.u8() == 0 {
+		return nil
+	}
+	return &p4.ActionCall{Action: d.str(), Data: d.u64s()}
+}
+
+// leftover fails the decode if trailing bytes remain: a frame must be
+// consumed exactly.
+func (d *dec) leftover() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("ctlchan: %d trailing bytes in frame", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// encodeRequest serializes a request (or datagram) frame.
+func encodeRequest(r *request) []byte {
+	e := &enc{b: make([]byte, 0, 64)}
+	e.u8(r.Kind)
+	e.u32(r.Session)
+	e.u64(r.Epoch)
+	e.u64(r.Seq)
+	e.u64(r.Ack)
+	e.u8(r.Verb)
+	switch r.Verb {
+	case verbAddEntry:
+		e.str(r.Table)
+		e.entry(r.Entry)
+	case verbModifyEntry:
+		e.str(r.Table)
+		e.u64(uint64(r.Handle))
+		e.str(r.Action)
+		e.u64s(r.Data)
+	case verbDeleteEntry, verbMemoize:
+		e.str(r.Table)
+		e.u64(uint64(r.Handle))
+	case verbSetDefaultAction:
+		e.str(r.Table)
+		e.call(r.Call)
+	case verbSetHashSeed:
+		e.str(r.Name)
+		e.u64(r.Seed)
+	case verbRegWrite:
+		e.str(r.Reg)
+		e.u64(r.Idx)
+		e.u64(r.Val)
+	case verbRegRead:
+		e.str(r.Reg)
+		e.u64(r.Idx)
+	case verbBatchRead:
+		e.u32(uint32(len(r.Reqs)))
+		for _, rq := range r.Reqs {
+			e.str(rq.Reg)
+			e.u64(rq.Lo)
+			e.u64(rq.Hi)
+		}
+	case verbReadEntries, verbReadDefaultAction:
+		e.str(r.Table)
+	}
+	return e.b
+}
+
+// decodeRequest parses a request or datagram frame.
+func decodeRequest(b []byte) (*request, error) {
+	d := &dec{b: b}
+	r := &request{Kind: d.u8()}
+	if r.Kind != frameRequest && r.Kind != frameDatagram {
+		return nil, fmt.Errorf("ctlchan: not a request frame (kind 0x%02x)", r.Kind)
+	}
+	r.Session = d.u32()
+	r.Epoch = d.u64()
+	r.Seq = d.u64()
+	r.Ack = d.u64()
+	r.Verb = d.u8()
+	switch r.Verb {
+	case verbAddEntry:
+		r.Table = d.str()
+		r.Entry = d.entry()
+	case verbModifyEntry:
+		r.Table = d.str()
+		r.Handle = rmt.EntryHandle(d.u64())
+		r.Action = d.str()
+		r.Data = d.u64s()
+	case verbDeleteEntry, verbMemoize:
+		r.Table = d.str()
+		r.Handle = rmt.EntryHandle(d.u64())
+	case verbSetDefaultAction:
+		r.Table = d.str()
+		r.Call = d.callv()
+	case verbSetHashSeed:
+		r.Name = d.str()
+		r.Seed = d.u64()
+	case verbRegWrite:
+		r.Reg = d.str()
+		r.Idx = d.u64()
+		r.Val = d.u64()
+	case verbRegRead:
+		r.Reg = d.str()
+		r.Idx = d.u64()
+	case verbBatchRead:
+		n := int(d.u32())
+		if d.err == nil && n > maxSliceLen {
+			d.fail()
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Reqs = append(r.Reqs, driver.ReadReq{Reg: d.str(), Lo: d.u64(), Hi: d.u64()})
+		}
+	case verbReadEntries, verbReadDefaultAction:
+		r.Table = d.str()
+	default:
+		return nil, fmt.Errorf("ctlchan: unknown verb %d", r.Verb)
+	}
+	if err := d.leftover(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// encodeResponse serializes a response frame.
+func encodeResponse(r *response) []byte {
+	e := &enc{b: make([]byte, 0, 64)}
+	e.u8(frameResponse)
+	e.u32(r.Session)
+	e.u64(r.Seq)
+	e.u8(r.Status)
+	e.str(r.ErrMsg)
+	e.u64(uint64(r.Handle))
+	e.u64(r.Val)
+	e.u32(uint32(len(r.Vals)))
+	for _, vs := range r.Vals {
+		e.u64s(vs)
+	}
+	e.u32(uint32(len(r.Entries)))
+	for _, en := range r.Entries {
+		e.entry(en)
+	}
+	e.call(r.Call)
+	return e.b
+}
+
+// decodeResponse parses a response frame.
+func decodeResponse(b []byte) (*response, error) {
+	d := &dec{b: b}
+	if k := d.u8(); k != frameResponse {
+		return nil, fmt.Errorf("ctlchan: not a response frame (kind 0x%02x)", k)
+	}
+	r := &response{
+		Session: d.u32(),
+		Seq:     d.u64(),
+		Status:  d.u8(),
+		ErrMsg:  d.str(),
+		Handle:  rmt.EntryHandle(d.u64()),
+		Val:     d.u64(),
+	}
+	nv := int(d.u32())
+	if d.err == nil && nv > maxSliceLen {
+		d.fail()
+	}
+	for i := 0; i < nv && d.err == nil; i++ {
+		r.Vals = append(r.Vals, d.u64s())
+	}
+	ne := int(d.u32())
+	if d.err == nil && ne > maxSliceLen {
+		d.fail()
+	}
+	for i := 0; i < ne && d.err == nil; i++ {
+		r.Entries = append(r.Entries, d.entry())
+	}
+	r.Call = d.callv()
+	if err := d.leftover(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,618 @@
+package ctlchan
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/p4"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// fakeChan is an in-memory driver.Channel that records mutations —
+// enough switch to assert at-most-once without an RMT pipeline under it.
+type fakeChan struct {
+	regs     map[string]map[uint64]uint64
+	writes   uint64 // mutating calls executed
+	memoized uint64
+	entries  []rmt.Entry
+	call     *p4.ActionCall
+	// failNext, when set, is returned (and cleared) by the next op.
+	failNext error
+}
+
+func newFakeChan() *fakeChan {
+	return &fakeChan{regs: map[string]map[uint64]uint64{}}
+}
+
+func (f *fakeChan) take() error { err := f.failNext; f.failNext = nil; return err }
+
+func (f *fakeChan) AddEntry(p *sim.Proc, table string, e rmt.Entry) (rmt.EntryHandle, error) {
+	if err := f.take(); err != nil {
+		return 0, err
+	}
+	f.writes++
+	e.Handle = rmt.EntryHandle(len(f.entries) + 1)
+	f.entries = append(f.entries, e)
+	return e.Handle, nil
+}
+func (f *fakeChan) ModifyEntry(p *sim.Proc, table string, h rmt.EntryHandle, action string, data []uint64) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	f.writes++
+	return nil
+}
+func (f *fakeChan) DeleteEntry(p *sim.Proc, table string, h rmt.EntryHandle) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	f.writes++
+	return nil
+}
+func (f *fakeChan) SetDefaultAction(p *sim.Proc, table string, call *p4.ActionCall) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	f.writes++
+	f.call = call
+	return nil
+}
+func (f *fakeChan) SetHashSeed(p *sim.Proc, name string, seed uint64) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	f.writes++
+	return nil
+}
+func (f *fakeChan) RegWrite(p *sim.Proc, reg string, idx uint64, v uint64) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	f.writes++
+	if f.regs[reg] == nil {
+		f.regs[reg] = map[uint64]uint64{}
+	}
+	f.regs[reg][idx] = v
+	return nil
+}
+func (f *fakeChan) RegRead(p *sim.Proc, reg string, idx uint64) (uint64, error) {
+	if err := f.take(); err != nil {
+		return 0, err
+	}
+	return f.regs[reg][idx], nil
+}
+func (f *fakeChan) BatchRead(p *sim.Proc, reqs []driver.ReadReq) ([][]uint64, error) {
+	if err := f.take(); err != nil {
+		return nil, err
+	}
+	out := make([][]uint64, 0, len(reqs))
+	for _, rq := range reqs {
+		vs := make([]uint64, 0, rq.Hi-rq.Lo+1)
+		for i := rq.Lo; i <= rq.Hi; i++ {
+			vs = append(vs, f.regs[rq.Reg][i])
+		}
+		out = append(out, vs)
+	}
+	return out, nil
+}
+func (f *fakeChan) UnbatchedRead(p *sim.Proc, reqs []driver.ReadReq) ([][]uint64, error) {
+	return f.BatchRead(p, reqs)
+}
+func (f *fakeChan) ReadEntries(p *sim.Proc, table string) ([]rmt.Entry, error) {
+	if err := f.take(); err != nil {
+		return nil, err
+	}
+	return f.entries, nil
+}
+func (f *fakeChan) ReadDefaultAction(p *sim.Proc, table string) (*p4.ActionCall, error) {
+	if err := f.take(); err != nil {
+		return nil, err
+	}
+	return f.call, nil
+}
+func (f *fakeChan) Memoize(table string, handle rmt.EntryHandle) { f.memoized++ }
+func (f *fakeChan) Switch() *rmt.Switch                          { return nil }
+func (f *fakeChan) Stats() driver.Stats                          { return driver.Stats{} }
+
+// ---- Codec ----
+
+func sampleRequests() []*request {
+	return []*request{
+		{Verb: verbAddEntry, Table: "t1", Entry: rmt.Entry{
+			Handle: 3, Priority: -2, Action: "set1",
+			Keys: []rmt.KeySpec{{Value: 7, Mask: 0xFF}, {Lo: 1, Hi: 9}},
+			Data: []uint64{1, 2, 3},
+		}},
+		{Verb: verbModifyEntry, Table: "t2", Handle: 9, Action: "set2", Data: []uint64{42}},
+		{Verb: verbModifyEntry, Table: "t2", Handle: 9, Action: "noop"}, // zero-length data
+		{Verb: verbDeleteEntry, Table: "t1", Handle: 5},
+		{Verb: verbSetDefaultAction, Table: "t1", Call: &p4.ActionCall{Action: "drop", Data: []uint64{0xDEAD}}},
+		{Verb: verbSetDefaultAction, Table: "t1"}, // nil call
+		{Verb: verbSetHashSeed, Name: "ecmp", Seed: 0xFEEDFACE},
+		{Verb: verbRegWrite, Reg: "cnt", Idx: 12, Val: ^uint64(0)},
+		{Verb: verbRegRead, Reg: "cnt", Idx: 12},
+		{Verb: verbBatchRead, Reqs: []driver.ReadReq{{Reg: "a", Lo: 0, Hi: 3}, {Reg: "b", Lo: 5, Hi: 5}}},
+		{Verb: verbReadEntries, Table: "t2"},
+		{Verb: verbReadDefaultAction, Table: "t2"},
+		{Kind: frameDatagram, Verb: verbMemoize, Table: "t1", Handle: 77},
+	}
+}
+
+func TestCodecRequestRoundTrip(t *testing.T) {
+	for i, r := range sampleRequests() {
+		if r.Kind == 0 {
+			r.Kind = frameRequest
+		}
+		r.Session, r.Epoch, r.Seq, r.Ack = 0xA1B2C3D4, 3, uint64(i)+1, uint64(i)
+		got, err := decodeRequest(encodeRequest(r))
+		if err != nil {
+			t.Fatalf("verb %s: decode: %v", verbNames[r.Verb], err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("verb %s roundtrip:\n got %+v\nwant %+v", verbNames[r.Verb], got, r)
+		}
+	}
+}
+
+func TestCodecResponseRoundTrip(t *testing.T) {
+	rs := []*response{
+		{Session: 1, Seq: 2, Status: statusOK, Handle: 7, Val: 99,
+			Vals:    [][]uint64{{1, 2}, nil, {3}},
+			Entries: []rmt.Entry{{Handle: 1, Action: "a", Keys: []rmt.KeySpec{{Value: 4}}, Data: []uint64{8}}},
+			Call:    &p4.ActionCall{Action: "fwd", Data: []uint64{1}}},
+		{Session: 9, Seq: 1, Status: statusError, ErrMsg: "unknown table \"zap\""},
+		{Session: 9, Seq: 3, Status: statusStale},
+	}
+	for _, r := range rs {
+		got, err := decodeResponse(encodeResponse(r))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("roundtrip:\n got %+v\nwant %+v", got, r)
+		}
+	}
+}
+
+// TestCodecRejectsCorruptFrames truncates every valid frame at every
+// length and appends trailing garbage: each variant must error, never
+// misparse or panic.
+func TestCodecRejectsCorruptFrames(t *testing.T) {
+	for _, r := range sampleRequests() {
+		if r.Kind == 0 {
+			r.Kind = frameRequest
+		}
+		b := encodeRequest(r)
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := decodeRequest(b[:cut]); err == nil {
+				t.Fatalf("verb %s: truncation at %d/%d decoded cleanly", verbNames[r.Verb], cut, len(b))
+			}
+		}
+		if _, err := decodeRequest(append(append([]byte(nil), b...), 0)); err == nil {
+			t.Fatalf("verb %s: trailing byte accepted", verbNames[r.Verb])
+		}
+	}
+	resp := encodeResponse(&response{Session: 1, Seq: 2, Status: statusOK})
+	for cut := 0; cut < len(resp); cut++ {
+		if _, err := decodeResponse(resp[:cut]); err == nil {
+			t.Fatalf("response truncation at %d decoded cleanly", cut)
+		}
+	}
+	if _, err := decodeRequest([]byte{0x55}); err == nil {
+		t.Fatal("bad frame kind accepted")
+	}
+	if _, err := decodeRequest(encodeResponse(&response{})); err == nil {
+		t.Fatal("response frame accepted as request")
+	}
+	// A length prefix claiming a gigabyte must fail without allocating.
+	e := &enc{}
+	e.u8(frameRequest)
+	e.u32(1)
+	e.u64(1)
+	e.u64(1)
+	e.u64(0)
+	e.u8(verbReadEntries)
+	e.u32(1 << 30) // table-name length
+	if _, err := decodeRequest(e.b); err == nil {
+		t.Fatal("gigabyte length prefix accepted")
+	}
+}
+
+// ---- Client/server harness ----
+
+type chanRig struct {
+	sim  *sim.Simulator
+	link *netsim.Link
+	fake *fakeChan
+	srv  *Server
+	cli  *Client
+}
+
+func buildChanRig(t *testing.T, prof faults.LinkProfile, opts ClientOptions) *chanRig {
+	t.Helper()
+	s := sim.New(1)
+	link := netsim.NewLink(s, 500*time.Nanosecond, prof, 7)
+	fake := newFakeChan()
+	srv := NewServer(s)
+	if opts.Session == 0 {
+		opts.Session = 1
+	}
+	if opts.Epoch == 0 {
+		opts.Epoch = 1
+	}
+	srv.Attach(link, netsim.LinkSideB, opts.Session, opts.Epoch, fake)
+	cli := NewClient(s, link, netsim.LinkSideA, opts)
+	return &chanRig{sim: s, link: link, fake: fake, srv: srv, cli: cli}
+}
+
+// do runs fn on a spawned proc and returns its error after the sim runs
+// to completion of the proc (bounded by d).
+func (r *chanRig) do(t *testing.T, d time.Duration, fn func(p *sim.Proc) error) error {
+	t.Helper()
+	var err error
+	done := false
+	r.sim.Spawn("test-op", func(p *sim.Proc) {
+		err = fn(p)
+		done = true
+	})
+	r.sim.RunFor(d)
+	if !done {
+		t.Fatal("operation did not complete in time")
+	}
+	return err
+}
+
+func TestClientServerCleanOps(t *testing.T) {
+	r := buildChanRig(t, faults.LinkNone(), ClientOptions{})
+	err := r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		h, err := r.cli.AddEntry(p, "t1", rmt.Entry{Action: "set1", Keys: []rmt.KeySpec{{Value: 7}}, Data: []uint64{1}})
+		if err != nil {
+			return err
+		}
+		if h != 1 {
+			return fmt.Errorf("handle = %d, want 1", h)
+		}
+		if err := r.cli.ModifyEntry(p, "t1", h, "set1", []uint64{2}); err != nil {
+			return err
+		}
+		if err := r.cli.SetDefaultAction(p, "t1", &p4.ActionCall{Action: "drop"}); err != nil {
+			return err
+		}
+		if err := r.cli.SetHashSeed(p, "ecmp", 99); err != nil {
+			return err
+		}
+		if err := r.cli.RegWrite(p, "cnt", 3, 41); err != nil {
+			return err
+		}
+		v, err := r.cli.RegRead(p, "cnt", 3)
+		if err != nil {
+			return err
+		}
+		if v != 41 {
+			return fmt.Errorf("RegRead = %d, want 41", v)
+		}
+		vals, err := r.cli.BatchRead(p, []driver.ReadReq{{Reg: "cnt", Lo: 2, Hi: 4}})
+		if err != nil {
+			return err
+		}
+		if len(vals) != 1 || len(vals[0]) != 3 || vals[0][1] != 41 {
+			return fmt.Errorf("BatchRead = %v", vals)
+		}
+		uv, err := r.cli.UnbatchedRead(p, []driver.ReadReq{{Reg: "cnt", Lo: 3, Hi: 3}, {Reg: "cnt", Lo: 0, Hi: 0}})
+		if err != nil {
+			return err
+		}
+		if len(uv) != 2 || uv[0][0] != 41 {
+			return fmt.Errorf("UnbatchedRead = %v", uv)
+		}
+		ents, err := r.cli.ReadEntries(p, "t1")
+		if err != nil {
+			return err
+		}
+		if len(ents) != 1 || ents[0].Keys[0].Value != 7 {
+			return fmt.Errorf("ReadEntries = %+v", ents)
+		}
+		call, err := r.cli.ReadDefaultAction(p, "t1")
+		if err != nil {
+			return err
+		}
+		if call == nil || call.Action != "drop" {
+			return fmt.Errorf("ReadDefaultAction = %+v", call)
+		}
+		if err := r.cli.DeleteEntry(p, "t1", h); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.cli.Memoize("t1", 1)
+	r.sim.RunFor(10 * time.Microsecond)
+	if r.fake.memoized != 1 {
+		t.Fatalf("memoize datagram not executed: %d", r.fake.memoized)
+	}
+	cs, ss := r.cli.ChanStats(), r.srv.Stats()
+	if cs.Retransmits != 0 || cs.Timeouts != 0 || ss.DedupHits != 0 {
+		t.Fatalf("clean link produced recovery traffic: client %+v server %+v", cs, ss)
+	}
+	if ss.MutationsExecuted != 6 {
+		t.Fatalf("MutationsExecuted = %d, want 6", ss.MutationsExecuted)
+	}
+	if r.cli.Degraded() || r.cli.Fenced() {
+		t.Fatal("clean link left client degraded/fenced")
+	}
+}
+
+// TestAtMostOnceUnderLossAndDup is the idempotency property: across a
+// wire that loses and duplicates aggressively, every mutation the
+// client confirms executed exactly once switch-side.
+func TestAtMostOnceUnderLossAndDup(t *testing.T) {
+	prof := faults.LinkProfile{Name: "hostile", Loss: 0.25, Dup: 0.25, DupDelay: 2 * time.Microsecond}
+	r := buildChanRig(t, prof, ClientOptions{OpDeadline: 10 * time.Millisecond})
+	const n = 200
+	err := r.do(t, time.Second, func(p *sim.Proc) error {
+		for i := 0; i < n; i++ {
+			if err := r.cli.RegWrite(p, "cnt", uint64(i%8), uint64(i)); err != nil {
+				return fmt.Errorf("write %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, cs := r.srv.Stats(), r.cli.ChanStats()
+	if r.fake.writes != n || ss.MutationsExecuted != n {
+		t.Fatalf("executed %d/%d mutations for %d confirmed ops (dedup leak)", r.fake.writes, ss.MutationsExecuted, n)
+	}
+	if cs.Retransmits == 0 || ss.DedupHits == 0 {
+		t.Fatalf("fault paths never exercised: client %+v server %+v", cs, ss)
+	}
+	// The floor GC must be keeping the response cache bounded: with
+	// sequential ops, at most the in-flight op plus ghosts remain.
+	if len(r.srv.sessions[1].cache) > 4 {
+		t.Fatalf("response cache not garbage-collected: %d entries", len(r.srv.sessions[1].cache))
+	}
+}
+
+// TestWindowQueuesExcessCallers: concurrent callers beyond the window
+// queue FIFO and all complete.
+func TestWindowQueuesExcessCallers(t *testing.T) {
+	r := buildChanRig(t, faults.LinkNone(), ClientOptions{Window: 2})
+	const n = 6
+	doneCount := 0
+	for i := 0; i < n; i++ {
+		idx := uint64(i)
+		r.sim.Spawn("caller", func(p *sim.Proc) {
+			if _, err := r.cli.RegRead(p, "cnt", idx); err != nil {
+				t.Errorf("caller %d: %v", idx, err)
+			}
+			doneCount++
+		})
+	}
+	r.sim.RunFor(time.Millisecond)
+	if doneCount != n {
+		t.Fatalf("%d/%d callers completed", doneCount, n)
+	}
+	if ws := r.cli.ChanStats().WindowWaits; ws == 0 {
+		t.Fatal("window never queued anyone")
+	}
+}
+
+// TestReadDeadlineFailsFast: a read op on a dead link reports
+// ErrChannelDegraded at its deadline, without the mutation quarantine.
+func TestReadDeadlineFailsFast(t *testing.T) {
+	r := buildChanRig(t, faults.LinkNone(), ClientOptions{OpDeadline: 100 * time.Microsecond})
+	r.link.SetPartitioned(true)
+	var failedAt sim.Time
+	err := r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		_, err := r.cli.RegRead(p, "cnt", 0)
+		failedAt = r.sim.Now()
+		return err
+	})
+	if !errors.Is(err, driver.ErrChannelDegraded) {
+		t.Fatalf("err = %v, want ErrChannelDegraded", err)
+	}
+	if failedAt < sim.Time(100*time.Microsecond) {
+		t.Fatalf("failed at %v, before the deadline", failedAt)
+	}
+	if !r.cli.Degraded() {
+		t.Fatal("client not marked degraded")
+	}
+	if r.cli.ChanStats().Timeouts != 1 {
+		t.Fatalf("Timeouts = %d", r.cli.ChanStats().Timeouts)
+	}
+}
+
+// TestMutationQuarantineOutlivesMaxDelay: an abandoned mutation must not
+// be reported until every copy the client ever transmitted is off the
+// wire — failure time >= last transmit + link MaxDelay.
+func TestMutationQuarantineOutlivesMaxDelay(t *testing.T) {
+	// High skew so the quarantine is visibly longer than the deadline
+	// alone: MaxDelay = 500ns + (10+10+10)µs.
+	prof := faults.LinkProfile{
+		Name: "skewed", Jitter: 10 * time.Microsecond,
+		Reorder: 0.5, ReorderDelay: 10 * time.Microsecond,
+		Dup: 0.5, DupDelay: 10 * time.Microsecond,
+	}
+	r := buildChanRig(t, prof, ClientOptions{OpDeadline: 50 * time.Microsecond})
+	r.link.SetPartitioned(true)
+	var failedAt sim.Time
+	err := r.do(t, 10*time.Millisecond, func(p *sim.Proc) error {
+		werr := r.cli.RegWrite(p, "cnt", 0, 1)
+		failedAt = r.sim.Now()
+		return werr
+	})
+	if !errors.Is(err, driver.ErrChannelDegraded) {
+		t.Fatalf("err = %v, want ErrChannelDegraded", err)
+	}
+	// The last retransmit happened at or before the deadline; the report
+	// must wait out MaxDelay past it. We can't see lastTx directly, but
+	// deadline + MaxDelay - RTO is a safe lower bound on the earliest
+	// legal report (the final transmit is at most one RTO before the
+	// deadline check... conservatively assert > deadline).
+	if failedAt < sim.Time(50*time.Microsecond+r.link.MaxDelay()/2) {
+		t.Fatalf("mutation failure reported at %v — quarantine skipped (MaxDelay %v)", failedAt, r.link.MaxDelay())
+	}
+}
+
+// TestGhostMutationStaleRejected: a duplicate copy of a mutation that
+// surfaces after the client resolved it (ack floor advanced past its
+// seq) is refused, not re-executed.
+func TestGhostMutationStaleRejected(t *testing.T) {
+	r := buildChanRig(t, faults.LinkNone(), ClientOptions{})
+	err := r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		if err := r.cli.RegWrite(p, "cnt", 0, 1); err != nil {
+			return err
+		}
+		// Advance the floor past seq 1 with a second op.
+		return r.cli.RegWrite(p, "cnt", 0, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writesBefore := r.fake.writes
+	// Replay a ghost of seq 1 — as the network would after a dup held it.
+	ghost := encodeRequest(&request{
+		Kind: frameRequest, Session: 1, Epoch: 1, Seq: 1, Ack: 3,
+		Verb: verbRegWrite, Reg: "cnt", Idx: 0, Val: 1,
+	})
+	r.link.Send(netsim.LinkSideA, ghost)
+	r.sim.RunFor(100 * time.Microsecond)
+	if r.fake.writes != writesBefore {
+		t.Fatal("ghost mutation re-executed — lost-update hazard")
+	}
+	if ss := r.srv.Stats(); ss.StaleWrites != 1 {
+		t.Fatalf("StaleWrites = %d, want 1", ss.StaleWrites)
+	}
+	if v := r.fake.regs["cnt"][0]; v != 2 {
+		t.Fatalf("register = %d, want 2 (ghost must not roll back)", v)
+	}
+}
+
+// TestEpochFencing: once the server sees a higher epoch, lower-epoch
+// mutations are refused and the old client latches fenced — while its
+// reads still work, so a demoted agent can observe state on its way out.
+func TestEpochFencing(t *testing.T) {
+	r := buildChanRig(t, faults.LinkNone(), ClientOptions{Session: 1, Epoch: 1})
+	err := r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		return r.cli.RegWrite(p, "cnt", 0, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A successor attaches at epoch 2 on its own link.
+	link2 := netsim.NewLink(r.sim, 500*time.Nanosecond, faults.LinkNone(), 8)
+	r.srv.Attach(link2, netsim.LinkSideB, 2, 2, r.fake)
+	cli2 := NewClient(r.sim, link2, netsim.LinkSideA, ClientOptions{Session: 2, Epoch: 2})
+
+	err = r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		return r.cli.RegWrite(p, "cnt", 0, 99) // stale primary writes
+	})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch write: err = %v, want ErrFenced", err)
+	}
+	if !r.cli.Fenced() {
+		t.Fatal("client did not latch fenced")
+	}
+	if v := r.fake.regs["cnt"][0]; v != 1 {
+		t.Fatalf("fenced write applied: register = %d", v)
+	}
+	if fw := r.srv.Stats().FencedWrites; fw != 1 {
+		t.Fatalf("FencedWrites = %d, want 1", fw)
+	}
+
+	// Subsequent mutations fail fast, without touching the wire.
+	sentBefore := r.cli.ChanStats().Sent
+	err = r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		return r.cli.RegWrite(p, "cnt", 0, 100)
+	})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("post-fence write: err = %v, want ErrFenced", err)
+	}
+	if r.cli.ChanStats().Sent != sentBefore {
+		t.Fatal("fenced mutation still hit the wire")
+	}
+
+	// Reads from the fenced session still work.
+	err = r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		v, rerr := r.cli.RegRead(p, "cnt", 0)
+		if rerr == nil && v != 1 {
+			return fmt.Errorf("read %d, want 1", v)
+		}
+		return rerr
+	})
+	if err != nil {
+		t.Fatalf("fenced session read: %v", err)
+	}
+
+	// The successor writes freely.
+	err = r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		return cli2.RegWrite(p, "cnt", 0, 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.fake.regs["cnt"][0]; v != 7 {
+		t.Fatalf("successor write lost: register = %d", v)
+	}
+}
+
+// TestTransientAndErrorStatusMapping: inner-channel failures travel the
+// wire and come back as the same error classes the in-process stack
+// produces.
+func TestTransientAndErrorStatusMapping(t *testing.T) {
+	r := buildChanRig(t, faults.LinkNone(), ClientOptions{})
+	r.fake.failNext = fmt.Errorf("injected: %w", driver.ErrTransient)
+	err := r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		return r.cli.RegWrite(p, "cnt", 0, 1)
+	})
+	if !driver.IsTransient(err) {
+		t.Fatalf("transient not preserved across the wire: %v", err)
+	}
+	if r.fake.writes != 0 {
+		t.Fatal("failed op counted as a write")
+	}
+	r.fake.failNext = errors.New("unknown register \"zap\"")
+	err = r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		return r.cli.RegWrite(p, "zap", 0, 1)
+	})
+	if err == nil || driver.IsTransient(err) || errors.Is(err, driver.ErrChannelDegraded) {
+		t.Fatalf("fatal remote error misclassified: %v", err)
+	}
+}
+
+// TestDegradedClearsOnHeal: the degraded latch drops on the next
+// response after a partition heals — including a late response to an op
+// nobody is waiting on.
+func TestDegradedClearsOnHeal(t *testing.T) {
+	r := buildChanRig(t, faults.LinkNone(), ClientOptions{OpDeadline: 50 * time.Microsecond})
+	r.link.SetPartitioned(true)
+	err := r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		_, rerr := r.cli.RegRead(p, "cnt", 0)
+		return rerr
+	})
+	if !errors.Is(err, driver.ErrChannelDegraded) || !r.cli.Degraded() {
+		t.Fatalf("setup: err=%v degraded=%v", err, r.cli.Degraded())
+	}
+	r.link.SetPartitioned(false)
+	err = r.do(t, time.Millisecond, func(p *sim.Proc) error {
+		_, rerr := r.cli.RegRead(p, "cnt", 0)
+		return rerr
+	})
+	if err != nil {
+		t.Fatalf("post-heal read: %v", err)
+	}
+	if r.cli.Degraded() {
+		t.Fatal("degraded latch did not clear on heal")
+	}
+}

@@ -1,0 +1,298 @@
+package ctlchan
+
+import (
+	"errors"
+
+	"repro/internal/ctlplane"
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Server is the switch-side endpoint of the control channel: it decodes
+// request frames arriving on attached links, executes them on each
+// session's inner driver channel, and replies. One dispatcher process
+// serves all sessions, so execution is serialized exactly like the
+// single control CPU it models.
+//
+// The server is where at-most-once lands: executed responses are cached
+// by (session, seq) and retransmits are answered from the cache, while
+// mutations whose seq has fallen below the session's resolved floor —
+// ghost copies of operations the client already abandoned — are
+// rejected without executing. Epoch fencing is also enforced here (and
+// again by the ctlplane dispatcher below, when the inner channel is a
+// ctlplane session): a mutation carrying an epoch lower than the
+// highest the server has seen is refused.
+type Server struct {
+	sim      *sim.Simulator
+	sessions map[uint32]*serverSession
+
+	queue []inbound
+	disp  *sim.Proc
+	idle  bool
+
+	// epoch is the highest election epoch seen on any session; mutations
+	// below it are fenced. epochAt records when it last rose — the
+	// fencing point a split-brain audit compares mutation times against.
+	epoch   uint64
+	epochAt sim.Time
+
+	stats ServerStats
+}
+
+type inbound struct {
+	sess *serverSession
+	msg  []byte
+}
+
+type serverSession struct {
+	id    uint32
+	epoch uint64
+	link  *netsim.Link
+	side  int // the server's side of the link; replies go out here
+	ch    driver.Channel
+
+	// floor is the client's lowest unresolved seq: responses below it
+	// are garbage-collected, and mutating requests below it are stale.
+	floor uint64
+	// cache holds encoded responses by seq for retransmit replay.
+	cache map[uint64][]byte
+
+	executed       uint64
+	mutations      uint64
+	lastMutationAt sim.Time
+}
+
+// ServerStats counts server-side frame outcomes.
+type ServerStats struct {
+	// Frames counts frames received (including duplicates and garbage).
+	Frames uint64
+	// BadFrames counts frames that failed to decode.
+	BadFrames uint64
+	// Executed counts requests executed on an inner channel.
+	Executed uint64
+	// MutationsExecuted counts the mutating subset of Executed — the
+	// number the at-most-once property is asserted against.
+	MutationsExecuted uint64
+	// DedupHits counts retransmits answered from the response cache
+	// without re-executing.
+	DedupHits uint64
+	// FencedWrites counts mutations rejected for carrying a stale epoch.
+	FencedWrites uint64
+	// StaleWrites counts mutations rejected for a seq below the
+	// session's resolved floor.
+	StaleWrites uint64
+	// Epoch is the highest election epoch seen; EpochBumpedAt is when it
+	// last rose.
+	Epoch         uint64
+	EpochBumpedAt sim.Time
+}
+
+// SessionInfo is a snapshot of one attached session's counters.
+type SessionInfo struct {
+	ID             uint32
+	Epoch          uint64
+	Executed       uint64
+	Mutations      uint64
+	LastMutationAt sim.Time
+}
+
+// NewServer starts a control-channel server. Its dispatcher process
+// spawns immediately and parks until the first frame arrives.
+func NewServer(s *sim.Simulator) *Server {
+	srv := &Server{sim: s, sessions: make(map[uint32]*serverSession)}
+	srv.disp = s.Spawn("ctlchan-server", srv.run)
+	return srv
+}
+
+// Attach binds a session to the server: frames arriving at side of link
+// are decoded and executed on ch (typically a ctlplane session opened
+// with ElectionID == epoch, so demotion fences writes below this layer
+// too). Replies are sent back out the same side.
+func (srv *Server) Attach(link *netsim.Link, side int, sessionID uint32, epoch uint64, ch driver.Channel) {
+	sess := &serverSession{
+		id: sessionID, epoch: epoch, link: link, side: side, ch: ch,
+		cache: make(map[uint64][]byte),
+	}
+	srv.sessions[sessionID] = sess
+	if epoch > srv.epoch {
+		srv.epoch = epoch
+		srv.epochAt = srv.sim.Now()
+	}
+	link.SetRecv(side, func(msg []byte) {
+		srv.queue = append(srv.queue, inbound{sess: sess, msg: msg})
+		srv.kick()
+	})
+}
+
+// Stats returns a copy of the server counters.
+func (srv *Server) Stats() ServerStats {
+	st := srv.stats
+	st.Epoch = srv.epoch
+	st.EpochBumpedAt = srv.epochAt
+	return st
+}
+
+// Sessions returns a snapshot of every attached session, in id order
+// for small maps (callers sort if they care).
+func (srv *Server) Sessions() []SessionInfo {
+	out := make([]SessionInfo, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		out = append(out, SessionInfo{
+			ID: s.id, Epoch: s.epoch, Executed: s.executed,
+			Mutations: s.mutations, LastMutationAt: s.lastMutationAt,
+		})
+	}
+	return out
+}
+
+// kick wakes the dispatcher if it is parked; the idle flag flips here
+// so two arrivals at the same instant cannot double-unpark it.
+func (srv *Server) kick() {
+	if srv.idle {
+		srv.idle = false
+		srv.disp.Unpark()
+	}
+}
+
+// run is the dispatcher: drain the frame queue in arrival order, park
+// when empty.
+func (srv *Server) run(p *sim.Proc) {
+	for {
+		if len(srv.queue) == 0 {
+			srv.idle = true
+			p.Park()
+			continue
+		}
+		in := srv.queue[0]
+		srv.queue = srv.queue[1:]
+		srv.handle(p, in.sess, in.msg)
+	}
+}
+
+// handle processes one frame end to end: decode, dedup, fence, execute,
+// cache, reply.
+func (srv *Server) handle(p *sim.Proc, sess *serverSession, msg []byte) {
+	srv.stats.Frames++
+	req, err := decodeRequest(msg)
+	if err != nil {
+		srv.stats.BadFrames++
+		return
+	}
+
+	// Datagrams execute without sequencing or reply; a lost one is lost.
+	if req.Kind == frameDatagram {
+		if req.Verb == verbMemoize {
+			sess.ch.Memoize(req.Table, req.Handle)
+		}
+		return
+	}
+
+	// The piggybacked ack advances the resolved floor: everything below
+	// it is settled client-side, so its cached responses can go.
+	if req.Ack > sess.floor {
+		sess.floor = req.Ack
+		for seq := range sess.cache {
+			if seq < sess.floor {
+				delete(sess.cache, seq)
+			}
+		}
+	}
+
+	// Retransmit of an already-answered request: replay the cached
+	// response, do not re-execute. This is the at-most-once mechanism.
+	if cached, ok := sess.cache[req.Seq]; ok {
+		srv.stats.DedupHits++
+		sess.link.Send(sess.side, cached)
+		return
+	}
+
+	// A ghost copy below the floor: the client has already abandoned
+	// this op (and quarantined past the link's max delay before doing
+	// anything else), so executing it now would be a lost update wearing
+	// a valid seq. Refuse; mutations are the dangerous case.
+	if req.Seq < sess.floor {
+		if mutatingVerb(req.Verb) {
+			srv.stats.StaleWrites++
+		}
+		srv.reply(sess, &response{Session: sess.id, Seq: req.Seq, Status: statusStale})
+		return
+	}
+
+	// Epoch fencing: a mutation from a session that lost an election may
+	// not touch the switch, even if its request was composed before the
+	// takeover and merely delayed in flight.
+	if req.Epoch > srv.epoch {
+		srv.epoch = req.Epoch
+		srv.epochAt = srv.sim.Now()
+	}
+	if mutatingVerb(req.Verb) && req.Epoch < srv.epoch {
+		srv.stats.FencedWrites++
+		resp := &response{Session: sess.id, Seq: req.Seq, Status: statusFenced}
+		sess.cache[req.Seq] = encodeResponse(resp)
+		srv.reply(sess, resp)
+		return
+	}
+
+	resp := srv.execute(p, sess, req)
+	sess.cache[req.Seq] = encodeResponse(resp)
+	srv.reply(sess, resp)
+}
+
+// execute runs the request on the session's inner channel (paying its
+// channel latency on the dispatcher process) and builds the response.
+func (srv *Server) execute(p *sim.Proc, sess *serverSession, req *request) *response {
+	resp := &response{Session: sess.id, Seq: req.Seq, Status: statusOK}
+	var err error
+	switch req.Verb {
+	case verbAddEntry:
+		resp.Handle, err = sess.ch.AddEntry(p, req.Table, req.Entry)
+	case verbModifyEntry:
+		err = sess.ch.ModifyEntry(p, req.Table, req.Handle, req.Action, req.Data)
+	case verbDeleteEntry:
+		err = sess.ch.DeleteEntry(p, req.Table, req.Handle)
+	case verbSetDefaultAction:
+		err = sess.ch.SetDefaultAction(p, req.Table, req.Call)
+	case verbSetHashSeed:
+		err = sess.ch.SetHashSeed(p, req.Name, req.Seed)
+	case verbRegWrite:
+		err = sess.ch.RegWrite(p, req.Reg, req.Idx, req.Val)
+	case verbRegRead:
+		resp.Val, err = sess.ch.RegRead(p, req.Reg, req.Idx)
+	case verbBatchRead:
+		resp.Vals, err = sess.ch.BatchRead(p, req.Reqs)
+	case verbReadEntries:
+		resp.Entries, err = sess.ch.ReadEntries(p, req.Table)
+	case verbReadDefaultAction:
+		resp.Call, err = sess.ch.ReadDefaultAction(p, req.Table)
+	default:
+		resp.Status = statusError
+		resp.ErrMsg = "unknown verb"
+		return resp
+	}
+	srv.stats.Executed++
+	sess.executed++
+	if err == nil && mutatingVerb(req.Verb) {
+		srv.stats.MutationsExecuted++
+		sess.mutations++
+		sess.lastMutationAt = srv.sim.Now()
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ctlplane.ErrNotPrimary):
+		// The inner ctlplane session was demoted: the second fence.
+		resp.Status = statusFenced
+		resp.ErrMsg = err.Error()
+	case driver.IsTransient(err):
+		resp.Status = statusTransient
+		resp.ErrMsg = err.Error()
+	default:
+		resp.Status = statusError
+		resp.ErrMsg = err.Error()
+	}
+	return resp
+}
+
+func (srv *Server) reply(sess *serverSession, resp *response) {
+	sess.link.Send(sess.side, encodeResponse(resp))
+}

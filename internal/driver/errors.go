@@ -22,6 +22,15 @@ var (
 	// (Lo > Hi). Rejected during request validation, before any channel
 	// time is spent.
 	ErrBadBatch = errors.New("malformed batch read request")
+	// ErrChannelDegraded marks an operation abandoned because the control
+	// channel could not confirm it within its deadline — a lossy or
+	// partitioned message transport (internal/ctlchan), not a clean
+	// in-process failure. Unlike ErrTransient, the operation MAY have
+	// been applied switch-side (the acknowledgment, not the request, may
+	// be what was lost), so callers must not blindly reissue mutations;
+	// the agent abandons the iteration and resynchronizes via audit once
+	// the channel heals.
+	ErrChannelDegraded = errors.New("control channel degraded")
 )
 
 // IsTransient reports whether err is a retryable channel failure (the

@@ -19,9 +19,13 @@
 //
 // Injected failures are "clean": a failed operation consumes channel
 // time but never mutates switch state, so there is no ambiguity about
-// whether a timed-out update landed. (Real drivers can be ambiguous on
-// timeout; modeling that would need idempotence tokens in the channel
-// API and is out of scope.)
+// whether a timed-out update landed. The ambiguous case — a message
+// channel where the request or only its acknowledgment may be lost —
+// is modeled separately: LinkProfile (this package) configures the
+// message-level faults, netsim.Link carries them, and internal/ctlchan
+// supplies the sequence-numbered idempotency tokens and resync audit
+// that put at-most-once semantics back on top. An Injector below the
+// channel composes with a LinkProfile on it.
 package faults
 
 import (

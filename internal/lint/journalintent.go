@@ -15,16 +15,22 @@ import (
 //
 // The check is intra-function and order-based: when a function body
 // contains both an intent-journal write (journalBegin,
-// journalCommitStaged, or a WriteIntent call) and a driver mutation
-// (drvAddEntry, drvModifyEntry, drvDeleteEntry, drvSetDefaultAction,
-// drvSetHashSeed), the first intent write must precede the first
-// mutation in source order. Functions that only mutate (e.g. prologue
-// setup or reconciliation replay, which checkpoint afterwards) are not
-// flagged — the invariant binds the two together only where both occur.
+// journalCommitStaged, or a WriteIntent call) and a driver mutation,
+// the first intent write must precede the first mutation in source
+// order. Functions that only mutate (e.g. prologue setup or
+// reconciliation replay, which checkpoint afterwards) are not flagged —
+// the invariant binds the two together only where both occur.
+//
+// The mutation vocabulary is scoped per package subtree: internal/core
+// mutates through its drv* wrappers; internal/ctlchan's mutation sites
+// are the Channel mutation methods (client-side encode-and-send, and
+// the server's execute path calling the same methods on the inner
+// channel). The bare Channel names are registered only for ctlchan —
+// applying them to core would flag its own legitimate call sites.
 var JournalIntentAnalyzer = &Analyzer{
 	Name:  "journalintent",
-	Doc:   "journal intent writes in internal/core must precede the driver mutations they cover",
-	Match: func(p string) bool { return pathIn(p, "repro/internal/core") },
+	Doc:   "journal intent writes in internal/core and internal/ctlchan must precede the driver mutations they cover",
+	Match: func(p string) bool { return pathIn(p, "repro/internal/core", "repro/internal/ctlchan") },
 	Run:   runJournalIntent,
 }
 
@@ -33,13 +39,31 @@ var intentWriters = map[string]bool{
 	"journalBegin": true, "journalCommitStaged": true, "WriteIntent": true,
 }
 
-// driverMutators are the core agent's switch-mutating driver wrappers.
-var driverMutators = map[string]bool{
-	"drvAddEntry": true, "drvModifyEntry": true, "drvDeleteEntry": true,
-	"drvSetDefaultAction": true, "drvSetHashSeed": true,
+// driverMutators maps a package subtree to its switch-mutating entry
+// points.
+var driverMutators = map[string]map[string]bool{
+	"repro/internal/core": {
+		"drvAddEntry": true, "drvModifyEntry": true, "drvDeleteEntry": true,
+		"drvSetDefaultAction": true, "drvSetHashSeed": true,
+	},
+	"repro/internal/ctlchan": {
+		"AddEntry": true, "ModifyEntry": true, "DeleteEntry": true,
+		"SetDefaultAction": true, "SetHashSeed": true, "RegWrite": true,
+	},
+}
+
+// mutatorsFor picks the vocabulary whose subtree contains path.
+func mutatorsFor(path string) map[string]bool {
+	for root, set := range driverMutators {
+		if pathIn(path, root) {
+			return set
+		}
+	}
+	return nil
 }
 
 func runJournalIntent(pass *Pass) error {
+	mutators := mutatorsFor(pass.Path)
 	for _, f := range pass.Files {
 		if pass.TestFile(f.Pos()) {
 			continue
@@ -62,7 +86,7 @@ func runJournalIntent(pass *Pass) error {
 					if firstIntent == token.NoPos {
 						firstIntent = call.Pos()
 					}
-				case driverMutators[name]:
+				case mutators[name]:
 					if firstMut == token.NoPos {
 						firstMut = call.Pos()
 						mutName = name

@@ -24,6 +24,10 @@ func TestJournalIntent(t *testing.T) {
 	linttest.Run(t, lint.JournalIntentAnalyzer, filepath.Join("testdata", "journalintent"), "repro/internal/core")
 }
 
+func TestJournalIntentCtlchan(t *testing.T) {
+	linttest.Run(t, lint.JournalIntentAnalyzer, filepath.Join("testdata", "journalintent_ctlchan"), "repro/internal/ctlchan")
+}
+
 // TestMatchScoping pins that analyzers stay out of packages they were
 // not written for — running e.g. simclock on cmd/experiments would flag
 // legitimate wall-clock use.
@@ -38,6 +42,7 @@ func TestMatchScoping(t *testing.T) {
 		{"repro/internal/sim", []string{"simclock"}},
 		{"repro/internal/rmt", []string{"simclock"}},
 		{"repro/internal/core", []string{"simclock", "journalintent"}},
+		{"repro/internal/ctlchan", []string{"journalintent"}},
 		{"repro/internal/compiler", nil},
 		{"repro/cmd/experiments", nil},
 		{"repro/internal/corelike", nil},

@@ -1,0 +1,40 @@
+// Fixture for the journalintent analyzer's ctlchan vocabulary
+// (analyzed as repro/internal/ctlchan): the mutation sites are the
+// Channel mutation methods themselves, not core's drv* wrappers.
+package ctlchan
+
+type client struct{}
+
+func (c *client) WriteIntent(rec string) error             { return nil }
+func (c *client) RegWrite(reg string, idx, v uint64) error { return nil }
+func (c *client) ModifyEntry(t string, h int) error        { return nil }
+func (c *client) BatchRead() int                           { return 0 }
+func (c *client) drvModifyEntry()                          {}
+
+func (c *client) goodReplay() {
+	// Intent first, mutation second: the crash window is covered.
+	_ = c.WriteIntent("modify t")
+	_ = c.ModifyEntry("t", 1)
+}
+
+func (c *client) badReplay() {
+	_ = c.RegWrite("r", 0, 1) // want "driver mutation RegWrite precedes the intent journal write"
+	_ = c.WriteIntent("write r")
+}
+
+func (c *client) mutateOnly() {
+	// No intent write in scope: ordinary request dispatch, not flagged.
+	_ = c.ModifyEntry("t", 2)
+}
+
+func (c *client) readsDontCount() {
+	_ = c.BatchRead()
+	_ = c.WriteIntent("x")
+	_ = c.ModifyEntry("t", 3)
+}
+
+func (c *client) coreNamesIgnored() {
+	// core's drv* vocabulary is not a mutation site in this package.
+	c.drvModifyEntry()
+	_ = c.WriteIntent("x")
+}
