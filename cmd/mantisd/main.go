@@ -7,6 +7,12 @@
 //
 //	mantisd [-duration 10ms] [-pacing 0] [-pps 100000] [-faults transient] [-legacy-clients 4] program.p4r
 //	mantisd -ctl-loss 0.01 -ctl-partition 700us/300us -ctl-delay 500ns program.p4r
+//
+// With -topology the single switch becomes a leaf–spine fabric running
+// the built-in fabric programs and the network-wide DoS reference
+// scenario (no program argument):
+//
+//	mantisd -topology leafspine:4,2 [-duration 10ms] [-ctl-loss 0.01]
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/ctlchan"
 	"repro/internal/ctlplane"
 	"repro/internal/driver"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/journal"
 	"repro/internal/netsim"
@@ -128,6 +135,91 @@ func legacyReadTarget(prog *p4.Program) (reg string, n uint64, ok bool) {
 	return names[0], n, true
 }
 
+// runTopology is the -topology mode: a leaf–spine fabric of switches,
+// each with its own agent over a lossy control channel, running the
+// network-wide DoS scenario end to end.
+func runTopology(spec string, duration, pacing time.Duration, seed int64, ctlDelay time.Duration, ctlProf faults.LinkProfile) {
+	rest, ok := strings.CutPrefix(spec, "leafspine:")
+	var leaves, spines int
+	if ok {
+		if _, err := fmt.Sscanf(rest, "%d,%d", &leaves, &spines); err != nil {
+			ok = false
+		}
+	}
+	if !ok || leaves < 1 || spines < 1 {
+		fmt.Fprintf(os.Stderr, "mantisd: -topology %q: want leafspine:L,S with L,S ≥ 1\n", spec)
+		os.Exit(2)
+	}
+
+	cfg := fabric.DosFabricConfig{Fabric: fabric.Config{
+		Leaves: leaves, Spines: spines, Seed: seed,
+		Pacing: pacing, CtlDelay: ctlDelay, CtlProfile: ctlProf,
+	}}
+	if ctlProf.Loss > 0 || ctlProf.PartitionEvery > 0 {
+		// Sustained channel faults need a longer per-op budget; see
+		// fabric.Config.CtlOpDeadline.
+		cfg.Fabric.CtlOpDeadline = 2 * time.Millisecond
+	}
+	s := sim.New(seed)
+	d, err := fabric.NewDosFabric(s, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+		os.Exit(1)
+	}
+	const warmup = 2 * time.Millisecond
+	tail := duration - warmup
+	if tail < time.Millisecond {
+		tail = time.Millisecond
+	}
+	if err := d.Run(warmup, tail); err != nil {
+		fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("topology:          leaf-spine %d×%d (%d switches), victim on leaf0, flood at spine0's border port\n",
+		leaves, spines, leaves+spines)
+	fmt.Printf("virtual time:      %v\n", s.Now())
+	for _, n := range d.F.Nodes() {
+		ast := n.Agent.Stats()
+		cs := n.AgentCli.ChanStats()
+		ccs := n.CoordCli.ChanStats()
+		fmt.Printf("  %-8s %6d iterations, %5d commits, agent ch %d ops (%d retx), coord ch %d ops (%d retx)\n",
+			n.Name, ast.Iterations, ast.Commits, cs.Ops, cs.Retransmits, ccs.Ops, ccs.Retransmits)
+	}
+	var up, down netsim.TrunkStats
+	for _, row := range d.F.Trunks {
+		for _, tr := range row {
+			u, dn := tr.Stats(0), tr.Stats(1)
+			up.Sent += u.Sent
+			up.Delivered += u.Delivered
+			up.Lost += u.Lost
+			down.Sent += dn.Sent
+			down.Delivered += dn.Delivered
+			down.Lost += dn.Lost
+		}
+	}
+	fmt.Printf("trunks:            leaf→spine %d sent / %d delivered, spine→leaf %d sent / %d delivered, %d lost\n",
+		up.Sent, up.Delivered, down.Sent, down.Delivered, up.Lost+down.Lost)
+
+	cst := d.F.Coord.Stats()
+	fmt.Printf("coordinator:       %d events (%d blocks, %d hh reports), %d filter installs, %d degraded (%d audited present, %d reissued)\n",
+		cst.Events, cst.Blocks, cst.HHReports, cst.FilterInstalls, cst.DegradedInstalls, cst.AuditConfirmed, cst.Reissues)
+	if esc := d.Escalation(); esc != nil {
+		fmt.Printf("escalation:        detected by %s %v after flood start; spines filtered +%v, all %d switches +%v\n",
+			esc.DetectedBy, esc.DetectedAt.Sub(d.FloodStart), esc.SpinesDoneAt.Sub(esc.DetectedAt),
+			len(esc.Installed), esc.AllDoneAt.Sub(esc.DetectedAt))
+		if sup, err := d.Suppression(s.Now()); err == nil {
+			fmt.Printf("suppression:       %.1f%% of attack traffic removed from the victim leaf's trunks\n", sup*100)
+		}
+	} else {
+		fmt.Printf("escalation:        none (flood never detected within -duration)\n")
+	}
+	fmt.Printf("heavy hitters:     top 5 of %d tracked senders:\n", len(d.DeliveredBySrc))
+	for _, e := range d.F.Coord.TopK(5) {
+		fmt.Printf("  %#x  est %d bytes  (delivered %d)\n", e.Src, e.Bytes, d.DeliveredBySrc[e.Src])
+	}
+}
+
 func main() {
 	duration := flag.Duration("duration", 10*time.Millisecond, "virtual run time")
 	pacing := flag.Duration("pacing", 0, "dialogue pacing (0 = busy loop)")
@@ -140,7 +232,26 @@ func main() {
 	ctlDelay := flag.Duration("ctl-delay", 0, "run the dialogue over a message-based control channel with this one-way link delay (0 = in-process calls unless another -ctl-* flag is set, then 500ns)")
 	ctlLoss := flag.Float64("ctl-loss", 0, "control-channel frame loss probability per direction (implies the message channel)")
 	ctlPartition := flag.String("ctl-partition", "", "periodic control-channel partitions, EVERY/FOR (e.g. 700us/300us; implies the message channel)")
+	topology := flag.String("topology", "", "run a multi-switch fabric instead of one switch: leafspine:L,S (uses built-in programs; no program argument)")
 	flag.Parse()
+
+	if *topology != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "mantisd: -topology uses the built-in fabric programs; no program argument")
+			os.Exit(2)
+		}
+		if *faultsFlag != "" || *legacyClients > 0 {
+			fmt.Fprintln(os.Stderr, "mantisd: -topology cannot be combined with -faults or -legacy-clients")
+			os.Exit(2)
+		}
+		ctlProf, err := ctlLinkProfile(*ctlLoss, *ctlPartition)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+			os.Exit(2)
+		}
+		runTopology(*topology, *duration, *pacing, *seed, *ctlDelay, ctlProf)
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mantisd [flags] program.p4r")

@@ -42,6 +42,14 @@ import (
 
 // Options configures an Agent.
 type Options struct {
+	// Name labels the agent in exported events; a fabric coordinator
+	// uses it to tell which switch an event came from.
+	Name string
+	// EventSink, if set, receives every Event a reaction emits via
+	// Ctx.Emit. The sink runs synchronously inside the agent's dialogue
+	// process at emission time; it must not block, and should hand off
+	// to its own process (queue + Unpark) for any real work.
+	EventSink func(Event)
 	// Pacing inserts a sleep between dialogue iterations, trading
 	// reaction latency for CPU utilization (Fig. 11). Zero = busy loop.
 	Pacing time.Duration

@@ -1,0 +1,405 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// CoordinatorOptions tunes the fabric coordinator.
+type CoordinatorOptions struct {
+	// BlockEvent is the event kind that triggers a network-wide
+	// escalation (default "dos.block"; Key = offending source).
+	BlockEvent string
+	// HHEvent is the per-sender estimate kind merged into the global
+	// heavy-hitter view (default "hh.estimate"; Key = source, Val =
+	// estimated bytes).
+	HHEvent string
+	// RetryBackoff spaces install/audit retries while a node's control
+	// channel is degraded (default 50µs).
+	RetryBackoff time.Duration
+	// OnEscalation, if set, runs synchronously when an escalation is
+	// created, before any install is issued — the chaos tests' hook for
+	// injecting faults "mid-escalation".
+	OnEscalation func(esc *Escalation)
+}
+
+func (o *CoordinatorOptions) setDefaults() {
+	if o.BlockEvent == "" {
+		o.BlockEvent = "dos.block"
+	}
+	if o.HHEvent == "" {
+		o.HHEvent = "hh.estimate"
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Microsecond
+	}
+}
+
+// Escalation tracks one network-wide reaction: a source blocked by one
+// switch's local agent being filtered at every other switch.
+type Escalation struct {
+	// Src is the filtered source address.
+	Src uint64
+	// DetectedAt/DetectedBy record the triggering block event.
+	DetectedAt sim.Time
+	DetectedBy string
+	// Installed maps node name → virtual time its filter committed.
+	Installed map[string]sim.Time
+	// SpinesDoneAt is when the last spine filter committed (the
+	// upstream path is cut from here on); AllDoneAt when every target
+	// has it. Zero while incomplete.
+	SpinesDoneAt sim.Time
+	AllDoneAt    sim.Time
+
+	targets      int
+	spineTargets int
+	spinesDone   int
+}
+
+// Complete reports whether every target switch holds the filter.
+func (e *Escalation) Complete() bool { return e.AllDoneAt != 0 }
+
+// HHEntry is one row of the fabric-wide heavy-hitter view.
+type HHEntry struct {
+	Src   uint64
+	Bytes uint64
+}
+
+// CoordinatorStats counts coordinator activity.
+type CoordinatorStats struct {
+	// Events is every event observed; Blocks/HHReports split it by kind.
+	Events    uint64
+	Blocks    uint64
+	HHReports uint64
+	// DupBlocks counts block events for sources already escalating —
+	// e.g. a transit switch detecting the same attacker later.
+	DupBlocks uint64
+	// FilterInstalls counts filters committed on target switches.
+	FilterInstalls uint64
+	// DegradedInstalls counts installs abandoned by a degraded channel
+	// (ambiguous fate); AuditConfirmed of those were found already
+	// present on audit, Reissues were found absent and sent again.
+	DegradedInstalls uint64
+	AuditConfirmed   uint64
+	Reissues         uint64
+	// AuditRetries counts audit reads that themselves failed (channel
+	// still down) and were retried after RetryBackoff.
+	AuditRetries uint64
+	// TransientRetries counts installs retried on ErrTransient.
+	TransientRetries uint64
+	// InstallErrors counts installs abandoned on permanent errors.
+	InstallErrors uint64
+}
+
+// Coordinator subscribes to every agent's events and composes
+// network-wide reactions. It runs entirely on the virtual clock: a
+// dispatcher process consumes the event queue, and one installer
+// process per node applies filters through that node's own lossy
+// control channel — so one partitioned switch can stall only its own
+// installer, never the dispatcher or its peers.
+//
+// At-most-once discipline: an install abandoned with
+// driver.ErrChannelDegraded MAY have executed server-side, and by the
+// time the error surfaces the channel's MSL quarantine guarantees no
+// copy is still in flight. The installer therefore audits the filter
+// table (reads are idempotent) and reissues only if the entry is
+// definitely absent — a blind retry could double-install.
+type Coordinator struct {
+	sim  *sim.Simulator
+	opts CoordinatorOptions
+
+	f          *Fabric
+	installers map[string]*installer
+	order      []string // node names, deterministic dispatch order
+
+	disp    *sim.Proc
+	queue   []core.Event
+	idle    bool
+	stopped bool
+
+	escalations map[uint64]*Escalation
+	escOrder    []uint64
+	hh          map[uint64]uint64
+	stats       CoordinatorStats
+	err         error
+}
+
+func newCoordinator(s *sim.Simulator, opts CoordinatorOptions) *Coordinator {
+	co := &Coordinator{
+		sim: s, opts: opts,
+		installers:  make(map[string]*installer),
+		escalations: make(map[uint64]*Escalation),
+		hh:          make(map[uint64]uint64),
+	}
+	co.disp = s.Spawn("fabric-coordinator", co.run)
+	return co
+}
+
+// attach wires the coordinator to the built fabric: one installer
+// process per node, each writing through that node's CoordCli.
+func (co *Coordinator) attach(f *Fabric) {
+	co.f = f
+	for _, n := range f.Nodes() {
+		co.order = append(co.order, n.Name)
+		ins := &installer{co: co, node: n}
+		ins.proc = co.sim.Spawn("fabric-install-"+n.Name, ins.run)
+		co.installers[n.Name] = ins
+	}
+}
+
+// Observe is the core.Options.EventSink of every fabric agent: enqueue
+// and wake the dispatcher. It runs inside the emitting agent's process
+// and must stay non-blocking.
+func (co *Coordinator) Observe(ev core.Event) {
+	if co.stopped {
+		return
+	}
+	co.queue = append(co.queue, ev)
+	if co.idle {
+		co.idle = false
+		co.disp.Unpark()
+	}
+}
+
+func (co *Coordinator) run(p *sim.Proc) {
+	for {
+		if co.stopped {
+			return
+		}
+		if len(co.queue) == 0 {
+			co.idle = true
+			p.Park()
+			continue
+		}
+		ev := co.queue[0]
+		co.queue = co.queue[1:]
+		co.handle(ev)
+	}
+}
+
+func (co *Coordinator) handle(ev core.Event) {
+	co.stats.Events++
+	switch ev.Kind {
+	case co.opts.BlockEvent:
+		co.stats.Blocks++
+		co.escalate(ev)
+	case co.opts.HHEvent:
+		co.stats.HHReports++
+		// Estimates are monotone per sender; keep the best view.
+		if ev.Val > co.hh[ev.Key] {
+			co.hh[ev.Key] = ev.Val
+		}
+	}
+}
+
+// escalate turns one switch's local block into filter installs on
+// every other switch.
+func (co *Coordinator) escalate(ev core.Event) {
+	if co.escalations[ev.Key] != nil {
+		co.stats.DupBlocks++
+		return
+	}
+	esc := &Escalation{
+		Src: ev.Key, DetectedAt: ev.At, DetectedBy: ev.Agent,
+		Installed: make(map[string]sim.Time),
+	}
+	co.escalations[ev.Key] = esc
+	co.escOrder = append(co.escOrder, ev.Key)
+	if co.opts.OnEscalation != nil {
+		co.opts.OnEscalation(esc)
+	}
+	for _, name := range co.order {
+		if name == ev.Agent {
+			continue // the detecting switch already blocks locally
+		}
+		esc.targets++
+		if co.installers[name].node.IsSpine {
+			esc.spineTargets++
+		}
+		co.installers[name].enqueue(installOp{src: ev.Key, esc: esc})
+	}
+}
+
+// finishInstall records a committed filter on n.
+func (co *Coordinator) finishInstall(n *Node, op installOp) {
+	now := co.sim.Now()
+	op.esc.Installed[n.Name] = now
+	co.stats.FilterInstalls++
+	if n.IsSpine {
+		op.esc.spinesDone++
+		if op.esc.spinesDone == op.esc.spineTargets {
+			op.esc.SpinesDoneAt = now
+		}
+	}
+	if len(op.esc.Installed) == op.esc.targets {
+		op.esc.AllDoneAt = now
+	}
+}
+
+// Escalation returns the escalation for src, or nil.
+func (co *Coordinator) Escalation(src uint64) *Escalation { return co.escalations[src] }
+
+// Escalations returns all escalations in creation order.
+func (co *Coordinator) Escalations() []*Escalation {
+	out := make([]*Escalation, 0, len(co.escOrder))
+	for _, src := range co.escOrder {
+		out = append(out, co.escalations[src])
+	}
+	return out
+}
+
+// TopK returns the fabric-wide heavy-hitter view: the k largest merged
+// per-sender estimates, bytes descending (source ascending on ties —
+// deterministic).
+func (co *Coordinator) TopK(k int) []HHEntry {
+	out := make([]HHEntry, 0, len(co.hh))
+	for src, b := range co.hh {
+		out = append(out, HHEntry{Src: src, Bytes: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Src < out[j].Src
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Stats returns the coordinator's counters.
+func (co *Coordinator) Stats() CoordinatorStats { return co.stats }
+
+func (co *Coordinator) stop() {
+	co.stopped = true
+	if co.idle {
+		co.idle = false
+		co.disp.Unpark()
+	}
+	for _, ins := range co.installers {
+		ins.stop()
+	}
+}
+
+// ---- per-node installer ----
+
+type installOp struct {
+	src uint64
+	esc *Escalation
+}
+
+// installer serializes one node's filter installs on its own process,
+// so a wedged channel to this node cannot block installs elsewhere.
+type installer struct {
+	co    *Coordinator
+	node  *Node
+	proc  *sim.Proc
+	queue []installOp
+	idle  bool
+}
+
+func (ins *installer) enqueue(op installOp) {
+	ins.queue = append(ins.queue, op)
+	if ins.idle {
+		ins.idle = false
+		ins.proc.Unpark()
+	}
+}
+
+func (ins *installer) stop() {
+	if ins.idle {
+		ins.idle = false
+		ins.proc.Unpark()
+	}
+}
+
+func (ins *installer) run(p *sim.Proc) {
+	for {
+		if ins.co.stopped {
+			return
+		}
+		if len(ins.queue) == 0 {
+			ins.idle = true
+			p.Park()
+			continue
+		}
+		op := ins.queue[0]
+		ins.queue = ins.queue[1:]
+		ins.install(p, op)
+	}
+}
+
+// install applies one filter with the at-most-once discipline
+// described on Coordinator.
+func (ins *installer) install(p *sim.Proc, op installOp) {
+	co := ins.co
+	entry := rmt.Entry{
+		Keys: []rmt.KeySpec{rmt.ExactKey(op.src)}, Action: FilterAction,
+	}
+	for !co.stopped {
+		_, err := ins.node.CoordCli.AddEntry(p, FilterTable, entry)
+		switch {
+		case err == nil:
+			co.finishInstall(ins.node, op)
+			return
+		case errors.Is(err, driver.ErrChannelDegraded):
+			co.stats.DegradedInstalls++
+			// Ambiguous fate, but no copy is in flight anymore (the
+			// client's MSL quarantine elapsed before this error
+			// surfaced) — audit, then reissue only on definite absence.
+			for !co.stopped {
+				present, aerr := ins.audit(p, op.src)
+				if aerr == nil {
+					if present {
+						co.stats.AuditConfirmed++
+						co.finishInstall(ins.node, op)
+						return
+					}
+					co.stats.Reissues++
+					break
+				}
+				co.stats.AuditRetries++
+				p.Sleep(co.opts.RetryBackoff)
+			}
+		case errors.Is(err, driver.ErrTransient):
+			co.stats.TransientRetries++
+			p.Sleep(co.opts.RetryBackoff)
+		default:
+			co.stats.InstallErrors++
+			co.setErr(fmt.Errorf("fabric: install filter %#x on %s: %w", op.src, ins.node.Name, err))
+			return
+		}
+	}
+}
+
+// audit reads the node's filter table and reports whether src is
+// already filtered.
+func (ins *installer) audit(p *sim.Proc, src uint64) (bool, error) {
+	entries, err := ins.node.CoordCli.ReadEntries(p, FilterTable)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if len(e.Keys) == 1 && e.Keys[0].Value == src {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (co *Coordinator) setErr(err error) {
+	if co.err == nil {
+		co.err = err
+	}
+}
+
+// Err returns the first permanent installer error, if any.
+func (co *Coordinator) Err() error { return co.err }

@@ -1,0 +1,385 @@
+// Package fabric builds a leaf–spine topology of simulated RMT
+// switches on one shared virtual clock and layers the first cross-node
+// control structure on top: every switch runs its own Mantis agent
+// over the lossy ctlchan transport, and a fabric coordinator
+// subscribes to the agents' exported events to compose network-wide
+// reactions — escalating a leaf's local DoS block into upstream
+// filters at every other switch, and merging per-leaf heavy-hitter
+// estimates into a global top-k.
+//
+// Topology: L leaves × S spines, every leaf trunked to every spine.
+// Leaf host ports are 0..HostPorts-1; leaf uplink to spine s is port
+// HostPorts+s; spine port l faces leaf l. Hosts are addressed by
+// HostAddr(leaf, host), and each node's agent prologue installs the
+// full destination route set, so any host can reach any other across
+// the fabric.
+//
+// Control: each node carries two ctlchan sessions over separate
+// message links to one per-node server — session 1 is the node's own
+// agent (ctlplane RolePrimary), session 2 belongs to the coordinator
+// (RoleLegacy, bulk class). The coordinator is therefore just another
+// lossy-channel client of every switch, with the same degraded-mode
+// ambiguity to resolve; see coordinator.go for its at-most-once
+// install discipline.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/ctlchan"
+	"repro/internal/ctlplane"
+	"repro/internal/driver"
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/netsim"
+	"repro/internal/rmt"
+	"repro/internal/sim"
+)
+
+// Table-name contract between the fabric layer and its programs.
+const (
+	// RouteTable/RouteAction name the destination-routing table every
+	// fabric program must expose; prologues install HostAddr routes
+	// into it.
+	RouteTable  = "route"
+	RouteAction = "route_pkt"
+	// FilterTable/FilterAction name the coordinator-owned upstream
+	// source filter. The table is plain (non-malleable): the
+	// coordinator's session is its only writer, so escalations never
+	// contend with the local agent's versioned malleable state.
+	FilterTable  = "ufilter"
+	FilterAction = "drop_pkt"
+)
+
+// HostAddr returns the canonical address of host h on leaf l.
+func HostAddr(leaf, host int) uint32 {
+	return 0x0A000000 | uint32(leaf)<<8 | uint32(host+1)
+}
+
+// AddrLeaf extracts the leaf index from a HostAddr address.
+func AddrLeaf(addr uint32) int { return int(addr>>8) & 0xFF }
+
+// Config sizes and parameterizes a fabric.
+type Config struct {
+	// Leaves and Spines size the topology (both ≥ 1).
+	Leaves int
+	Spines int
+	// HostPorts is the number of host-facing ports per leaf (default 4).
+	HostPorts int
+
+	// LeafProgram/SpineProgram are the P4R sources compiled onto each
+	// role (defaults LeafP4R/SpineP4R). All programs in one fabric must
+	// produce identical packet schemas; Build verifies.
+	LeafProgram  string
+	SpineProgram string
+
+	// TrunkDelay is the one-way inter-switch propagation delay (default
+	// 1µs); TrunkProfile its fault profile (default none).
+	TrunkDelay   time.Duration
+	TrunkProfile faults.LinkProfile
+
+	// CtlDelay is the one-way control-link delay per node (default
+	// 1µs); CtlProfile the fault profile of the agent and coordinator
+	// control links (default none).
+	CtlDelay   time.Duration
+	CtlProfile faults.LinkProfile
+	// CtlOpDeadline overrides each control client's per-operation
+	// deadline (0 keeps the ctlchan default of ~4 retransmission
+	// opportunities). Raise it when CtlProfile carries sustained loss:
+	// a fabric prologue issues hundreds of operations, so even a 1%
+	// per-op degrade probability wedges some node most runs.
+	CtlOpDeadline time.Duration
+
+	// HostBandwidth/HostPropagation parameterize host access links
+	// (defaults 25 Gbps, 1µs).
+	HostBandwidth   float64
+	HostPropagation time.Duration
+
+	// Pacing is each agent's dialogue pacing (default 5µs).
+	Pacing time.Duration
+
+	// Seed derives every per-node and per-link RNG seed.
+	Seed int64
+
+	// Coordinator tunes the fabric coordinator.
+	Coordinator CoordinatorOptions
+
+	// Prologue, if set, runs inside each node's agent prologue after
+	// the fabric's route installation.
+	Prologue func(n *Node, p *sim.Proc, a *core.Agent) error
+}
+
+func (cfg *Config) setDefaults() error {
+	if cfg.Leaves < 1 || cfg.Spines < 1 {
+		return fmt.Errorf("fabric: need ≥1 leaf and ≥1 spine, got %d×%d", cfg.Leaves, cfg.Spines)
+	}
+	if cfg.HostPorts <= 0 {
+		cfg.HostPorts = 4
+	}
+	if cfg.LeafProgram == "" {
+		cfg.LeafProgram = LeafP4R
+	}
+	if cfg.SpineProgram == "" {
+		cfg.SpineProgram = SpineP4R
+	}
+	if cfg.TrunkDelay <= 0 {
+		cfg.TrunkDelay = time.Microsecond
+	}
+	if cfg.CtlDelay <= 0 {
+		cfg.CtlDelay = time.Microsecond
+	}
+	if cfg.HostBandwidth <= 0 {
+		cfg.HostBandwidth = 25e9
+	}
+	if cfg.HostPropagation <= 0 {
+		cfg.HostPropagation = time.Microsecond
+	}
+	if cfg.Pacing <= 0 {
+		cfg.Pacing = 5 * time.Microsecond
+	}
+	cfg.Coordinator.setDefaults()
+	return nil
+}
+
+// Node is one switch of the fabric with its full per-switch control
+// stack: driver, ctlplane service, ctlchan server, the node's own
+// agent client, and the coordinator's client.
+type Node struct {
+	Name    string
+	Index   int // leaf or spine index within its role
+	IsSpine bool
+
+	Plan *compiler.Plan
+	Sw   *rmt.Switch
+	Drv  *driver.Driver
+	Svc  *ctlplane.Service
+	Net  *netsim.Network
+	Srv  *ctlchan.Server
+
+	AgentLink *netsim.Link
+	CoordLink *netsim.Link
+	AgentCli  *ctlchan.Client
+	CoordCli  *ctlchan.Client
+	Agent     *core.Agent
+}
+
+// Fabric is a built topology plus its coordinator.
+type Fabric struct {
+	Sim    *sim.Simulator
+	Cfg    Config
+	Leaves []*Node
+	Spines []*Node
+	// Trunks[l][s] joins leaf l (side 0) to spine s (side 1).
+	Trunks [][]*netsim.Trunk
+	Coord  *Coordinator
+}
+
+// Build constructs the fabric on s: switches, trunks, per-node control
+// stacks, and the coordinator. Agents are not yet started — register
+// natives on the nodes first, then call Start.
+func Build(s *sim.Simulator, cfg Config) (*Fabric, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	leafPlan, err := compiler.CompileSource(cfg.LeafProgram, compiler.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("fabric: leaf program: %w", err)
+	}
+	spinePlan, err := compiler.CompileSource(cfg.SpineProgram, compiler.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("fabric: spine program: %w", err)
+	}
+	// Trunks re-serialize only wire headers across switches, so the two
+	// roles need identical wire layouts but may synthesize different
+	// switch-local scratch. Check up front for a clearer error than the
+	// first ConnectTrunk would give.
+	if err := netsim.WireCompatible(leafPlan.Prog.Schema, spinePlan.Prog.Schema); err != nil {
+		return nil, fmt.Errorf("fabric: leaf/spine wire headers diverge (a packet could not cross roles): %w", err)
+	}
+
+	f := &Fabric{Sim: s, Cfg: cfg}
+	f.Coord = newCoordinator(s, cfg.Coordinator)
+	for l := 0; l < cfg.Leaves; l++ {
+		n, err := f.buildNode(fmt.Sprintf("leaf%d", l), l, false, leafPlan)
+		if err != nil {
+			return nil, err
+		}
+		f.Leaves = append(f.Leaves, n)
+	}
+	for sp := 0; sp < cfg.Spines; sp++ {
+		n, err := f.buildNode(fmt.Sprintf("spine%d", sp), sp, true, spinePlan)
+		if err != nil {
+			return nil, err
+		}
+		f.Spines = append(f.Spines, n)
+	}
+	for l, leaf := range f.Leaves {
+		row := make([]*netsim.Trunk, cfg.Spines)
+		for sp, spine := range f.Spines {
+			tr, err := netsim.ConnectTrunk(leaf.Net, f.UplinkPort(sp), spine.Net, l,
+				cfg.TrunkDelay, cfg.TrunkProfile, cfg.Seed*7919+int64(l*64+sp))
+			if err != nil {
+				return nil, err
+			}
+			row[sp] = tr
+		}
+		f.Trunks = append(f.Trunks, row)
+	}
+	f.Coord.attach(f)
+	return f, nil
+}
+
+// buildNode assembles one switch plus its control stack.
+func (f *Fabric) buildNode(name string, idx int, isSpine bool, plan *compiler.Plan) (*Node, error) {
+	cfg := &f.Cfg
+	need := cfg.HostPorts + cfg.Spines
+	if isSpine {
+		// One extra port beyond the leaf-facing ones: the border port,
+		// where traffic from outside the fabric enters.
+		need = cfg.Leaves + 1
+	}
+	swCfg := rmt.DefaultConfig()
+	if swCfg.NumPorts < need {
+		swCfg.NumPorts = need
+	}
+	sw, err := rmt.New(f.Sim, plan.Prog, swCfg)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %s: %w", name, err)
+	}
+	n := &Node{Name: name, Index: idx, IsSpine: isSpine, Plan: plan, Sw: sw}
+	n.Drv = driver.New(f.Sim, sw, driver.DefaultCostModel())
+	n.Svc = ctlplane.New(f.Sim, n.Drv, ctlplane.Options{})
+	agentSess, err := n.Svc.Open(ctlplane.SessionOptions{
+		Name: name + "/agent", Role: ctlplane.RolePrimary, ElectionID: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	coordSess, err := n.Svc.Open(ctlplane.SessionOptions{
+		Name: name + "/coord", Role: ctlplane.RoleLegacy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed*104729 + int64(idx)*31
+	if isSpine {
+		seed += 17
+	}
+	n.Srv = ctlchan.NewServer(f.Sim)
+	n.AgentLink = netsim.NewLink(f.Sim, cfg.CtlDelay, cfg.CtlProfile, seed+1)
+	n.CoordLink = netsim.NewLink(f.Sim, cfg.CtlDelay, cfg.CtlProfile, seed+2)
+	n.Srv.Attach(n.AgentLink, netsim.LinkSideB, 1, 1, agentSess)
+	n.Srv.Attach(n.CoordLink, netsim.LinkSideB, 2, 1, coordSess)
+	n.AgentCli = ctlchan.NewClient(f.Sim, n.AgentLink, netsim.LinkSideA,
+		ctlchan.ClientOptions{Session: 1, Epoch: 1, Meta: n.Drv, OpDeadline: cfg.CtlOpDeadline})
+	n.CoordCli = ctlchan.NewClient(f.Sim, n.CoordLink, netsim.LinkSideA,
+		ctlchan.ClientOptions{Session: 2, Epoch: 1, Meta: n.Drv, OpDeadline: cfg.CtlOpDeadline})
+	n.Net = netsim.New(f.Sim, sw, cfg.HostBandwidth, cfg.HostPropagation)
+
+	n.Agent = core.NewAgent(f.Sim, n.AgentCli, plan, core.Options{
+		Name:      name,
+		EventSink: f.Coord.Observe,
+		Pacing:    cfg.Pacing,
+		Recovery:  core.RecoveryForChannel(n.AgentCli.RTT()),
+		Journal:   &core.JournalConfig{Store: journal.NewMemStore()},
+		Prologue: func(p *sim.Proc, a *core.Agent) error {
+			if err := f.installRoutes(n, p, a); err != nil {
+				return err
+			}
+			if cfg.Prologue != nil {
+				return cfg.Prologue(n, p, a)
+			}
+			return nil
+		},
+	})
+	return n, nil
+}
+
+// installRoutes populates n's route table with every fabric host
+// address: local hosts out their port, remote hosts toward the
+// dst-hashed spine, spine entries toward the destination leaf.
+func (f *Fabric) installRoutes(n *Node, p *sim.Proc, a *core.Agent) error {
+	for l := 0; l < f.Cfg.Leaves; l++ {
+		for h := 0; h < f.Cfg.HostPorts; h++ {
+			dst := HostAddr(l, h)
+			var port int
+			switch {
+			case n.IsSpine:
+				port = l
+			case n.Index == l:
+				port = h
+			default:
+				port = f.UplinkPort(f.SpineFor(dst))
+			}
+			if _, err := a.Driver().AddEntry(p, RouteTable, rmt.Entry{
+				Keys: []rmt.KeySpec{rmt.ExactKey(uint64(dst))}, Action: RouteAction, Data: []uint64{uint64(port)},
+			}); err != nil {
+				return fmt.Errorf("fabric: %s: route %#x: %w", n.Name, dst, err)
+			}
+		}
+	}
+	return nil
+}
+
+// UplinkPort is the leaf port facing spine sp.
+func (f *Fabric) UplinkPort(sp int) int { return f.Cfg.HostPorts + sp }
+
+// SpineFor picks the spine carrying traffic toward dst (destination
+// hash, deterministic).
+func (f *Fabric) SpineFor(dst uint32) int { return int(dst) % f.Cfg.Spines }
+
+// BorderPort is the spine port where external (non-fabric) traffic
+// enters.
+func (f *Fabric) BorderPort() int { return f.Cfg.Leaves }
+
+// Nodes returns all nodes, leaves first — the coordinator's canonical
+// order.
+func (f *Fabric) Nodes() []*Node {
+	out := make([]*Node, 0, len(f.Leaves)+len(f.Spines))
+	out = append(out, f.Leaves...)
+	return append(out, f.Spines...)
+}
+
+// Node returns the named node, or nil.
+func (f *Fabric) Node(name string) *Node {
+	for _, n := range f.Nodes() {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// AddHost attaches a host at leaf l, host port h, with its canonical
+// fabric address.
+func (f *Fabric) AddHost(l, h int) *netsim.Host {
+	return f.Leaves[l].Net.AddHost(h, HostAddr(l, h))
+}
+
+// Start launches every node's agent and the coordinator.
+func (f *Fabric) Start() {
+	for _, n := range f.Nodes() {
+		n.Agent.Start()
+	}
+}
+
+// Stop stops all agents and the coordinator's processes.
+func (f *Fabric) Stop() {
+	for _, n := range f.Nodes() {
+		n.Agent.Stop()
+	}
+	f.Coord.stop()
+}
+
+// Err returns the first agent error, if any.
+func (f *Fabric) Err() error {
+	for _, n := range f.Nodes() {
+		if err := n.Agent.Err(); err != nil {
+			return fmt.Errorf("%s: %w", n.Name, err)
+		}
+	}
+	return nil
+}

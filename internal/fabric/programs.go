@@ -1,0 +1,122 @@
+package fabric
+
+// Reference P4R programs for the fabric's two switch roles. The leaf
+// program is the Fig. 15 DoS program plus a coordinator-owned upstream
+// filter table; the spine program carries the same filter plus routing.
+//
+// Both declare identical headers in identical order. That is load-
+// bearing: a packet's field vector is laid out by the schema of the
+// program that created it, and the same packet crosses several
+// switches, so every program in one fabric must resolve a field name
+// to the same slot. Build verifies this and refuses mismatched
+// schemas.
+//
+// Table-name contract with the fabric layer (see fabric.go consts):
+// "route"/"route_pkt" for destination routing, installed by each
+// node's prologue, and "ufilter"/"drop_pkt" for the coordinator's
+// network-wide source filter. The filter is deliberately a plain (non-
+// malleable) table: the local agent owns the malleable tables and
+// their version bits, while ufilter has exactly one writer — the
+// coordinator's session — so the two control paths never contend for
+// the same versioned state.
+
+// LeafP4R is the edge-switch program: upstream filter, local malleable
+// blocklist, destination routing, per-sender byte counting, and the
+// native DoS-detection reaction of use case #1.
+const LeafP4R = `
+header_type ipv4_t {
+  fields { srcAddr : 32; dstAddr : 32; protocol : 8; ecn : 1; }
+}
+header ipv4_t ipv4;
+header_type tcp_t { fields { seq : 32; ack : 32; isAck : 1; } }
+header tcp_t tcp;
+
+register total_bytes { width : 64; instance_count : 1; }
+
+action allow() { no_op(); }
+action drop_pkt() { drop(); }
+action route_pkt(port) {
+  modify_field(standard_metadata.egress_spec, port);
+}
+action note() {
+  register_increment(total_bytes, 0, standard_metadata.packet_length);
+}
+
+table ufilter {
+  reads { ipv4.srcAddr : exact; }
+  actions { allow; drop_pkt; }
+  default_action : allow;
+  size : 256;
+}
+malleable table blocklist {
+  reads { ipv4.srcAddr : exact; }
+  actions { allow; drop_pkt; }
+  default_action : allow;
+  size : 256;
+}
+table route {
+  reads { ipv4.dstAddr : exact; }
+  actions { route_pkt; drop_pkt; }
+  default_action : drop_pkt;
+  size : 64;
+}
+table counter_tbl {
+  actions { note; }
+  default_action : note;
+  size : 1;
+}
+
+reaction dos_react(ing ipv4.srcAddr, reg total_bytes) {
+  // Implemented natively: per-sender rate estimation + blocking.
+}
+
+control ingress {
+  apply(ufilter);
+  apply(blocklist);
+  apply(route);
+  apply(counter_tbl);
+}
+`
+
+// SpineP4R is the aggregation-switch program: the coordinator's
+// upstream filter ahead of routing, plus a liveness reaction that
+// bumps a malleable generation counter so spine agents exercise the
+// full dialogue/commit path too.
+const SpineP4R = `
+header_type ipv4_t {
+  fields { srcAddr : 32; dstAddr : 32; protocol : 8; ecn : 1; }
+}
+header ipv4_t ipv4;
+header_type tcp_t { fields { seq : 32; ack : 32; isAck : 1; } }
+header tcp_t tcp;
+
+malleable value spine_gen { width : 32; init : 0; }
+
+action allow() { no_op(); }
+action drop_pkt() { drop(); }
+action route_pkt(port) {
+  modify_field(standard_metadata.egress_spec, port);
+}
+
+table ufilter {
+  reads { ipv4.srcAddr : exact; }
+  actions { allow; drop_pkt; }
+  default_action : allow;
+  size : 256;
+}
+table route {
+  reads { ipv4.dstAddr : exact; }
+  actions { route_pkt; drop_pkt; }
+  default_action : drop_pkt;
+  size : 64;
+}
+
+reaction spine_watch() {
+  ${spine_gen} = ${spine_gen} + 1;
+}
+
+control ingress {
+  apply(ufilter);
+  apply(route);
+}
+`

@@ -42,6 +42,7 @@ func TestMatchScoping(t *testing.T) {
 		{"repro/internal/sim", []string{"simclock"}},
 		{"repro/internal/rmt", []string{"simclock"}},
 		{"repro/internal/core", []string{"simclock", "journalintent"}},
+		{"repro/internal/fabric", []string{"simclock"}},
 		{"repro/internal/ctlchan", []string{"journalintent"}},
 		{"repro/internal/compiler", nil},
 		{"repro/cmd/experiments", nil},

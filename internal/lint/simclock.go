@@ -7,7 +7,9 @@ import (
 // SimclockAnalyzer bans wall-clock time and nondeterministic randomness
 // in the packages whose correctness (and whose chaos/failover test
 // reproducibility) depends on the simulated clock: internal/sim,
-// internal/core, and internal/rmt. Those packages must take time from
+// internal/core, internal/rmt, and internal/fabric (a whole fabric of
+// switches and agents shares one virtual clock; one stray wall-clock
+// read desynchronizes every escalation timeline). Those packages must take time from
 // sim.Simulator and randomness from a seeded rand.New(rand.NewSource(..));
 // a stray time.Now or global rand.Intn makes every recorded latency and
 // every chaos schedule unreproducible.
@@ -19,7 +21,7 @@ var SimclockAnalyzer = &Analyzer{
 	Name: "simclock",
 	Doc:  "no wall-clock time.* or global math/rand calls in sim-clock-driven packages",
 	Match: func(p string) bool {
-		return pathIn(p, "repro/internal/sim", "repro/internal/core", "repro/internal/rmt")
+		return pathIn(p, "repro/internal/sim", "repro/internal/core", "repro/internal/rmt", "repro/internal/fabric")
 	},
 	Run: runSimclock,
 }

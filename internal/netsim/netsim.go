@@ -57,21 +57,48 @@ type Network struct {
 	// Propagation is the one-way link delay.
 	Propagation time.Duration
 
-	hosts map[int]*Host // by port
+	hosts  map[int]*Host        // by port
+	trunks map[int]*trunkAttach // by port
+	stats  NetworkStats
 }
 
-// New wires a network around sw. It takes over sw.Tx.
+// NetworkStats counts network-level drop events.
+type NetworkStats struct {
+	// DroppedNoPeer counts packets the switch transmitted out a port
+	// with neither a host nor a trunk attached. Such packets are a
+	// wiring or routing mistake; they are dropped and counted, never
+	// silently lost.
+	DroppedNoPeer uint64
+}
+
+// New wires a network around sw. It takes over sw.Tx: a transmitted
+// packet is delivered to the host on the egress port, carried over the
+// trunk attached there to a peer switch, or — with neither — dropped
+// and counted in Stats().DroppedNoPeer.
 func New(s *sim.Simulator, sw *rmt.Switch, linkBW float64, prop time.Duration) *Network {
-	n := &Network{Sim: s, Sw: sw, LinkBandwidth: linkBW, Propagation: prop, hosts: make(map[int]*Host)}
+	n := &Network{
+		Sim: s, Sw: sw, LinkBandwidth: linkBW, Propagation: prop,
+		hosts:  make(map[int]*Host),
+		trunks: make(map[int]*trunkAttach),
+	}
 	sw.Tx = func(portN int, pkt *packet.Packet) {
-		h, ok := n.hosts[portN]
-		if !ok || h.Rx == nil {
+		if h, ok := n.hosts[portN]; ok {
+			if h.Rx != nil {
+				s.Schedule(prop, func() { h.Rx(pkt) })
+			}
 			return
 		}
-		s.Schedule(prop, func() { h.Rx(pkt) })
+		if ta, ok := n.trunks[portN]; ok {
+			ta.trunk.send(ta.side, pkt)
+			return
+		}
+		n.stats.DroppedNoPeer++
 	}
 	return n
 }
+
+// Stats returns the network's drop counters.
+func (n *Network) Stats() NetworkStats { return n.stats }
 
 // AddHost attaches a host to a switch port.
 func (n *Network) AddHost(port int, addr uint32) *Host {

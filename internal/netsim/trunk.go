@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/p4"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Trunk is a point-to-point inter-switch link: it joins one egress port
+// of switch A to one ingress port of switch B (and vice versa), so a
+// packet routed out a trunk port is injected into the peer switch after
+// the trunk's propagation delay. Trunks are what turn a set of
+// single-switch Networks into a fabric.
+//
+// Serialization is already modeled by the sending switch's egress port
+// (SetPortBandwidth), so a trunk adds only propagation delay plus its
+// fault profile. Of faults.LinkProfile, a packet trunk honors Loss,
+// Jitter, and partition windows; Dup and Reorder are message-channel
+// faults and are ignored (switch egress already serializes packets in
+// order, and wire duplication is not a failure mode the fabric
+// experiments model).
+//
+// Only wire state crosses a trunk. A delivered packet is re-serialized
+// into the receiving switch's schema: declared header fields carry
+// over by position, while switch-local scratch (standard_metadata.*
+// and compiler-synthesized p4r_meta_.* fields) is dropped and
+// re-stamped by the receiver — exactly as a real wire would behave.
+// ConnectTrunk therefore requires the two programs' wire headers to
+// match (see WireCompatible) but tolerates differing scratch layouts,
+// letting switches compiled from different P4R programs peer.
+type Trunk struct {
+	sim   *sim.Simulator
+	delay time.Duration
+	prof  faults.LinkProfile
+	rng   *rand.Rand
+
+	// forced cuts the trunk in both directions regardless of profile.
+	forced bool
+
+	ends  [2]trunkEnd
+	stats [2]TrunkStats
+	// wire[side] re-serializes packets sent from side into the peer
+	// switch's schema.
+	wire [2]wireXlat
+
+	// Tap, if set, observes every delivered packet at its arrival
+	// instant, just before injection into the receiving switch. from is
+	// the sending side (0 or 1). Experiments use it to meter what a
+	// trunk actually carries.
+	Tap func(from int, pkt *packet.Packet)
+}
+
+type trunkEnd struct {
+	net  *Network
+	port int
+}
+
+// TrunkStats counts one direction of a trunk, indexed by sending side.
+type TrunkStats struct {
+	Sent           uint64
+	Delivered      uint64
+	Lost           uint64
+	PartitionDrops uint64
+}
+
+// ConnectTrunk joins a's portA to b's portB over a bidirectional trunk
+// with the given one-way propagation delay and fault profile. Both
+// networks must share one simulator, and each endpoint port must not
+// already hold a host or another trunk. The seed gives the trunk its
+// own fault RNG so loss schedules are independent per link.
+func ConnectTrunk(a *Network, portA int, b *Network, portB int, delay time.Duration, prof faults.LinkProfile, seed int64) (*Trunk, error) {
+	if a.Sim != b.Sim {
+		return nil, fmt.Errorf("netsim: trunk endpoints on different simulators")
+	}
+	for _, e := range []trunkEnd{{a, portA}, {b, portB}} {
+		if e.net.hosts[e.port] != nil {
+			return nil, fmt.Errorf("netsim: port %d already has a host", e.port)
+		}
+		if e.net.trunks[e.port] != nil {
+			return nil, fmt.Errorf("netsim: port %d already has a trunk", e.port)
+		}
+	}
+	sa, sb := a.Sw.Program().Schema, b.Sw.Program().Schema
+	if err := WireCompatible(sa, sb); err != nil {
+		return nil, err
+	}
+	t := &Trunk{
+		sim:   a.Sim,
+		delay: delay,
+		prof:  prof,
+		rng:   rand.New(rand.NewSource(seed)),
+		ends:  [2]trunkEnd{{a, portA}, {b, portB}},
+		wire:  [2]wireXlat{newWireXlat(sa, sb), newWireXlat(sb, sa)},
+	}
+	a.trunks[portA] = &trunkAttach{trunk: t, side: 0}
+	b.trunks[portB] = &trunkAttach{trunk: t, side: 1}
+	return t, nil
+}
+
+// trunkAttach records which side of a trunk a local port is.
+type trunkAttach struct {
+	trunk *Trunk
+	side  int
+}
+
+// Delay returns the trunk's one-way propagation delay.
+func (t *Trunk) Delay() time.Duration { return t.delay }
+
+// SetPartitioned forces the trunk down (both directions) or restores it.
+func (t *Trunk) SetPartitioned(down bool) { t.forced = down }
+
+// Stats returns the counters for the direction sending from side.
+func (t *Trunk) Stats(side int) TrunkStats { return t.stats[side] }
+
+// End returns the (network, port) of side.
+func (t *Trunk) End(side int) (*Network, int) { return t.ends[side].net, t.ends[side].port }
+
+// send carries pkt from side toward its peer, applying the fault
+// profile. Called from the sending switch's Tx path.
+func (t *Trunk) send(side int, pkt *packet.Packet) {
+	st := &t.stats[side]
+	st.Sent++
+	now := t.sim.Now()
+	if t.forced || t.prof.Partitioned(now) {
+		st.PartitionDrops++
+		return
+	}
+	if t.prof.Loss > 0 && t.rng.Float64() < t.prof.Loss {
+		st.Lost++
+		return
+	}
+	d := t.delay
+	if t.prof.Jitter > 0 {
+		d += time.Duration(t.rng.Int63n(int64(t.prof.Jitter)))
+	}
+	peer := t.ends[1-side]
+	t.sim.Schedule(d, func() {
+		st.Delivered++
+		out := t.wire[side].translate(pkt)
+		if t.Tap != nil {
+			t.Tap(side, out)
+		}
+		peer.net.Sw.Inject(peer.port, out)
+	})
+}
+
+// ---- wire translation ----
+
+// WireCompatible reports whether packets serialized by schema a can
+// cross a trunk onto a switch using schema b: both must declare the
+// same sequence of wire header fields (same names, same widths, same
+// order — the on-the-wire layout). Switch-local scratch — fields under
+// p4.StdMetadataPrefix or p4.MetadataPrefix — is excluded: it never
+// crosses the wire and each switch re-stamps its own.
+func WireCompatible(a, b *packet.Schema) error {
+	wa, wb := wireFieldIDs(a), wireFieldIDs(b)
+	if len(wa) != len(wb) {
+		return fmt.Errorf("netsim: wire headers diverge: %d fields vs %d", len(wa), len(wb))
+	}
+	for i := range wa {
+		an, bn := a.Name(wa[i]), b.Name(wb[i])
+		aw, bw := a.Width(wa[i]), b.Width(wb[i])
+		if an != bn || aw != bw {
+			return fmt.Errorf("netsim: wire headers diverge at slot %d: %s:%d vs %s:%d", i, an, aw, bn, bw)
+		}
+	}
+	return nil
+}
+
+// wireFieldIDs lists a schema's wire fields in declaration order.
+func wireFieldIDs(s *packet.Schema) []packet.FieldID {
+	var out []packet.FieldID
+	for i := 0; i < s.NumFields(); i++ {
+		id := packet.FieldID(i)
+		name := s.Name(id)
+		if strings.HasPrefix(name, p4.StdMetadataPrefix) || strings.HasPrefix(name, p4.MetadataPrefix) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// wireXlat re-serializes packets from one schema into another whose
+// wire fields match (checked by WireCompatible at trunk setup).
+type wireXlat struct {
+	dst   *packet.Schema
+	pairs [][2]packet.FieldID // src id → dst id, wire fields only
+}
+
+func newWireXlat(src, dst *packet.Schema) wireXlat {
+	sa, da := wireFieldIDs(src), wireFieldIDs(dst)
+	x := wireXlat{dst: dst, pairs: make([][2]packet.FieldID, len(sa))}
+	for i := range sa {
+		x.pairs[i] = [2]packet.FieldID{sa[i], da[i]}
+	}
+	return x
+}
+
+// translate builds the receiving switch's view of pkt: a fresh packet
+// in the destination schema carrying the wire fields plus the
+// simulator bookkeeping that models payload (Size, Priority, Payload).
+// Scratch metadata starts zeroed and the receiver's ingress re-stamps
+// it.
+func (x wireXlat) translate(pkt *packet.Packet) *packet.Packet {
+	out := x.dst.New()
+	out.Size = pkt.Size
+	out.Priority = pkt.Priority
+	out.Payload = pkt.Payload
+	for _, pr := range x.pairs {
+		out.Set(pr[1], pkt.Get(pr[0]))
+	}
+	return out
+}

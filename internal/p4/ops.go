@@ -10,6 +10,11 @@ import (
 // pipeline entry and consumes them at pipeline exit, mirroring the intrinsic
 // metadata of real RMT targets.
 const (
+	// StdMetadataPrefix marks every intrinsic metadata field. Fields
+	// under it (like those under MetadataPrefix) are switch-local
+	// scratch, not wire state.
+	StdMetadataPrefix = "standard_metadata."
+
 	FieldIngressPort = "standard_metadata.ingress_port"
 	FieldEgressSpec  = "standard_metadata.egress_spec"
 	FieldPacketLen   = "standard_metadata.packet_length"

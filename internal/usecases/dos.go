@@ -79,6 +79,54 @@ control ingress {
 }
 `
 
+// Event kinds the DoS detector exports through core.Options.EventSink.
+// A fabric coordinator subscribes to these to compose network-wide
+// reactions out of per-switch decisions.
+const (
+	// EventDosBlock reports a committed local block: Key is the blocked
+	// source address, Val its estimated rate in bits per second.
+	EventDosBlock = "dos.block"
+	// EventHHEstimate reports an updated per-sender byte estimate: Key
+	// is the source address, Val the estimated byte total.
+	EventHHEstimate = "hh.estimate"
+)
+
+// DosAddressing places one instance of the DoS scenario onto a
+// switch's ports: who the victim and attacker are and where the benign
+// senders sit. Parameterizing this lets the same scenario definition
+// be instantiated per-leaf in a fabric instead of copy-pasting the
+// scenario body with different constants.
+type DosAddressing struct {
+	VictimAddr   uint32
+	VictimPort   int
+	AttackerAddr uint32
+	AttackerPort int
+	// SenderAddr/SenderPort place benign sender i.
+	SenderAddr func(i int) uint32
+	SenderPort func(i int) int
+}
+
+// DefaultDosAddressing is the single-switch Fig. 15 layout: victim on
+// the last port, attacker beside it, senders spread over the rest.
+func DefaultDosAddressing() DosAddressing {
+	return DosAddressing{
+		VictimAddr: 0xD0000001, VictimPort: 31,
+		AttackerAddr: 0xBAD00001, AttackerPort: 30,
+		SenderAddr: func(i int) uint32 { return uint32(0x0A000001 + i) },
+		SenderPort: func(i int) int { return 1 + i%29 },
+	}
+}
+
+// Routes returns the destination→egress-port map for this addressing:
+// the victim's port plus the ACK return path of each benign sender.
+func (ad DosAddressing) Routes(senders int) map[uint32]int {
+	routes := map[uint32]int{ad.VictimAddr: ad.VictimPort}
+	for i := 0; i < senders; i++ {
+		routes[ad.SenderAddr(i)] = ad.SenderPort(i)
+	}
+	return routes
+}
+
 // DosConfig tunes the detector.
 type DosConfig struct {
 	// ThresholdBps blocks senders whose estimated rate exceeds this.
@@ -139,6 +187,7 @@ func (d *DosDetector) React(ctx *core.Ctx) error {
 	}
 	st.bytes += delta
 	d.Estimates[src] = st.bytes
+	ctx.Emit(EventHHEstimate, src, st.bytes)
 	if st.blocked {
 		return nil
 	}
@@ -161,7 +210,55 @@ func (d *DosDetector) React(ctx *core.Ctx) error {
 	}
 	st.blocked = true
 	d.Blocked[src] = ctx.Now()
+	ctx.Emit(EventDosBlock, src, uint64(rate))
 	return nil
+}
+
+// dosRxDispatch makes a host deliver TCP segments to their flow.
+func dosRxDispatch(h *netsim.Host) {
+	h.Rx = func(pkt *packet.Packet) {
+		if f, ok := pkt.Payload.(*netsim.TCPFlow); ok {
+			f.HandlePacket(pkt, h)
+		}
+	}
+}
+
+// WireDosVictim attaches the scenario's victim host to net.
+func WireDosVictim(net *netsim.Network, ad DosAddressing) *netsim.Host {
+	v := net.AddHost(ad.VictimPort, ad.VictimAddr)
+	dosRxDispatch(v)
+	return v
+}
+
+// WireDosSenders attaches senders paced benign TCP flows to net per
+// the addressing, all targeting the victim, with starts staggered so
+// the paced senders do not phase-lock. onDeliver observes every byte
+// the victim acknowledges (the goodput series).
+func WireDosSenders(net *netsim.Network, schema *packet.Schema, senders int, perSenderBps float64, ad DosAddressing, onDeliver func(at sim.Time, bytes int)) []*netsim.TCPFlow {
+	tcpCfg := netsim.DefaultTCPConfig()
+	tcpCfg.PacedRate = perSenderBps
+	tcpCfg.RTO = 500 * time.Microsecond
+	var flows []*netsim.TCPFlow
+	for i := 0; i < senders; i++ {
+		h := net.Host(ad.SenderPort(i))
+		if h == nil {
+			h = net.AddHost(ad.SenderPort(i), ad.SenderAddr(i))
+			dosRxDispatch(h)
+		}
+		flow := netsim.NewTCPFlow(h, schema, FM, ad.VictimAddr, tcpCfg)
+		flow.OnDeliver = onDeliver
+		flows = append(flows, flow)
+		f := flow
+		net.Sim.Schedule(time.Duration(i)*7*time.Microsecond, f.Start)
+	}
+	return flows
+}
+
+// WireDosAttacker attaches the attacker host and its flooder (not yet
+// started) to net per the addressing.
+func WireDosAttacker(net *netsim.Network, schema *packet.Schema, attackBps float64, ad DosAddressing) *netsim.Flooder {
+	attacker := net.AddHost(ad.AttackerPort, ad.AttackerAddr)
+	return netsim.NewFlooder(attacker, schema, FM, ad.VictimAddr, attackBps, 1500)
 }
 
 // DosRig is a ready-to-run use case #1 deployment.
@@ -256,54 +353,19 @@ func DefaultFig15Config() Fig15Config {
 
 // RunFig15 runs the DoS mitigation scenario and returns the timeline.
 func RunFig15(cfg Fig15Config, seed int64) (*Fig15Result, error) {
-	const victimAddr = 0xD0000001
-	const victimPort = 31
-	const attackerAddr = 0xBAD00001
-	const attackerPort = 30
-
-	routes := map[uint32]int{victimAddr: victimPort}
-	for i := 0; i < cfg.Senders; i++ {
-		routes[uint32(0x0A000001+i)] = 1 + i%29 // return path for ACKs
-	}
-	rig, err := BuildDos(seed, DefaultDosConfig(), routes)
+	ad := DefaultDosAddressing()
+	rig, err := BuildDos(seed, DefaultDosConfig(), ad.Routes(cfg.Senders))
 	if err != nil {
 		return nil, err
 	}
-	rig.Sw.SetPortBandwidth(victimPort, cfg.BottleneckBps)
+	rig.Sw.SetPortBandwidth(ad.VictimPort, cfg.BottleneckBps)
 
 	res := &Fig15Result{}
-	victim := rig.Net.AddHost(victimPort, victimAddr)
-	rxDispatch := func(h *netsim.Host) {
-		h.Rx = func(pkt *packet.Packet) {
-			if f, ok := pkt.Payload.(*netsim.TCPFlow); ok {
-				f.HandlePacket(pkt, h)
-			}
-		}
-	}
-	rxDispatch(victim)
-
-	tcpCfg := netsim.DefaultTCPConfig()
-	tcpCfg.PacedRate = cfg.PerSenderBps
-	tcpCfg.RTO = 500 * time.Microsecond
-	var flows []*netsim.TCPFlow
-	for i := 0; i < cfg.Senders; i++ {
-		h := rig.Net.Host(1 + i%29)
-		if h == nil {
-			h = rig.Net.AddHost(1+i%29, uint32(0x0A000001+i))
-			rxDispatch(h)
-		}
-		flow := netsim.NewTCPFlow(h, rig.Plan.Prog.Schema, FM, victimAddr, tcpCfg)
-		flow.OnDeliver = func(at sim.Time, bytes int) {
-			res.Goodput.Add(at.Duration(), float64(bytes))
-		}
-		flows = append(flows, flow)
-		// Stagger starts so the paced senders do not phase-lock.
-		f := flow
-		rig.Sim.Schedule(time.Duration(i)*7*time.Microsecond, f.Start)
-	}
-
-	attacker := rig.Net.AddHost(attackerPort, attackerAddr)
-	flood := netsim.NewFlooder(attacker, rig.Plan.Prog.Schema, FM, victimAddr, cfg.AttackBps, 1500)
+	WireDosVictim(rig.Net, ad)
+	WireDosSenders(rig.Net, rig.Plan.Prog.Schema, cfg.Senders, cfg.PerSenderBps, ad, func(at sim.Time, bytes int) {
+		res.Goodput.Add(at.Duration(), float64(bytes))
+	})
+	flood := WireDosAttacker(rig.Net, rig.Plan.Prog.Schema, cfg.AttackBps, ad)
 
 	rig.Agent.Start()
 	rig.Sim.RunFor(cfg.Warmup)
@@ -317,7 +379,7 @@ func RunFig15(cfg Fig15Config, seed int64) (*Fig15Result, error) {
 		return nil, err
 	}
 
-	if at, ok := rig.Detector.Blocked[attackerAddr]; ok {
+	if at, ok := rig.Detector.Blocked[uint64(ad.AttackerAddr)]; ok {
 		res.BlockedAt = at
 		res.DetectionLatency = at.Sub(res.FloodStart)
 	}
