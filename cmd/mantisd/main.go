@@ -13,6 +13,13 @@
 // scenario (no program argument):
 //
 //	mantisd -topology leafspine:4,2 [-duration 10ms] [-ctl-loss 0.01]
+//
+// Fabric failures can be injected mid-run (the failure lands at 1/3 of
+// -duration and heals at 2/3), exercising the per-leaf gray detectors
+// and the coordinator's ECMP-exclude reroutes:
+//
+//	mantisd -topology leafspine:4,2 -fail-spine 1
+//	mantisd -topology leafspine:4,2 -gray-trunk 0,1:0.3
 package main
 
 import (
@@ -135,10 +142,29 @@ func legacyReadTarget(prog *p4.Program) (reg string, n uint64, ok bool) {
 	return names[0], n, true
 }
 
+// parseGrayTrunk parses -gray-trunk's L,S[:RATE] form.
+func parseGrayTrunk(spec string) (leaf, spine int, rate float64, err error) {
+	rate = 0.3
+	lhs := spec
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		lhs = spec[:i]
+		if _, err = fmt.Sscanf(spec[i+1:], "%g", &rate); err != nil || rate <= 0 || rate > 1 {
+			return 0, 0, 0, fmt.Errorf("-gray-trunk %q: rate must be in (0,1]", spec)
+		}
+	}
+	if _, err = fmt.Sscanf(lhs, "%d,%d", &leaf, &spine); err != nil {
+		return 0, 0, 0, fmt.Errorf("-gray-trunk %q: want L,S[:RATE] (e.g. 0,1:0.3)", spec)
+	}
+	return leaf, spine, rate, nil
+}
+
 // runTopology is the -topology mode: a leaf–spine fabric of switches,
 // each with its own agent over a lossy control channel, running the
-// network-wide DoS scenario end to end.
-func runTopology(spec string, duration, pacing time.Duration, seed int64, ctlDelay time.Duration, ctlProf faults.LinkProfile) {
+// network-wide DoS scenario end to end. failSpine ≥ 0 crashes that
+// spine at duration/3 and restores it at 2·duration/3; grayTrunk (if
+// non-empty) silently degrades one leaf↔spine trunk over the same
+// window instead.
+func runTopology(spec string, duration, pacing time.Duration, seed int64, ctlDelay time.Duration, ctlProf faults.LinkProfile, failSpine int, grayTrunk string) {
 	rest, ok := strings.CutPrefix(spec, "leafspine:")
 	var leaves, spines int
 	if ok {
@@ -166,6 +192,41 @@ func runTopology(spec string, duration, pacing time.Duration, seed int64, ctlDel
 		fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
 		os.Exit(1)
 	}
+	// Failure injection: land at 1/3 of the run, heal at 2/3, so the
+	// report shows detection, reroute, and restore all inside -duration.
+	failAt, healAt := duration/3, 2*duration/3
+	if failSpine >= 0 {
+		if failSpine >= spines {
+			fmt.Fprintf(os.Stderr, "mantisd: -fail-spine %d: fabric has spines 0..%d\n", failSpine, spines-1)
+			os.Exit(2)
+		}
+		name := d.F.Spines[failSpine].Name
+		s.Schedule(failAt, func() {
+			if err := d.F.Crash(name); err != nil {
+				fmt.Fprintf(os.Stderr, "mantisd: crash %s: %v\n", name, err)
+			}
+		})
+		s.Schedule(healAt, func() {
+			if err := d.F.Restore(name); err != nil {
+				fmt.Fprintf(os.Stderr, "mantisd: restore %s: %v\n", name, err)
+			}
+		})
+	}
+	if grayTrunk != "" {
+		gl, gs, rate, err := parseGrayTrunk(grayTrunk)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
+			os.Exit(2)
+		}
+		if gl < 0 || gl >= leaves || gs < 0 || gs >= spines {
+			fmt.Fprintf(os.Stderr, "mantisd: -gray-trunk %d,%d: fabric is %d×%d\n", gl, gs, leaves, spines)
+			os.Exit(2)
+		}
+		tr := d.F.Trunks[gl][gs]
+		s.Schedule(failAt, func() { tr.SetGray(rate) })
+		s.Schedule(healAt, func() { tr.SetGray(0) })
+	}
+
 	const warmup = 2 * time.Millisecond
 	tail := duration - warmup
 	if tail < time.Millisecond {
@@ -200,10 +261,57 @@ func runTopology(spec string, duration, pacing time.Duration, seed int64, ctlDel
 	}
 	fmt.Printf("trunks:            leaf→spine %d sent / %d delivered, spine→leaf %d sent / %d delivered, %d lost\n",
 		up.Sent, up.Delivered, down.Sent, down.Delivered, up.Lost+down.Lost)
+	// Per-trunk drop-reason accounting: only trunks that dropped
+	// anything are listed, with the cause split out.
+	for l, row := range d.F.Trunks {
+		for sp, tr := range row {
+			var t netsim.TrunkStats
+			for _, st := range []netsim.TrunkStats{tr.Stats(0), tr.Stats(1)} {
+				t.Lost += st.Lost
+				t.PartitionDrops += st.PartitionDrops
+				t.AdminDownDrops += st.AdminDownDrops
+				t.GrayDrops += st.GrayDrops
+			}
+			if t.Lost+t.PartitionDrops+t.AdminDownDrops+t.GrayDrops == 0 {
+				continue
+			}
+			fmt.Printf("  leaf%d↔spine%d: %d lost (profile), %d partition, %d admin-down, %d gray\n",
+				l, sp, t.Lost, t.PartitionDrops, t.AdminDownDrops, t.GrayDrops)
+		}
+	}
 
 	cst := d.F.Coord.Stats()
 	fmt.Printf("coordinator:       %d events (%d blocks, %d hh reports), %d filter installs, %d degraded (%d audited present, %d reissued)\n",
 		cst.Events, cst.Blocks, cst.HHReports, cst.FilterInstalls, cst.DegradedInstalls, cst.AuditConfirmed, cst.Reissues)
+	if cst.GraySuspects+cst.GrayClears > 0 {
+		fmt.Printf("health:            %d gray suspects, %d clears, %d reroutes (%d route moves, %d degraded, %d reissued)\n",
+			cst.GraySuspects, cst.GrayClears, cst.Reroutes, cst.RouteMoves, cst.DegradedRouteMoves, cst.RouteReissues)
+		for sp := range d.F.Spines {
+			h := d.F.Coord.Health(sp)
+			suspects := make([]string, 0, len(h.Suspects))
+			for name := range h.Suspects {
+				suspects = append(suspects, name)
+			}
+			sort.Strings(suspects)
+			line := fmt.Sprintf("  spine%d: %v", sp, h.State)
+			if len(suspects) > 0 {
+				line += fmt.Sprintf(" (suspected by %s)", strings.Join(suspects, ", "))
+			}
+			fmt.Println(line)
+		}
+		for _, rr := range d.F.Coord.Reroutes() {
+			verb := "exclude"
+			if !rr.Exclude {
+				verb = "restore"
+			}
+			done := "pending"
+			if rr.DoneAt != 0 {
+				done = fmt.Sprintf("committed +%v", rr.DoneAt.Sub(rr.At))
+			}
+			fmt.Printf("  reroute @%v: %s spine%d (evidence %s), %d moves, %s\n",
+				rr.At, verb, rr.Spine, rr.Leaf, rr.Moves, done)
+		}
+	}
 	if esc := d.Escalation(); esc != nil {
 		fmt.Printf("escalation:        detected by %s %v after flood start; spines filtered +%v, all %d switches +%v\n",
 			esc.DetectedBy, esc.DetectedAt.Sub(d.FloodStart), esc.SpinesDoneAt.Sub(esc.DetectedAt),
@@ -233,6 +341,8 @@ func main() {
 	ctlLoss := flag.Float64("ctl-loss", 0, "control-channel frame loss probability per direction (implies the message channel)")
 	ctlPartition := flag.String("ctl-partition", "", "periodic control-channel partitions, EVERY/FOR (e.g. 700us/300us; implies the message channel)")
 	topology := flag.String("topology", "", "run a multi-switch fabric instead of one switch: leafspine:L,S (uses built-in programs; no program argument)")
+	failSpine := flag.Int("fail-spine", -1, "with -topology: crash this spine (all trunks down, control endpoints dead, agent halted) at duration/3, restore at 2·duration/3")
+	grayTrunk := flag.String("gray-trunk", "", "with -topology: silently degrade one leaf↔spine trunk, L,S[:RATE] (e.g. 0,1:0.3), over the same fail/heal window")
 	flag.Parse()
 
 	if *topology != "" {
@@ -249,8 +359,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
 			os.Exit(2)
 		}
-		runTopology(*topology, *duration, *pacing, *seed, *ctlDelay, ctlProf)
+		runTopology(*topology, *duration, *pacing, *seed, *ctlDelay, ctlProf, *failSpine, *grayTrunk)
 		return
+	}
+	if *failSpine >= 0 || *grayTrunk != "" {
+		fmt.Fprintln(os.Stderr, "mantisd: -fail-spine and -gray-trunk require -topology")
+		os.Exit(2)
 	}
 
 	if flag.NArg() != 1 {

@@ -41,6 +41,40 @@ type ClientOptions struct {
 	Meta driver.Channel
 }
 
+// DegradeCause classifies why an operation hit its deadline, from the
+// client's view of the wire at expiry time. It is evidence, not truth —
+// a partition can heal between the drops and the deadline — but it is
+// the distinction a coordinator needs between "that switch crashed" and
+// "my own channel is bad".
+type DegradeCause uint8
+
+const (
+	// CauseNone: the channel is not degraded.
+	CauseNone DegradeCause = iota
+	// CauseLoss: the wire looked up the whole time; frames (or their
+	// responses) were presumably eaten by loss.
+	CauseLoss
+	// CausePartition: the link reported partitioned at expiry.
+	CausePartition
+	// CausePeerDead: the remote endpoint is marked dead — the peer's
+	// process crashed, the wire itself is fine.
+	CausePeerDead
+)
+
+// String names the cause for reports.
+func (dc DegradeCause) String() string {
+	switch dc {
+	case CauseLoss:
+		return "loss"
+	case CausePartition:
+		return "partition"
+	case CausePeerDead:
+		return "peer-dead"
+	default:
+		return "none"
+	}
+}
+
 // ClientStats counts client-side channel behavior.
 type ClientStats struct {
 	// Ops counts operations issued through the client.
@@ -60,6 +94,14 @@ type ClientStats struct {
 	BadFrames uint64
 	// FencedOps counts operations refused because the session is fenced.
 	FencedOps uint64
+	// DegradedLoss, DegradedPartition, and DegradedPeerDead split
+	// Timeouts by classified cause; LastDegradedCause is the most recent
+	// classification (it persists across recovery for post-mortems —
+	// DegradedCause() is the live view).
+	DegradedLoss      uint64
+	DegradedPartition uint64
+	DegradedPeerDead  uint64
+	LastDegradedCause DegradeCause
 }
 
 // call is one in-flight request.
@@ -109,6 +151,8 @@ type Client struct {
 	// fenced latches when the server rejects a mutation for a stale
 	// epoch; every later mutation fails fast with ErrFenced.
 	fenced bool
+	// lastCause is the classification of the most recent timeout.
+	lastCause DegradeCause
 
 	stats ClientStats
 }
@@ -152,6 +196,32 @@ func (c *Client) RTT() time.Duration { return 2 * c.link.Delay() }
 // Degraded reports whether the most recent channel evidence is bad: an
 // operation timed out and no response has arrived since.
 func (c *Client) Degraded() bool { return c.degraded }
+
+// DegradedCause classifies the current degradation: CauseNone while the
+// channel is healthy, otherwise the wire's state when the most recent
+// operation expired (loss, partition, or peer dead).
+func (c *Client) DegradedCause() DegradeCause {
+	if !c.degraded {
+		return CauseNone
+	}
+	return c.lastCause
+}
+
+// classifyDegrade reads the wire at deadline expiry and picks the most
+// specific explanation: a dead peer beats a partition beats plain loss.
+func (c *Client) classifyDegrade() DegradeCause {
+	switch {
+	case c.link.PeerDown(1 - c.side):
+		c.stats.DegradedPeerDead++
+		return CausePeerDead
+	case c.link.Partitioned():
+		c.stats.DegradedPartition++
+		return CausePartition
+	default:
+		c.stats.DegradedLoss++
+		return CauseLoss
+	}
+}
 
 // Fenced reports whether the session has been fenced by a higher epoch.
 func (c *Client) Fenced() bool { return c.fenced }
@@ -202,6 +272,8 @@ func (c *Client) onTimer(cl *call) {
 	if now >= cl.deadline {
 		c.stats.Timeouts++
 		c.degraded = true
+		c.lastCause = c.classifyDegrade()
+		c.stats.LastDegradedCause = c.lastCause
 		if mutatingVerb(cl.req.Verb) {
 			// Ambiguous abandon: the request (or only its ack) may be
 			// lost. Quarantine until every copy we ever sent is off the

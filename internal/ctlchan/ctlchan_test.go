@@ -616,3 +616,65 @@ func TestDegradedClearsOnHeal(t *testing.T) {
 		t.Fatal("degraded latch did not clear on heal")
 	}
 }
+
+// TestDegradedCauseClassification pins the cause a coordinator reads
+// off a degraded channel: partition while the wire is cut, peer-dead
+// when the server endpoint is marked crashed, loss when the wire looks
+// up but frames vanish — and CauseNone whenever the channel is healthy.
+func TestDegradedCauseClassification(t *testing.T) {
+	expire := func(r *chanRig) error {
+		return r.do(t, time.Millisecond, func(p *sim.Proc) error {
+			_, rerr := r.cli.RegRead(p, "cnt", 0)
+			return rerr
+		})
+	}
+
+	// Partition.
+	r := buildChanRig(t, faults.LinkNone(), ClientOptions{OpDeadline: 50 * time.Microsecond})
+	if got := r.cli.DegradedCause(); got != CauseNone {
+		t.Fatalf("healthy channel cause = %v, want none", got)
+	}
+	r.link.SetPartitioned(true)
+	if err := expire(r); !errors.Is(err, driver.ErrChannelDegraded) {
+		t.Fatalf("partition expiry err = %v", err)
+	}
+	if got := r.cli.DegradedCause(); got != CausePartition {
+		t.Fatalf("cause = %v, want partition", got)
+	}
+
+	// Peer dead wins over partition: the endpoint crashed, the wire state
+	// is secondary.
+	r = buildChanRig(t, faults.LinkNone(), ClientOptions{OpDeadline: 50 * time.Microsecond})
+	r.link.SetPeerDown(netsim.LinkSideB, true)
+	if err := expire(r); !errors.Is(err, driver.ErrChannelDegraded) {
+		t.Fatalf("peer-dead expiry err = %v", err)
+	}
+	if got := r.cli.DegradedCause(); got != CausePeerDead {
+		t.Fatalf("cause = %v, want peer-dead", got)
+	}
+
+	// Pure loss: wire up, every frame eaten.
+	r = buildChanRig(t, faults.LinkProfile{Name: "black", Loss: 1}, ClientOptions{OpDeadline: 50 * time.Microsecond})
+	if err := expire(r); !errors.Is(err, driver.ErrChannelDegraded) {
+		t.Fatalf("loss expiry err = %v", err)
+	}
+	if got := r.cli.DegradedCause(); got != CauseLoss {
+		t.Fatalf("cause = %v, want loss", got)
+	}
+	cs := r.cli.ChanStats()
+	if cs.DegradedLoss != 1 || cs.LastDegradedCause != CauseLoss {
+		t.Fatalf("stats = %+v, want loss counted and latched", cs)
+	}
+
+	// Recovery clears the live cause but keeps the post-mortem latch.
+	r.link.SetProfile(faults.LinkNone())
+	if err := expire(r); err != nil {
+		t.Fatalf("post-heal read: %v", err)
+	}
+	if got := r.cli.DegradedCause(); got != CauseNone {
+		t.Fatalf("post-heal cause = %v, want none", got)
+	}
+	if cs := r.cli.ChanStats(); cs.LastDegradedCause != CauseLoss {
+		t.Fatalf("post-mortem latch lost: %+v", cs)
+	}
+}

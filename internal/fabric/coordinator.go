@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ctlchan"
 	"repro/internal/driver"
 	"repro/internal/rmt"
 	"repro/internal/sim"
@@ -96,6 +97,88 @@ type CoordinatorStats struct {
 	TransientRetries uint64
 	// InstallErrors counts installs abandoned on permanent errors.
 	InstallErrors uint64
+	// GraySuspects/GrayClears count gray-failure events consumed (dups
+	// for an already-excluded uplink are counted but act as no-ops).
+	GraySuspects uint64
+	GrayClears   uint64
+	// Reroutes counts exclude/restore transitions acted on; RouteMoves
+	// the individual route-entry modifications committed for them.
+	Reroutes   uint64
+	RouteMoves uint64
+	// DegradedRouteMoves counts route modifications abandoned by a
+	// degraded channel; RouteAuditConfirmed of those were found already
+	// applied on audit, RouteReissues were found stale and sent again.
+	DegradedRouteMoves  uint64
+	RouteAuditConfirmed uint64
+	RouteReissues       uint64
+}
+
+// SpineHealthState is the coordinator's verdict on one spine.
+type SpineHealthState uint8
+
+const (
+	// SpineHealthy: no leaf currently reports loss toward the spine.
+	SpineHealthy SpineHealthState = iota
+	// SpineGray: some — but not all — leaves report loss, the signature
+	// of a gray trunk (the spine itself is up; specific links drop).
+	SpineGray
+	// SpineDead: every leaf reports loss, or the coordinator's own
+	// control channel to the spine says the peer is dead — the
+	// whole-switch failure signature.
+	SpineDead
+)
+
+func (s SpineHealthState) String() string {
+	switch s {
+	case SpineGray:
+		return "gray"
+	case SpineDead:
+		return "dead"
+	default:
+		return "healthy"
+	}
+}
+
+// SpineHealth is the coordinator's merged per-leaf evidence about one
+// spine.
+type SpineHealth struct {
+	State SpineHealthState
+	// Suspects is the set of leaves currently reporting probe loss on
+	// their uplink to this spine.
+	Suspects map[string]bool
+	// PeerDead notes corroborating channel evidence: the coordinator's
+	// own client to this spine currently classifies its degrade as
+	// peer-dead. Best-effort — the coordinator only learns it when an
+	// operation to the spine times out, so a crash with no in-flight
+	// coordinator traffic shows up through probe evidence alone.
+	PeerDead bool
+	// Since is when State last changed (zero if never).
+	Since sim.Time
+}
+
+// Reroute records one coordinator reaction to per-leaf link evidence:
+// excluding a spine from one leaf's ECMP paths (Exclude true) or
+// restoring it after heal (false). A bad trunk leaf↔spine kills both
+// directions, so one piece of evidence moves two route sets: the
+// evidence leaf's own egress, and every other leaf's routes toward
+// destinations on the evidence leaf (which would die on the
+// spine→leaf hop). Trunks the evidence says nothing about are left
+// alone.
+type Reroute struct {
+	Leaf  string
+	Spine int
+	// Exclude distinguishes suspect-driven exclusion from clear-driven
+	// restore.
+	Exclude bool
+	// At is the triggering event's emission time (detection instant at
+	// the leaf); DoneAt when every implied route move had committed on
+	// the leaf — zero while moves are still in flight.
+	At     sim.Time
+	DoneAt sim.Time
+	// Moves is the number of destinations shifted to another spine.
+	Moves int
+
+	pending int
 }
 
 // Coordinator subscribes to every agent's events and composes
@@ -127,8 +210,18 @@ type Coordinator struct {
 	escalations map[uint64]*Escalation
 	escOrder    []uint64
 	hh          map[uint64]uint64
-	stats       CoordinatorStats
-	err         error
+
+	// health[sp] merges per-leaf probe evidence about spine sp; exclude
+	// is each leaf's current ECMP exclusion set; assign tracks where
+	// each leaf's remote destinations currently route (lazily seeded
+	// from the full-set hash the prologues installed).
+	health   []SpineHealth
+	exclude  map[string]map[int]bool
+	assign   map[string]map[uint32]int
+	reroutes []*Reroute
+
+	stats CoordinatorStats
+	err   error
 }
 
 func newCoordinator(s *sim.Simulator, opts CoordinatorOptions) *Coordinator {
@@ -137,6 +230,8 @@ func newCoordinator(s *sim.Simulator, opts CoordinatorOptions) *Coordinator {
 		installers:  make(map[string]*installer),
 		escalations: make(map[uint64]*Escalation),
 		hh:          make(map[uint64]uint64),
+		exclude:     make(map[string]map[int]bool),
+		assign:      make(map[string]map[uint32]int),
 	}
 	co.disp = s.Spawn("fabric-coordinator", co.run)
 	return co
@@ -146,6 +241,10 @@ func newCoordinator(s *sim.Simulator, opts CoordinatorOptions) *Coordinator {
 // process per node, each writing through that node's CoordCli.
 func (co *Coordinator) attach(f *Fabric) {
 	co.f = f
+	co.health = make([]SpineHealth, f.Cfg.Spines)
+	for sp := range co.health {
+		co.health[sp].Suspects = make(map[string]bool)
+	}
 	for _, n := range f.Nodes() {
 		co.order = append(co.order, n.Name)
 		ins := &installer{co: co, node: n}
@@ -196,8 +295,184 @@ func (co *Coordinator) handle(ev core.Event) {
 		if ev.Val > co.hh[ev.Key] {
 			co.hh[ev.Key] = ev.Val
 		}
+	case EventGraySuspect:
+		co.stats.GraySuspects++
+		co.graySuspect(ev)
+	case EventGrayClear:
+		co.stats.GrayClears++
+		co.grayClear(ev)
 	}
 }
+
+// spineForEvent maps a leaf detector event (Key = the leaf's uplink
+// port) back to the spine it faces, or -1 for a malformed event.
+func (co *Coordinator) spineForEvent(ev core.Event) (*Node, int) {
+	n := co.f.Node(ev.Agent)
+	if n == nil || n.IsSpine {
+		return nil, -1
+	}
+	sp := int(ev.Key) - co.f.Cfg.HostPorts
+	if sp < 0 || sp >= co.f.Cfg.Spines {
+		return nil, -1
+	}
+	return n, sp
+}
+
+// graySuspect is one leaf's detector latching an uplink: fold the
+// evidence into the spine's health view and move that leaf's affected
+// destinations off the spine.
+func (co *Coordinator) graySuspect(ev core.Event) {
+	leaf, sp := co.spineForEvent(ev)
+	if leaf == nil {
+		return
+	}
+	ex := co.exclude[leaf.Name]
+	if ex == nil {
+		ex = make(map[int]bool)
+		co.exclude[leaf.Name] = ex
+	}
+	if ex[sp] {
+		return
+	}
+	ex[sp] = true
+	co.health[sp].Suspects[leaf.Name] = true
+	co.updateHealth(sp)
+	co.reroute(leaf, sp, true, ev.At)
+}
+
+// grayClear is the detector's heal: drop the evidence and move the
+// leaf's destinations back onto their home spine.
+func (co *Coordinator) grayClear(ev core.Event) {
+	leaf, sp := co.spineForEvent(ev)
+	if leaf == nil {
+		return
+	}
+	ex := co.exclude[leaf.Name]
+	if !ex[sp] {
+		return
+	}
+	delete(ex, sp)
+	delete(co.health[sp].Suspects, leaf.Name)
+	co.updateHealth(sp)
+	co.reroute(leaf, sp, false, ev.At)
+}
+
+// updateHealth reclassifies spine sp from the current evidence:
+// unanimous leaf suspicion (or the coordinator's own channel reporting
+// the peer dead) is a whole-switch failure; partial suspicion is a
+// gray link; none is healthy.
+func (co *Coordinator) updateHealth(sp int) {
+	h := &co.health[sp]
+	h.PeerDead = co.f.Spines[sp].CoordCli.DegradedCause() == ctlchan.CausePeerDead
+	st := SpineHealthy
+	switch {
+	case len(h.Suspects) == 0:
+		st = SpineHealthy
+	case len(h.Suspects) == len(co.f.Leaves) || h.PeerDead:
+		st = SpineDead
+	default:
+		st = SpineGray
+	}
+	if st != h.State {
+		h.State = st
+		h.Since = co.sim.Now()
+	}
+}
+
+// reroute reacts to one evidence change about trunk evLeaf↔sp: every
+// affected (source leaf, destination) pair is re-resolved under the
+// union of the source's exclusions and the destination leaf's (a path
+// crosses both trunks), and each changed route is enqueued on its
+// owning leaf's installer — the same serialized, at-most-once path
+// escalation filters take. Affected pairs are exactly those touching
+// the evidence leaf: its own egress, and other leaves' routes toward
+// destinations on it. at is the detection (or heal) instant.
+func (co *Coordinator) reroute(evLeaf *Node, sp int, exclude bool, at sim.Time) {
+	co.stats.Reroutes++
+	rr := &Reroute{Leaf: evLeaf.Name, Spine: sp, Exclude: exclude, At: at}
+	co.reroutes = append(co.reroutes, rr)
+	spines := co.f.Cfg.Spines
+	for _, src := range co.f.Leaves {
+		as := co.assign[src.Name]
+		if as == nil {
+			as = make(map[uint32]int)
+			co.assign[src.Name] = as
+		}
+		dsts := make([]uint32, 0, len(src.RouteHandles))
+		for dst := range src.RouteHandles {
+			dsts = append(dsts, dst)
+		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+		for _, dst := range dsts {
+			dl := AddrLeaf(dst)
+			if src != evLeaf && dl != evLeaf.Index {
+				continue // path touches neither side of the evidence trunk
+			}
+			cur, ok := as[dst]
+			if !ok {
+				cur = SpineForSet(dst, spines, nil)
+			}
+			want := SpineForSet(dst, spines, co.unionExclude(src.Name, dl))
+			if want == cur {
+				continue
+			}
+			as[dst] = want
+			rr.Moves++
+			rr.pending++
+			co.installers[src.Name].enqueue(installOp{route: &routeOp{
+				dst: dst, handle: src.RouteHandles[dst],
+				port: uint64(co.f.UplinkPort(want)), rr: rr,
+			}})
+		}
+	}
+	if rr.pending == 0 {
+		rr.DoneAt = co.sim.Now()
+	}
+}
+
+// unionExclude is the spine set a path from src to a host on dstLeaf
+// must avoid: spines with a bad trunk on either end of the path.
+func (co *Coordinator) unionExclude(src string, dstLeaf int) map[int]bool {
+	a := co.exclude[src]
+	b := co.exclude[co.f.Leaves[dstLeaf].Name]
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	u := make(map[int]bool, len(a)+len(b))
+	for sp := range a {
+		u[sp] = true
+	}
+	for sp := range b {
+		u[sp] = true
+	}
+	return u
+}
+
+// finishRoute records one committed route move.
+func (co *Coordinator) finishRoute(op *routeOp) {
+	co.stats.RouteMoves++
+	op.rr.pending--
+	if op.rr.pending == 0 {
+		op.rr.DoneAt = co.sim.Now()
+	}
+}
+
+// Health returns the coordinator's current view of spine sp.
+func (co *Coordinator) Health(sp int) SpineHealth {
+	h := co.health[sp]
+	out := SpineHealth{State: h.State, PeerDead: h.PeerDead, Since: h.Since,
+		Suspects: make(map[string]bool, len(h.Suspects))}
+	for l := range h.Suspects {
+		out.Suspects[l] = true
+	}
+	return out
+}
+
+// Reroutes returns every reroute acted on, in processing order.
+func (co *Coordinator) Reroutes() []*Reroute { return co.reroutes }
 
 // escalate turns one switch's local block into filter installs on
 // every other switch.
@@ -291,9 +566,23 @@ func (co *Coordinator) stop() {
 
 // ---- per-node installer ----
 
+// installOp is one unit of installer work: either an escalation filter
+// (esc set) or a reroute route-move (route set). Both ride the same
+// per-node FIFO, so a node's filters and route moves apply in the
+// order the coordinator decided them.
 type installOp struct {
 	src uint64
 	esc *Escalation
+
+	route *routeOp
+}
+
+// routeOp modifies one destination's route entry to a new uplink port.
+type routeOp struct {
+	dst    uint32
+	handle rmt.EntryHandle
+	port   uint64
+	rr     *Reroute
 }
 
 // installer serializes one node's filter installs on its own process,
@@ -333,8 +622,68 @@ func (ins *installer) run(p *sim.Proc) {
 		}
 		op := ins.queue[0]
 		ins.queue = ins.queue[1:]
-		ins.install(p, op)
+		if op.route != nil {
+			ins.moveRoute(p, op.route)
+		} else {
+			ins.install(p, op)
+		}
 	}
+}
+
+// moveRoute applies one route modification with the same at-most-once
+// discipline as install: a degraded modify MAY have executed, so audit
+// the route table (reads are idempotent) and reissue only if the entry
+// still shows a different port. Modify is idempotent in effect, but a
+// blind retry would still burn channel budget and blur the stats that
+// separate ambiguity from repetition.
+func (ins *installer) moveRoute(p *sim.Proc, op *routeOp) {
+	co := ins.co
+	for !co.stopped {
+		err := ins.node.CoordCli.ModifyEntry(p, RouteTable, op.handle, RouteAction, []uint64{op.port})
+		switch {
+		case err == nil:
+			co.finishRoute(op)
+			return
+		case errors.Is(err, driver.ErrChannelDegraded):
+			co.stats.DegradedRouteMoves++
+			for !co.stopped {
+				applied, aerr := ins.auditRoute(p, op)
+				if aerr == nil {
+					if applied {
+						co.stats.RouteAuditConfirmed++
+						co.finishRoute(op)
+						return
+					}
+					co.stats.RouteReissues++
+					break
+				}
+				co.stats.AuditRetries++
+				p.Sleep(co.opts.RetryBackoff)
+			}
+		case errors.Is(err, driver.ErrTransient):
+			co.stats.TransientRetries++
+			p.Sleep(co.opts.RetryBackoff)
+		default:
+			co.stats.InstallErrors++
+			co.setErr(fmt.Errorf("fabric: move route %#x on %s: %w", op.dst, ins.node.Name, err))
+			return
+		}
+	}
+}
+
+// auditRoute reads the node's route table and reports whether op's
+// destination already routes out op.port.
+func (ins *installer) auditRoute(p *sim.Proc, op *routeOp) (bool, error) {
+	entries, err := ins.node.CoordCli.ReadEntries(p, RouteTable)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if len(e.Keys) == 1 && e.Keys[0].Value == uint64(op.dst) {
+			return len(e.Data) == 1 && e.Data[0] == op.port, nil
+		}
+	}
+	return false, nil
 }
 
 // install applies one filter with the at-most-once discipline

@@ -1,0 +1,99 @@
+package fabric
+
+import "testing"
+
+// TestSpineForSetSingleSpine: with one spine every destination maps to
+// it, excluded or not (the all-excluded fallback reuses the full set).
+func TestSpineForSetSingleSpine(t *testing.T) {
+	for dst := uint32(0); dst < 64; dst++ {
+		if sp := SpineForSet(dst, 1, nil); sp != 0 {
+			t.Fatalf("SpineForSet(%d, 1, nil) = %d, want 0", dst, sp)
+		}
+		if sp := SpineForSet(dst, 1, map[int]bool{0: true}); sp != 0 {
+			t.Fatalf("SpineForSet(%d, 1, {0}) = %d, want 0", dst, sp)
+		}
+	}
+}
+
+// TestSpineForSetAllExcludedFallback: excluding every spine falls back
+// to the full-set choice rather than an invalid index.
+func TestSpineForSetAllExcludedFallback(t *testing.T) {
+	const spines = 3
+	all := map[int]bool{0: true, 1: true, 2: true}
+	for dst := uint32(0); dst < 256; dst++ {
+		got := SpineForSet(dst, spines, all)
+		want := SpineForSet(dst, spines, nil)
+		if got != want {
+			t.Fatalf("dst %d: all-excluded gave %d, full set gives %d", dst, got, want)
+		}
+		if got < 0 || got >= spines {
+			t.Fatalf("dst %d: spine %d out of range", dst, got)
+		}
+	}
+}
+
+// TestSpineForSetDeterministicAndBalanced: the choice is a pure
+// function of its arguments (same result on repeat and with distinct
+// but equal exclusion maps), and the hash spreads destinations across
+// all spines.
+func TestSpineForSetDeterministicAndBalanced(t *testing.T) {
+	const spines = 4
+	hits := make([]int, spines)
+	for dst := uint32(0); dst < 1024; dst++ {
+		a := SpineForSet(dst, spines, map[int]bool{2: true})
+		b := SpineForSet(dst, spines, map[int]bool{2: true})
+		if a != b {
+			t.Fatalf("dst %d: %d then %d on identical arguments", dst, a, b)
+		}
+		if a == 2 {
+			t.Fatalf("dst %d: chose excluded spine 2", dst)
+		}
+		hits[SpineForSet(dst, spines, nil)]++
+	}
+	for sp, n := range hits {
+		// 1024 destinations over 4 spines: each should land well clear
+		// of zero; rendezvous hashing gives near-uniform spread.
+		if n < 128 {
+			t.Fatalf("spine %d carries only %d/1024 destinations", sp, n)
+		}
+	}
+}
+
+// TestSpineForSetMinimalDisruption: excluding one spine moves exactly
+// the destinations hashed onto it — everything else keeps its
+// assignment — and restoring it puts exactly those back.
+func TestSpineForSetMinimalDisruption(t *testing.T) {
+	const spines = 4
+	base := make(map[uint32]int)
+	for dst := uint32(0); dst < 1024; dst++ {
+		base[dst] = SpineForSet(dst, spines, nil)
+	}
+	for fail := 0; fail < spines; fail++ {
+		ex := map[int]bool{fail: true}
+		for dst, home := range base {
+			got := SpineForSet(dst, spines, ex)
+			if home != fail && got != home {
+				t.Fatalf("exclude %d: dst %d moved %d→%d though its home is live",
+					fail, dst, home, got)
+			}
+			if home == fail && got == fail {
+				t.Fatalf("exclude %d: dst %d still assigned to the excluded spine", fail, dst)
+			}
+			// Restore: back to the original assignment.
+			if back := SpineForSet(dst, spines, nil); back != home {
+				t.Fatalf("restore: dst %d lands on %d, want %d", dst, back, home)
+			}
+		}
+	}
+}
+
+// TestUplinkPortLayout: uplink ports sit directly above the host
+// ports, one per spine.
+func TestUplinkPortLayout(t *testing.T) {
+	f := &Fabric{Cfg: Config{HostPorts: 4, Spines: 3}}
+	for sp := 0; sp < 3; sp++ {
+		if got := f.UplinkPort(sp); got != 4+sp {
+			t.Fatalf("UplinkPort(%d) = %d, want %d", sp, got, 4+sp)
+		}
+	}
+}

@@ -35,8 +35,10 @@ import (
 	"repro/internal/faults"
 	"repro/internal/journal"
 	"repro/internal/netsim"
+	"repro/internal/packet"
 	"repro/internal/rmt"
 	"repro/internal/sim"
+	"repro/internal/usecases"
 )
 
 // Table-name contract between the fabric layer and its programs.
@@ -52,6 +54,19 @@ const (
 	// contend with the local agent's versioned malleable state.
 	FilterTable  = "ufilter"
 	FilterAction = "drop_pkt"
+	// HeartbeatTable counts link probes per ingress port on leaves;
+	// HeartbeatProto tags them on the wire.
+	HeartbeatTable  = "hb_tbl"
+	HeartbeatAction = "count_hb"
+	HeartbeatProto  = 0xFD
+)
+
+// Gray-failure events exported by each leaf's per-uplink detector (use
+// case #2 lifted fabric-wide). Key is the leaf's uplink port; the
+// coordinator maps it back to a spine via the fabric's port layout.
+const (
+	EventGraySuspect = "gray.suspect"
+	EventGrayClear   = "gray.clear"
 )
 
 // HostAddr returns the canonical address of host h on leaf l.
@@ -107,9 +122,62 @@ type Config struct {
 	// Coordinator tunes the fabric coordinator.
 	Coordinator CoordinatorOptions
 
+	// Gray tunes the fabric's link-failure detection: per-trunk probe
+	// heartbeats injected at each spine and a per-leaf gray-failure
+	// detector (the Fig. 16 program run per-leaf) whose suspect/clear
+	// events feed the coordinator's health view.
+	Gray GrayOptions
+
 	// Prologue, if set, runs inside each node's agent prologue after
 	// the fabric's route installation.
 	Prologue func(n *Node, p *sim.Proc, a *core.Agent) error
+}
+
+// GrayOptions tunes fabric-wide gray-failure detection.
+type GrayOptions struct {
+	// Disabled turns off probe heartbeats and the per-leaf detectors.
+	Disabled bool
+	// Ts is the per-trunk probe period (default 500ns): each spine
+	// emits one probe per leaf trunk every Ts, so a leaf's dialogue
+	// window of Td carries Td/Ts samples per uplink.
+	Ts time.Duration
+	// Eta is the detection expectation (default 0.75): a window
+	// delivering under floor(Eta·Td/Ts) probes on an uplink strikes it.
+	Eta float64
+	// HealEta is the recovery expectation (default 0.99): hysteresis —
+	// a latched uplink must deliver essentially every probe for
+	// RecoverStrikes consecutive windows before it is declared healed.
+	// A 30% gray link clears a symmetric bar often enough to flap.
+	HealEta float64
+	// Strikes and RecoverStrikes are the consecutive-window counts for
+	// detection and recovery (defaults 2 and 3).
+	Strikes        int
+	RecoverStrikes int
+	// MaxTd, when > 0, additionally discards dialogue windows longer
+	// than MaxTd (see usecases.GrayConfig.MaxTd). The fabric's primary
+	// guard is channel evidence, not time: windows during which the
+	// leaf's own control channel retransmitted or timed out are never
+	// judged, because their register reads can be dedup-cache stale —
+	// the count window and the time window no longer line up.
+	MaxTd time.Duration
+}
+
+func (g *GrayOptions) setDefaults() {
+	if g.Ts <= 0 {
+		g.Ts = 500 * time.Nanosecond
+	}
+	if g.Eta <= 0 {
+		g.Eta = 0.75
+	}
+	if g.HealEta <= 0 {
+		g.HealEta = 0.99
+	}
+	if g.Strikes <= 0 {
+		g.Strikes = 2
+	}
+	if g.RecoverStrikes <= 0 {
+		g.RecoverStrikes = 3
+	}
 }
 
 func (cfg *Config) setDefaults() error {
@@ -141,6 +209,7 @@ func (cfg *Config) setDefaults() error {
 		cfg.Pacing = 5 * time.Microsecond
 	}
 	cfg.Coordinator.setDefaults()
+	cfg.Gray.setDefaults()
 	return nil
 }
 
@@ -164,6 +233,17 @@ type Node struct {
 	AgentCli  *ctlchan.Client
 	CoordCli  *ctlchan.Client
 	Agent     *core.Agent
+
+	// RouteHandles maps each remote destination installed by this
+	// node's prologue to its route-table entry handle — handles are
+	// switch-level, so the coordinator's session can ModifyEntry them
+	// for ECMP-exclude reroutes. Leaf nodes only (spines route each
+	// destination straight to its leaf and are never rerouted).
+	RouteHandles map[uint32]rmt.EntryHandle
+
+	// GrayDet is the leaf's per-uplink gray-failure detector (nil on
+	// spines or when Config.Gray.Disabled).
+	GrayDet *usecases.GrayDetector
 }
 
 // Fabric is a built topology plus its coordinator.
@@ -175,6 +255,16 @@ type Fabric struct {
 	// Trunks[l][s] joins leaf l (side 0) to spine s (side 1).
 	Trunks [][]*netsim.Trunk
 	Coord  *Coordinator
+
+	// crashed tracks nodes taken down by Crash (by name).
+	crashed map[string]bool
+	// hbTicker drives the per-trunk probe heartbeats; hbSrc/hbDst/
+	// hbProto are the spine-schema fields probes are stamped with.
+	hbTicker *sim.Ticker
+	hbSrc    packet.FieldID
+	hbDst    packet.FieldID
+	hbProto  packet.FieldID
+	hbSchema *packet.Schema
 }
 
 // Build constructs the fabric on s: switches, trunks, per-node control
@@ -200,7 +290,7 @@ func Build(s *sim.Simulator, cfg Config) (*Fabric, error) {
 		return nil, fmt.Errorf("fabric: leaf/spine wire headers diverge (a packet could not cross roles): %w", err)
 	}
 
-	f := &Fabric{Sim: s, Cfg: cfg}
+	f := &Fabric{Sim: s, Cfg: cfg, crashed: make(map[string]bool)}
 	f.Coord = newCoordinator(s, cfg.Coordinator)
 	for l := 0; l < cfg.Leaves; l++ {
 		n, err := f.buildNode(fmt.Sprintf("leaf%d", l), l, false, leafPlan)
@@ -228,8 +318,82 @@ func Build(s *sim.Simulator, cfg Config) (*Fabric, error) {
 		}
 		f.Trunks = append(f.Trunks, row)
 	}
+	if !cfg.Gray.Disabled {
+		if err := f.wireGrayDetection(spinePlan.Prog.Schema); err != nil {
+			return nil, err
+		}
+	}
 	f.Coord.attach(f)
 	return f, nil
+}
+
+// wireGrayDetection registers the Fig. 16 detector on every leaf,
+// monitoring the uplink ports, and prepares the probe-heartbeat fields
+// (the tickers start with the fabric).
+func (f *Fabric) wireGrayDetection(spineSchema *packet.Schema) error {
+	cfg := &f.Cfg
+	f.hbSchema = spineSchema
+	f.hbSrc = spineSchema.MustID(usecases.FM.Src)
+	f.hbDst = spineSchema.MustID(usecases.FM.Dst)
+	f.hbProto = spineSchema.MustID(usecases.FM.Proto)
+	uplinks := make([]int, cfg.Spines)
+	for sp := range uplinks {
+		uplinks[sp] = f.UplinkPort(sp)
+	}
+	for _, leaf := range f.Leaves {
+		// Channel-evidence gating: a retransmit or timeout on the leaf's
+		// own agent channel since the last poll marks the window
+		// unjudgeable (its register reads may be dedup-cache stale).
+		ch := leaf.AgentCli
+		var lastRetx, lastTimeouts uint64
+		skip := func() bool {
+			st := ch.ChanStats()
+			dirty := st.Retransmits != lastRetx || st.Timeouts != lastTimeouts
+			lastRetx, lastTimeouts = st.Retransmits, st.Timeouts
+			return dirty
+		}
+		det := usecases.NewGrayDetector(usecases.GrayConfig{
+			Ts: cfg.Gray.Ts, Eta: cfg.Gray.Eta, HealEta: cfg.Gray.HealEta,
+			ConsecutiveStrikes: cfg.Gray.Strikes, RecoverStrikes: cfg.Gray.RecoverStrikes,
+			MaxTd: cfg.Gray.MaxTd, SkipWindow: skip,
+			Monitored: uplinks,
+			Event:     EventGraySuspect, ClearEvent: EventGrayClear,
+		}, nil)
+		if err := leaf.Agent.RegisterNativeReaction("gray_react", det.React); err != nil {
+			return fmt.Errorf("fabric: %s: %w", leaf.Name, err)
+		}
+		leaf.GrayDet = det
+	}
+	return nil
+}
+
+// startHeartbeats launches the per-trunk probe ticker: every Ts, each
+// live spine emits one probe per leaf trunk. Probes are injected at
+// the trunk itself (port-hardware liveness probes, BFD-style), so they
+// see exactly the drops data packets would on that trunk, without
+// consuming spine pipeline capacity. Their destination is deliberately
+// unroutable: the leaf's hb_tbl counts and absorbs them, and if that
+// entry is not installed yet the route table's default drops them.
+func (f *Fabric) startHeartbeats() {
+	if f.Cfg.Gray.Disabled || f.hbTicker != nil {
+		return
+	}
+	f.hbTicker = f.Sim.Every(f.Cfg.Gray.Ts, func() {
+		for sp, spine := range f.Spines {
+			if f.crashed[spine.Name] {
+				continue
+			}
+			for l := range f.Leaves {
+				pkt := f.hbSchema.New()
+				pkt.Size = 64
+				pkt.Priority = 7
+				pkt.Set(f.hbSrc, uint64(0x0AFE0000|uint32(sp)))
+				pkt.Set(f.hbDst, 0xFFFFFFFF)
+				pkt.Set(f.hbProto, HeartbeatProto)
+				f.Trunks[l][sp].Inject(1, pkt)
+			}
+		}
+	})
 }
 
 // buildNode assembles one switch plus its control stack.
@@ -302,9 +466,21 @@ func (f *Fabric) buildNode(name string, idx int, isSpine bool, plan *compiler.Pl
 // address: local hosts out their port, remote hosts toward the
 // dst-hashed spine, spine entries toward the destination leaf.
 func (f *Fabric) installRoutes(n *Node, p *sim.Proc, a *core.Agent) error {
+	if !n.IsSpine {
+		n.RouteHandles = make(map[uint32]rmt.EntryHandle)
+		if !f.Cfg.Gray.Disabled {
+			// Count-and-absorb probe heartbeats per ingress port.
+			if _, err := a.Driver().AddEntry(p, HeartbeatTable, rmt.Entry{
+				Keys: []rmt.KeySpec{rmt.ExactKey(HeartbeatProto)}, Action: HeartbeatAction,
+			}); err != nil {
+				return fmt.Errorf("fabric: %s: heartbeat table: %w", n.Name, err)
+			}
+		}
+	}
 	for l := 0; l < f.Cfg.Leaves; l++ {
 		for h := 0; h < f.Cfg.HostPorts; h++ {
 			dst := HostAddr(l, h)
+			remote := false
 			var port int
 			switch {
 			case n.IsSpine:
@@ -312,12 +488,17 @@ func (f *Fabric) installRoutes(n *Node, p *sim.Proc, a *core.Agent) error {
 			case n.Index == l:
 				port = h
 			default:
+				remote = true
 				port = f.UplinkPort(f.SpineFor(dst))
 			}
-			if _, err := a.Driver().AddEntry(p, RouteTable, rmt.Entry{
+			handle, err := a.Driver().AddEntry(p, RouteTable, rmt.Entry{
 				Keys: []rmt.KeySpec{rmt.ExactKey(uint64(dst))}, Action: RouteAction, Data: []uint64{uint64(port)},
-			}); err != nil {
+			})
+			if err != nil {
 				return fmt.Errorf("fabric: %s: route %#x: %w", n.Name, dst, err)
+			}
+			if remote {
+				n.RouteHandles[dst] = handle
 			}
 		}
 	}
@@ -327,9 +508,49 @@ func (f *Fabric) installRoutes(n *Node, p *sim.Proc, a *core.Agent) error {
 // UplinkPort is the leaf port facing spine sp.
 func (f *Fabric) UplinkPort(sp int) int { return f.Cfg.HostPorts + sp }
 
-// SpineFor picks the spine carrying traffic toward dst (destination
-// hash, deterministic).
-func (f *Fabric) SpineFor(dst uint32) int { return int(dst) % f.Cfg.Spines }
+// SpineFor picks the spine carrying traffic toward dst with every
+// uplink live (destination-hashed ECMP, deterministic).
+func (f *Fabric) SpineFor(dst uint32) int { return SpineForSet(dst, f.Cfg.Spines, nil) }
+
+// SpineForSet picks the ECMP spine for dst over the live uplink set:
+// rendezvous (highest-random-weight) hashing across the non-excluded
+// spines. Two properties the fabric leans on: the choice is a pure
+// function of (dst, spines, excluded) — identical across nodes and
+// runs — and membership changes disturb only the flows that must move
+// (excluding a spine reassigns exactly the flows hashed onto it;
+// restoring it puts exactly those flows back). If every spine is
+// excluded the full set is used as a fallback: no reachable spine is
+// worse than a deterministic guess.
+func SpineForSet(dst uint32, spines int, excluded map[int]bool) int {
+	if spines <= 1 {
+		return 0
+	}
+	best, bestW := -1, uint64(0)
+	for sp := 0; sp < spines; sp++ {
+		if excluded[sp] {
+			continue
+		}
+		w := ecmpMix(uint64(dst)<<16 ^ uint64(sp))
+		if best < 0 || w > bestW {
+			best, bestW = sp, w
+		}
+	}
+	if best < 0 {
+		// All uplinks down: fall back to the full set.
+		return SpineForSet(dst, spines, nil)
+	}
+	return best
+}
+
+// ecmpMix is the rendezvous weight function — splitmix64's finalizer,
+// a fixed full-avalanche mixer (seedless on purpose: every node must
+// agree on the hash).
+func ecmpMix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
 
 // BorderPort is the spine port where external (non-fabric) traffic
 // enters.
@@ -359,19 +580,85 @@ func (f *Fabric) AddHost(l, h int) *netsim.Host {
 	return f.Leaves[l].Net.AddHost(h, HostAddr(l, h))
 }
 
-// Start launches every node's agent and the coordinator.
+// Start launches every node's agent, the probe heartbeats, and the
+// coordinator.
 func (f *Fabric) Start() {
 	for _, n := range f.Nodes() {
 		n.Agent.Start()
 	}
+	f.startHeartbeats()
 }
 
 // Stop stops all agents and the coordinator's processes.
 func (f *Fabric) Stop() {
 	for _, n := range f.Nodes() {
-		n.Agent.Stop()
+		if !f.crashed[n.Name] {
+			n.Agent.Stop()
+		}
+	}
+	if f.hbTicker != nil {
+		f.hbTicker.Stop()
+		f.hbTicker = nil
 	}
 	f.Coord.stop()
+}
+
+// Crash kills a node whole: every trunk administratively down, both
+// control-channel server endpoints dead (clients classify the degrade
+// as peer-dead, not partition), the agent halted, and — for spines —
+// probe emission stopped. The data-plane evidence of the crash is what
+// the per-leaf detectors see: every probe on the node's trunks dies.
+func (f *Fabric) Crash(name string) error {
+	n := f.Node(name)
+	if n == nil {
+		return fmt.Errorf("fabric: no node %q", name)
+	}
+	if f.crashed[name] {
+		return fmt.Errorf("fabric: %s already crashed", name)
+	}
+	f.crashed[name] = true
+	f.eachTrunk(n, func(tr *netsim.Trunk) { tr.SetAdminDown(true) })
+	n.AgentLink.SetPeerDown(netsim.LinkSideB, true)
+	n.CoordLink.SetPeerDown(netsim.LinkSideB, true)
+	n.Agent.Stop()
+	return nil
+}
+
+// Restore brings a crashed node's hardware back: trunks up, control
+// endpoints alive, probes flowing again. The agent is NOT restarted —
+// switch table state survives the model's crash (the route/filter
+// tables live in the switch, not the agent), and agent-level recovery
+// is the takeover machinery's job, not the fabric's. The coordinator's
+// session resumes working immediately.
+func (f *Fabric) Restore(name string) error {
+	n := f.Node(name)
+	if n == nil {
+		return fmt.Errorf("fabric: no node %q", name)
+	}
+	if !f.crashed[name] {
+		return fmt.Errorf("fabric: %s not crashed", name)
+	}
+	delete(f.crashed, name)
+	f.eachTrunk(n, func(tr *netsim.Trunk) { tr.SetAdminDown(false) })
+	n.AgentLink.SetPeerDown(netsim.LinkSideB, false)
+	n.CoordLink.SetPeerDown(netsim.LinkSideB, false)
+	return nil
+}
+
+// Crashed reports whether the named node is currently crashed.
+func (f *Fabric) Crashed(name string) bool { return f.crashed[name] }
+
+// eachTrunk visits every trunk touching n.
+func (f *Fabric) eachTrunk(n *Node, fn func(tr *netsim.Trunk)) {
+	if n.IsSpine {
+		for l := range f.Leaves {
+			fn(f.Trunks[l][n.Index])
+		}
+		return
+	}
+	for sp := range f.Spines {
+		fn(f.Trunks[n.Index][sp])
+	}
 }
 
 // Err returns the first agent error, if any.

@@ -21,8 +21,11 @@ package fabric
 // the same versioned state.
 
 // LeafP4R is the edge-switch program: upstream filter, local malleable
-// blocklist, destination routing, per-sender byte counting, and the
-// native DoS-detection reaction of use case #1.
+// blocklist, destination routing, per-sender byte counting, the native
+// DoS-detection reaction of use case #1, and the use case #2 per-uplink
+// heartbeat counter feeding the gray-failure reaction. hb_tbl applies
+// first so probe traffic is counted and absorbed before it can touch
+// the filter or byte-counting stats.
 const LeafP4R = `
 header_type ipv4_t {
   fields { srcAddr : 32; dstAddr : 32; protocol : 8; ecn : 1; }
@@ -32,6 +35,7 @@ header_type tcp_t { fields { seq : 32; ack : 32; isAck : 1; } }
 header tcp_t tcp;
 
 register total_bytes { width : 64; instance_count : 1; }
+register hb_count { width : 32; instance_count : 32; }
 
 action allow() { no_op(); }
 action drop_pkt() { drop(); }
@@ -41,7 +45,16 @@ action route_pkt(port) {
 action note() {
   register_increment(total_bytes, 0, standard_metadata.packet_length);
 }
+action count_hb() {
+  register_increment(hb_count, standard_metadata.ingress_port, 1);
+  drop();
+}
 
+table hb_tbl {
+  reads { ipv4.protocol : exact; }
+  actions { count_hb; }
+  size : 2;
+}
 table ufilter {
   reads { ipv4.srcAddr : exact; }
   actions { allow; drop_pkt; }
@@ -70,7 +83,13 @@ reaction dos_react(ing ipv4.srcAddr, reg total_bytes) {
   // Implemented natively: per-sender rate estimation + blocking.
 }
 
+reaction gray_react(reg hb_count) {
+  // Implemented natively: per-uplink loss thresholding (use case #2),
+  // exported as gray.suspect / gray.clear events for the coordinator.
+}
+
 control ingress {
+  apply(hb_tbl);
   apply(ufilter);
   apply(blocklist);
   apply(route);

@@ -1,0 +1,218 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// routeEntryCount counts n's route entries keyed by dst — the
+// at-most-once measure for route moves: a reissue after a degraded
+// modify must never leave a second entry behind.
+func routeEntryCount(t *testing.T, n *Node, dst uint32) int {
+	t.Helper()
+	entries, err := n.Drv.Switch().Entries(RouteTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, e := range entries {
+		if len(e.Keys) == 1 && e.Keys[0].Value == uint64(dst) {
+			count++
+		}
+	}
+	return count
+}
+
+// TestChaosSpineCrashMidGrayReroute grays one trunk and then crashes a
+// *different* spine right in the detection window, so the coordinator
+// handles a second fabric-wide reroute while the first is barely
+// committed. The ECMP exclusion sets must compose (routes avoid both
+// the gray and the dead spine), and after both heal everything returns
+// home with exactly one route entry per destination. Run under -race
+// in CI.
+func TestChaosSpineCrashMidGrayReroute(t *testing.T) {
+	s := sim.New(2)
+	f, err := Build(s, Config{Leaves: 2, Spines: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerDos(t, f)
+	f.Start()
+	s.RunFor(time.Millisecond)
+
+	dst := HostAddr(1, 1)
+	spGray := f.SpineFor(dst)
+	spCrash := (spGray + 1) % 3
+
+	f.Trunks[0][spGray].SetGray(1.0)
+	s.Schedule(60*time.Microsecond, func() {
+		if err := f.Crash(f.Spines[spCrash].Name); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	})
+	s.RunFor(time.Millisecond)
+
+	if h := f.Coord.Health(spGray); h.State != SpineGray {
+		t.Fatalf("gray spine %d health %v, want gray", spGray, h.State)
+	}
+	if h := f.Coord.Health(spCrash); h.State != SpineDead {
+		t.Fatalf("crashed spine %d health %v, want dead", spCrash, h.State)
+	}
+	// leaf0's route for dst must dodge both failures.
+	want := uint64(f.UplinkPort(SpineForSet(dst, 3, map[int]bool{spGray: true, spCrash: true})))
+	if got := routePort(t, f.Leaves[0], dst); got != want {
+		t.Fatalf("route for %#x: port %d, want %d (avoiding spines %d and %d)",
+			dst, got, want, spGray, spCrash)
+	}
+
+	f.Trunks[0][spGray].SetGray(0)
+	if err := f.Restore(f.Spines[spCrash].Name); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * time.Millisecond)
+
+	for sp := range f.Spines {
+		if h := f.Coord.Health(sp); h.State != SpineHealthy {
+			t.Fatalf("spine %d ends %v, want healthy", sp, h.State)
+		}
+	}
+	if got := routePort(t, f.Leaves[0], dst); got != uint64(f.UplinkPort(spGray)) {
+		t.Fatalf("route for %#x ends on port %d, want home %d", dst, got, f.UplinkPort(spGray))
+	}
+	for _, leaf := range f.Leaves {
+		for d := range leaf.RouteHandles {
+			if got := routeEntryCount(t, leaf, d); got != 1 {
+				t.Fatalf("%s: %d route entries for %#x, want 1", leaf.Name, got, d)
+			}
+		}
+	}
+	for _, rr := range f.Coord.Reroutes() {
+		if rr.Moves > 0 && rr.DoneAt == 0 {
+			t.Fatalf("reroute %+v never completed", rr)
+		}
+	}
+	f.Stop()
+	s.RunFor(100 * time.Microsecond)
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Coord.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosGrayRerouteOverPartitionedChannel partitions the
+// coordinator's control link to the evidence leaf before the gray
+// failure lands, so the exclude route-move can only go through the
+// degraded audit-then-reissue path once the link heals. The move must
+// eventually commit exactly once.
+func TestChaosGrayRerouteOverPartitionedChannel(t *testing.T) {
+	s := sim.New(3)
+	f, err := Build(s, Config{Leaves: 2, Spines: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerDos(t, f)
+	f.Start()
+	s.RunFor(time.Millisecond)
+
+	dst := HostAddr(1, 1)
+	sp := f.SpineFor(dst)
+	other := uint64(f.UplinkPort(1 - sp))
+
+	f.Leaves[0].CoordLink.SetPartitioned(true)
+	f.Trunks[0][sp].SetGray(1.0)
+	healAt := s.Now() + sim.Time(500*time.Microsecond)
+	s.Schedule(500*time.Microsecond, func() {
+		f.Leaves[0].CoordLink.SetPartitioned(false)
+	})
+	s.RunFor(3 * time.Millisecond)
+
+	if got := routePort(t, f.Leaves[0], dst); got != other {
+		t.Fatalf("route for %#x: port %d, want %d after the heal", dst, got, other)
+	}
+	if got := routeEntryCount(t, f.Leaves[0], dst); got != 1 {
+		t.Fatalf("%d route entries for %#x, want 1 (at-most-once violated)", got, dst)
+	}
+	rrs := f.Coord.Reroutes()
+	if len(rrs) == 0 {
+		t.Fatal("no reroute recorded")
+	}
+	if rrs[0].DoneAt < healAt {
+		t.Fatalf("reroute committed at %v, before the channel heal at %v — wrote through a dead link?",
+			rrs[0].DoneAt, healAt)
+	}
+	// The partition must leave a trace: the move went degraded (audited,
+	// possibly reissued) or at least retried.
+	st := f.Coord.Stats()
+	if st.DegradedRouteMoves == 0 && st.TransientRetries == 0 {
+		t.Fatalf("partition left no trace in route-move stats: %+v", st)
+	}
+	f.Stop()
+	s.RunFor(100 * time.Microsecond)
+	if err := f.Coord.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosFlappingTrunk flaps one trunk admin-down/up six times at
+// 100µs cadence — fast enough that heal hysteresis (RecoverStrikes
+// consecutive clean windows) keeps the exclusion latched through the
+// brief ups — then leaves it up for good. The coordinator must ride
+// the flaps without error and converge: healthy everywhere, routes
+// home, every reroute record complete.
+func TestChaosFlappingTrunk(t *testing.T) {
+	s := sim.New(4)
+	f, err := Build(s, Config{Leaves: 2, Spines: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerDos(t, f)
+	f.Start()
+	s.RunFor(time.Millisecond)
+
+	dst := HostAddr(1, 1)
+	sp := f.SpineFor(dst)
+	tr := f.Trunks[0][sp]
+	for i := 0; i < 6; i++ {
+		down := i%2 == 0
+		s.Schedule(time.Duration(i)*100*time.Microsecond, func() { tr.SetAdminDown(down) })
+	}
+	s.RunFor(600 * time.Microsecond) // the flapping window
+	s.RunFor(2 * time.Millisecond)   // stable tail: the last heal lands
+
+	for spi := range f.Spines {
+		if h := f.Coord.Health(spi); h.State != SpineHealthy {
+			t.Fatalf("spine %d ends %v, want healthy", spi, h.State)
+		}
+	}
+	if got := routePort(t, f.Leaves[0], dst); got != uint64(f.UplinkPort(sp)) {
+		t.Fatalf("route for %#x ends on port %d, want home %d", dst, got, f.UplinkPort(sp))
+	}
+	if got := routeEntryCount(t, f.Leaves[0], dst); got != 1 {
+		t.Fatalf("%d route entries for %#x, want 1", got, dst)
+	}
+	rrs := f.Coord.Reroutes()
+	if len(rrs) < 2 {
+		t.Fatalf("%d reroute records over 3 down-phases, want ≥ 2", len(rrs))
+	}
+	for _, rr := range rrs {
+		if rr.Moves > 0 && rr.DoneAt == 0 {
+			t.Fatalf("reroute %+v never completed", rr)
+		}
+	}
+	st := f.Coord.Stats()
+	if st.GraySuspects == 0 || st.GrayClears == 0 {
+		t.Fatalf("flaps left no suspect/clear trace: %+v", st)
+	}
+	f.Stop()
+	s.RunFor(100 * time.Microsecond)
+	if err := f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Coord.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

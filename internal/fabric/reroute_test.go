@@ -1,0 +1,73 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestRerouteScenarioModes drives the fig-reroute scenario end to end
+// for each failure mode at 2×2 and asserts the full arc: steady
+// pre-failure goodput, detection + exclude-reroute after the failure,
+// goodput recovery to ≥90% of the pre-failure rate while the failure
+// is still in place, and a clean restore after the heal.
+func TestRerouteScenarioModes(t *testing.T) {
+	for i, mode := range []RerouteMode{ModeLinkDown, ModeGray, ModeCrash} {
+		mode := mode
+		i := i
+		t.Run(string(mode), func(t *testing.T) {
+			s := sim.New(40 + int64(i))
+			r, err := NewRerouteFabric(s, RerouteFabricConfig{
+				Fabric: Config{Leaves: 2, Spines: 2, Seed: 40 + int64(i)},
+				Mode:   mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Run(time.Millisecond, 2*time.Millisecond, 2*time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+
+			pre := r.Goodput(r.FailAt-sim.Time(800*time.Microsecond), r.FailAt)
+			if pre <= 0 {
+				t.Fatal("no pre-failure goodput")
+			}
+
+			first, lastDone, moves, ok := r.RerouteSpan(true, r.FailAt)
+			if !ok || moves == 0 {
+				t.Fatalf("exclude reroute: first=%v lastDone=%v moves=%d ok=%v",
+					first, lastDone, moves, ok)
+			}
+			if first < r.FailAt {
+				t.Fatalf("exclude reroute at %v predates the failure at %v", first, r.FailAt)
+			}
+			if lastDone < first {
+				t.Fatalf("reroute commit %v before trigger %v", lastDone, first)
+			}
+
+			rec := r.RecoveredAt(r.FailAt, r.HealAt, pre, 0.9)
+			if rec == 0 {
+				t.Fatalf("goodput never recovered to 90%% of %.0f bps during the failure", pre)
+			}
+
+			// Steady state under failure: the back half of the fail window
+			// must hold ≥90% of the pre-failure rate.
+			mid := r.FailAt + (r.HealAt-r.FailAt)/2
+			if under := r.Goodput(mid, r.HealAt); under < 0.9*pre {
+				t.Fatalf("steady goodput under failure %.0f < 90%% of pre %.0f", under, pre)
+			}
+
+			hFirst, hDone, hMoves, hOK := r.RerouteSpan(false, r.HealAt)
+			if !hOK || hMoves == 0 {
+				t.Fatalf("restore reroute: first=%v lastDone=%v moves=%d ok=%v",
+					hFirst, hDone, hMoves, hOK)
+			}
+			for sp := range r.F.Spines {
+				if h := r.F.Coord.Health(sp); h.State != SpineHealthy {
+					t.Fatalf("spine %d ends %v, want healthy", sp, h.State)
+				}
+			}
+		})
+	}
+}

@@ -33,6 +33,10 @@ type Link struct {
 	// forced is the manual partition override (SetPartitioned), OR-ed
 	// with the profile's periodic windows.
 	forced bool
+	// peerDown[side] marks that side's endpoint dead (crashed process,
+	// not a cut wire): messages toward it vanish, and transports can ask
+	// PeerDown to tell "peer crashed" from "link partitioned".
+	peerDown [2]bool
 
 	stats LinkStats
 }
@@ -59,6 +63,9 @@ type LinkStats struct {
 	Duplicated uint64
 	// Reordered counts messages held back by the reorder delay.
 	Reordered uint64
+	// PeerDownDrops counts messages dropped because the destination
+	// endpoint was marked dead (SetPeerDown), at send or arrival time.
+	PeerDownDrops uint64
 }
 
 // NewLink creates a message link with the given one-way base delay and
@@ -109,6 +116,15 @@ func (l *Link) Partitioned() bool {
 	return l.forced || l.prof.Partitioned(l.sim.Now())
 }
 
+// SetPeerDown marks one side's endpoint dead or alive. While a side is
+// down, messages destined for it are dropped (at send and at arrival,
+// so in-flight messages die too) — the wire itself stays up, which is
+// what distinguishes a crashed peer from a partition.
+func (l *Link) SetPeerDown(side int, down bool) { l.peerDown[side] = down }
+
+// PeerDown reports whether side's endpoint is marked dead.
+func (l *Link) PeerDown(side int) bool { return l.peerDown[side] }
+
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
@@ -118,6 +134,10 @@ func (l *Link) Stats() LinkStats { return l.stats }
 // legal and travel like any other.
 func (l *Link) Send(from int, msg []byte) {
 	l.stats.Sent++
+	if l.peerDown[1-from] {
+		l.stats.PeerDownDrops++
+		return
+	}
 	if l.Partitioned() {
 		l.stats.PartitionDrops++
 		return
@@ -150,6 +170,10 @@ func (l *Link) Send(from int, msg []byte) {
 // arrive completes one delivery attempt: a message landing inside a
 // partition window dies with it.
 func (l *Link) arrive(to int, msg []byte) {
+	if l.peerDown[to] {
+		l.stats.PeerDownDrops++
+		return
+	}
 	if l.Partitioned() {
 		l.stats.PartitionDrops++
 		return

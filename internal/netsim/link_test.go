@@ -129,6 +129,44 @@ func TestLinkPartitionEdges(t *testing.T) {
 	}
 }
 
+// TestLinkPeerDown pins the dead-endpoint mode: messages toward a down
+// side die at send time, in-flight messages die at arrival, traffic the
+// other way is untouched, and the wire itself never reports partitioned.
+func TestLinkPeerDown(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, 10*time.Microsecond, faults.LinkNone(), 1)
+	var toB, toA int
+	l.SetRecv(LinkSideB, func([]byte) { toB++ })
+	l.SetRecv(LinkSideA, func([]byte) { toA++ })
+
+	// In flight toward B when B dies at t=5µs: dies at arrival.
+	l.Send(LinkSideA, []byte{1})
+	s.Schedule(5*time.Microsecond, func() { l.SetPeerDown(LinkSideB, true) })
+	// Sent toward the dead B: dies at send.
+	s.Schedule(20*time.Microsecond, func() { l.Send(LinkSideA, []byte{2}) })
+	// The reverse direction still works — B's process is dead but A's is
+	// not, and in this model a dead side going quiet is the transport's
+	// job, not the wire's; the wire only kills what lands on the corpse.
+	s.Schedule(20*time.Microsecond, func() { l.Send(LinkSideB, []byte{3}) })
+	s.Schedule(40*time.Microsecond, func() {
+		if l.Partitioned() {
+			t.Error("peer-down must not read as a partition")
+		}
+		if !l.PeerDown(LinkSideB) || l.PeerDown(LinkSideA) {
+			t.Error("PeerDown sides wrong")
+		}
+		l.SetPeerDown(LinkSideB, false)
+		l.Send(LinkSideA, []byte{4})
+	})
+	s.RunFor(100 * time.Microsecond)
+	if toB != 1 || toA != 1 {
+		t.Fatalf("delivered toB=%d toA=%d, want 1 and 1", toB, toA)
+	}
+	if st := l.Stats(); st.PeerDownDrops != 2 || st.PartitionDrops != 0 {
+		t.Fatalf("stats = %+v, want 2 peer-down drops, no partition drops", st)
+	}
+}
+
 func TestLinkMaxDelayBoundsArrivals(t *testing.T) {
 	s := sim.New(1)
 	prof := faults.LinkProfile{

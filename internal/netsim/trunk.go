@@ -42,6 +42,14 @@ type Trunk struct {
 
 	// forced cuts the trunk in both directions regardless of profile.
 	forced bool
+	// admin is an administrative down — the "link pulled" failure mode,
+	// distinct from a transient partition so drop accounting can tell
+	// operator action from fault-profile behavior.
+	admin bool
+	// grayRate is the silent partial-drop probability of a gray link
+	// (0 = healthy). It composes with the profile's Loss: a packet must
+	// survive both draws to cross.
+	grayRate float64
 
 	ends  [2]trunkEnd
 	stats [2]TrunkStats
@@ -67,6 +75,12 @@ type TrunkStats struct {
 	Delivered      uint64
 	Lost           uint64
 	PartitionDrops uint64
+	// AdminDownDrops counts packets dropped while the trunk was
+	// administratively down (SetAdminDown); GrayDrops those silently
+	// eaten by a gray link (SetGray). Lost stays profile-loss only, so
+	// the three drop reasons are separable in reports.
+	AdminDownDrops uint64
+	GrayDrops      uint64
 }
 
 // ConnectTrunk joins a's portA to b's portB over a bidirectional trunk
@@ -115,11 +129,45 @@ func (t *Trunk) Delay() time.Duration { return t.delay }
 // SetPartitioned forces the trunk down (both directions) or restores it.
 func (t *Trunk) SetPartitioned(down bool) { t.forced = down }
 
+// SetAdminDown takes the trunk administratively down (both directions)
+// or brings it back up. Unlike SetPartitioned it is accounted as its
+// own drop reason — the injected-failure counterpart of a partition.
+func (t *Trunk) SetAdminDown(down bool) { t.admin = down }
+
+// AdminDown reports whether the trunk is administratively down.
+func (t *Trunk) AdminDown() bool { return t.admin }
+
+// SetGray turns the trunk gray: every packet in either direction is
+// silently dropped with probability rate, on top of (and independent
+// of) the profile's Loss. rate <= 0 restores a healthy link; rate is
+// clamped to [0, 1]. Gray drops draw from the trunk's own fault RNG,
+// so schedules replay deterministically per (seed, rate) history.
+func (t *Trunk) SetGray(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	t.grayRate = rate
+}
+
+// GrayRate returns the current gray drop probability (0 = healthy).
+func (t *Trunk) GrayRate() float64 { return t.grayRate }
+
 // Stats returns the counters for the direction sending from side.
 func (t *Trunk) Stats(side int) TrunkStats { return t.stats[side] }
 
 // End returns the (network, port) of side.
 func (t *Trunk) End(side int) (*Network, int) { return t.ends[side].net, t.ends[side].port }
+
+// Inject transmits pkt from side as if the local switch had routed it
+// out the trunk port — the hook for link-level probe traffic (BFD-style
+// liveness heartbeats emitted by the port hardware rather than the
+// forwarding pipeline). The packet must already be in side's schema; it
+// rides the same fault path as routed traffic, so probes see exactly
+// the drops data packets would.
+func (t *Trunk) Inject(side int, pkt *packet.Packet) { t.send(side, pkt) }
 
 // send carries pkt from side toward its peer, applying the fault
 // profile. Called from the sending switch's Tx path.
@@ -127,8 +175,16 @@ func (t *Trunk) send(side int, pkt *packet.Packet) {
 	st := &t.stats[side]
 	st.Sent++
 	now := t.sim.Now()
+	if t.admin {
+		st.AdminDownDrops++
+		return
+	}
 	if t.forced || t.prof.Partitioned(now) {
 		st.PartitionDrops++
+		return
+	}
+	if t.grayRate > 0 && t.rng.Float64() < t.grayRate {
+		st.GrayDrops++
 		return
 	}
 	if t.prof.Loss > 0 && t.rng.Float64() < t.prof.Loss {

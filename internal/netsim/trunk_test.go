@@ -164,6 +164,86 @@ func TestChainFIFOPerLink(t *testing.T) {
 	}
 }
 
+// TestTrunkAdminDown pins the administrative down/up cycle: packets
+// sent while the trunk is down are counted as AdminDownDrops (not Lost
+// or PartitionDrops), and delivery resumes after SetAdminDown(false).
+func TestTrunkAdminDown(t *testing.T) {
+	r := buildChain(t, []time.Duration{5 * time.Microsecond},
+		[]faults.LinkProfile{faults.LinkNone()})
+	delivered := 0
+	r.b.Rx = func(pkt *packet.Packet) { delivered++ }
+
+	r.trunks[0].SetAdminDown(true)
+	if !r.trunks[0].AdminDown() {
+		t.Fatal("AdminDown() = false after SetAdminDown(true)")
+	}
+	const down = 10
+	for i := uint64(1); i <= down; i++ {
+		r.sendSeq(i)
+	}
+	r.sim.RunFor(time.Millisecond)
+	st := r.trunks[0].Stats(0)
+	if st.AdminDownDrops != down || st.Lost != 0 || st.PartitionDrops != 0 || delivered != 0 {
+		t.Fatalf("down window: stats %+v delivered %d, want %d admin drops only", st, delivered, down)
+	}
+
+	r.trunks[0].SetAdminDown(false)
+	const up = 5
+	for i := uint64(1); i <= up; i++ {
+		r.sendSeq(i)
+	}
+	r.sim.RunFor(time.Millisecond)
+	st = r.trunks[0].Stats(0)
+	if st.AdminDownDrops != down || st.Delivered != up || delivered != up {
+		t.Fatalf("after restore: stats %+v delivered %d, want %d delivered", st, delivered, up)
+	}
+}
+
+// TestTrunkGrayComposesWithLoss pins gray-mode accounting: gray drops
+// are partial, counted separately from profile loss, and SetGray(0)
+// heals the link completely.
+func TestTrunkGrayComposesWithLoss(t *testing.T) {
+	lossy := faults.LinkProfile{Name: "lossy", Loss: 0.2}
+	r := buildChain(t, []time.Duration{5 * time.Microsecond},
+		[]faults.LinkProfile{lossy})
+	delivered := 0
+	r.b.Rx = func(pkt *packet.Packet) { delivered++ }
+
+	r.trunks[0].SetGray(0.5)
+	const n = 400
+	for i := uint64(1); i <= n; i++ {
+		r.sendSeq(i)
+	}
+	r.sim.RunFor(10 * time.Millisecond)
+	st := r.trunks[0].Stats(0)
+	if st.GrayDrops == 0 || st.GrayDrops == n {
+		t.Fatalf("GrayDrops = %d of %d, want partial silent drop", st.GrayDrops, n)
+	}
+	if st.Lost == 0 {
+		t.Fatalf("Lost = 0, want profile loss composing with gray (stats %+v)", st)
+	}
+	if got := st.GrayDrops + st.Lost + st.Delivered; got != n {
+		t.Fatalf("drop reasons don't partition sends: %d+%d+%d = %d, want %d",
+			st.GrayDrops, st.Lost, st.Delivered, got, n)
+	}
+	// Gray rate ~0.5 of sends: bound it loosely to catch the rate being
+	// applied to the wrong population.
+	if st.GrayDrops < n/4 || st.GrayDrops > 3*n/4 {
+		t.Fatalf("GrayDrops = %d of %d, want ~%d at rate 0.5", st.GrayDrops, n, n/2)
+	}
+
+	// Heal: no further gray drops.
+	r.trunks[0].SetGray(0)
+	before := st.GrayDrops
+	for i := uint64(1); i <= 100; i++ {
+		r.sendSeq(i)
+	}
+	r.sim.RunFor(10 * time.Millisecond)
+	if st = r.trunks[0].Stats(0); st.GrayDrops != before {
+		t.Fatalf("GrayDrops grew after heal: %d -> %d", before, st.GrayDrops)
+	}
+}
+
 // TestChainLossIsolation pins that a lossy profile on one trunk leaves
 // the other trunk untouched: traffic entering past the lossy hop is
 // delivered in full, and everything surviving the lossy hop crosses the

@@ -57,6 +57,38 @@ control ingress {
 }
 `
 
+// GrayAddressing places the heartbeat sources of the gray-failure
+// scenario onto a switch's ports — the use case #2 counterpart of
+// DosAddressing, so a fabric can instantiate the detector per-leaf
+// with its own address plan instead of copy-pasting the scenario body.
+type GrayAddressing struct {
+	// NeighborAddr is the heartbeat source address on monitored-port
+	// index i.
+	NeighborAddr func(i int) uint32
+	// HeartbeatDst is the destination stamped on heartbeats — an address
+	// the route table never resolves, so heartbeats die in the switch
+	// after being counted.
+	HeartbeatDst uint32
+}
+
+// DefaultGrayAddressing is the single-switch Fig. 16 layout.
+func DefaultGrayAddressing() GrayAddressing {
+	return GrayAddressing{
+		NeighborAddr: func(i int) uint32 { return uint32(0x0A00FF00 + i) },
+		HeartbeatDst: 0xFFFFFFFF,
+	}
+}
+
+func (ad *GrayAddressing) setDefaults() {
+	def := DefaultGrayAddressing()
+	if ad.NeighborAddr == nil {
+		ad.NeighborAddr = def.NeighborAddr
+	}
+	if ad.HeartbeatDst == 0 {
+		ad.HeartbeatDst = def.HeartbeatDst
+	}
+}
+
 // GrayConfig parameterizes the detector (§8.3.2).
 type GrayConfig struct {
 	// Ts is the heartbeat generation period at the neighbors.
@@ -70,6 +102,45 @@ type GrayConfig struct {
 	ConsecutiveStrikes int
 	// Monitored lists the ports carrying heartbeats.
 	Monitored []int
+
+	// Addr places the heartbeat sources (zero value: the single-switch
+	// Fig. 16 constants).
+	Addr GrayAddressing
+
+	// Event, when set, is emitted via the agent's event sink at each
+	// detection with Key = the failed port; ClearEvent likewise when a
+	// failed port recovers. Unset (the Fig. 16 default) emits nothing.
+	Event      string
+	ClearEvent string
+	// RecoverStrikes, when > 0, unlatches a failed port after that many
+	// consecutive healthy windows: local routes move back to their
+	// primaries and ClearEvent fires. 0 (the Fig. 16 default) latches
+	// failures forever.
+	RecoverStrikes int
+	// HealEta is the delivery expectation a window must meet to count
+	// toward recovery (default: Eta). Setting it above Eta gives the
+	// latch hysteresis: a 30% gray link clears the detection threshold
+	// often enough to flap a symmetric latch, but almost never clears a
+	// near-full delivery bar, so heal evidence stays trustworthy.
+	HealEta float64
+	// MaxTd, when > 0, discards measurement windows longer than MaxTd:
+	// a degraded control channel stretches the dialogue (and dedup-
+	// cached responses carry counts executed long before the reply is
+	// processed), so the count window and the time window no longer
+	// line up and the sample says nothing about the link. Counts still
+	// roll forward; strike and heal evidence is just not taken from the
+	// oversized window. 0 (the Fig. 16 default) judges every window.
+	MaxTd time.Duration
+	// SkipWindow, when set, is consulted once per dialogue; a true
+	// return discards that window's evidence the same way an oversized
+	// window is — counts roll forward, no strike or heal is taken. The
+	// fabric wires it to "the agent's control channel retransmitted or
+	// timed out since the last poll": exactly the windows whose dedup-
+	// cached register reads can be stale.
+	SkipWindow func() bool
+	// Sink, when set, is wired as the BuildGray agent's EventSink so
+	// Event/ClearEvent emissions land somewhere observable.
+	Sink func(core.Event)
 }
 
 // DefaultGrayConfig matches the paper's tests (T_s = 1 µs).
@@ -93,13 +164,22 @@ type GrayDetector struct {
 	lastCounts []uint64
 	lastPoll   sim.Time
 	strikes    map[int]int
-	handles    map[uint32]core.UserHandle
+	// seen gates striking: a port is only judged once it has delivered
+	// at least one heartbeat, so a neighbor that has not come up yet
+	// (fabric prologues finish at different times) is not declared
+	// failed before it ever spoke.
+	seen    map[int]bool
+	heals   map[int]int
+	handles map[uint32]core.UserHandle
 
 	// FailedPorts maps detected ports to detection time.
 	FailedPorts map[int]sim.Time
 	// ReroutedAt is when replacement routes were staged (commit follows
 	// within the same iteration).
 	ReroutedAt sim.Time
+	// RecoveredAt maps ports that healed (RecoverStrikes > 0) to the
+	// recovery time of their most recent heal.
+	RecoveredAt map[int]sim.Time
 }
 
 // NewGrayDetector builds the detector for the given managed routes.
@@ -108,8 +188,11 @@ func NewGrayDetector(cfg GrayConfig, routes []RouteSpec) *GrayDetector {
 		cfg: cfg, routes: routes,
 		lastCounts:  make([]uint64, 32),
 		strikes:     make(map[int]int),
+		seen:        make(map[int]bool),
+		heals:       make(map[int]int),
 		handles:     make(map[uint32]core.UserHandle),
 		FailedPorts: make(map[int]sim.Time),
+		RecoveredAt: make(map[int]sim.Time),
 	}
 }
 
@@ -145,12 +228,54 @@ func (g *GrayDetector) React(ctx *core.Ctx) error {
 	g.lastPoll = now
 	// delta = floor(eta * Td / Ts), the expected-heartbeat threshold.
 	expected := uint64(g.cfg.Eta * float64(td) / float64(g.cfg.Ts))
+	healEta := g.cfg.HealEta
+	if healEta <= 0 {
+		healEta = g.cfg.Eta
+	}
+	healExpected := uint64(healEta * float64(td) / float64(g.cfg.Ts))
+	measurable := g.cfg.MaxTd <= 0 || td <= g.cfg.MaxTd
+	// SkipWindow runs every window regardless, so delta-based hooks keep
+	// their baseline current.
+	if g.cfg.SkipWindow != nil && g.cfg.SkipWindow() {
+		measurable = false
+	}
 	for _, port := range g.cfg.Monitored {
-		if _, failed := g.FailedPorts[port]; failed {
-			continue
-		}
 		got := counts[port] - g.lastCounts[port]
 		g.lastCounts[port] = counts[port]
+		if got > 0 {
+			g.seen[port] = true
+		}
+		if !measurable {
+			continue
+		}
+		if _, failed := g.FailedPorts[port]; failed {
+			if g.cfg.RecoverStrikes <= 0 {
+				continue
+			}
+			// Heal watch: enough consecutive healthy windows unlatch.
+			if got >= healExpected && healExpected > 0 {
+				g.heals[port]++
+			} else {
+				g.heals[port] = 0
+			}
+			if g.heals[port] < g.cfg.RecoverStrikes {
+				continue
+			}
+			delete(g.FailedPorts, port)
+			g.heals[port] = 0
+			g.strikes[port] = 0
+			g.RecoveredAt[port] = now
+			if err := g.restore(ctx, port); err != nil {
+				return err
+			}
+			if g.cfg.ClearEvent != "" {
+				ctx.Emit(g.cfg.ClearEvent, uint64(port), got)
+			}
+			continue
+		}
+		if !g.seen[port] {
+			continue
+		}
 		if got < expected {
 			g.strikes[port]++
 		} else {
@@ -160,16 +285,26 @@ func (g *GrayDetector) React(ctx *core.Ctx) error {
 			continue
 		}
 		g.FailedPorts[port] = now
+		g.heals[port] = 0
 		if err := g.reroute(ctx, port); err != nil {
 			return err
+		}
+		if g.cfg.Event != "" {
+			ctx.Emit(g.cfg.Event, uint64(port), got)
 		}
 	}
 	return nil
 }
 
 // reroute recomputes routes away from a failed port: every destination
-// whose primary is the failed port moves to its backup.
+// whose primary is the failed port moves to its backup. With no managed
+// routes (fabric leaves delegate rerouting to the coordinator) only the
+// detection timestamp is taken.
 func (g *GrayDetector) reroute(ctx *core.Ctx, failed int) error {
+	if len(g.routes) == 0 {
+		g.ReroutedAt = ctx.Now()
+		return nil
+	}
 	tbl, err := ctx.Table("route")
 	if err != nil {
 		return err
@@ -183,6 +318,27 @@ func (g *GrayDetector) reroute(ctx *core.Ctx, failed int) error {
 		}
 	}
 	g.ReroutedAt = ctx.Now()
+	return nil
+}
+
+// restore moves destinations whose primary was the healed port back
+// from their backups.
+func (g *GrayDetector) restore(ctx *core.Ctx, healed int) error {
+	if len(g.routes) == 0 {
+		return nil
+	}
+	tbl, err := ctx.Table("route")
+	if err != nil {
+		return err
+	}
+	for _, r := range g.routes {
+		if r.Primary != healed {
+			continue
+		}
+		if err := tbl.ModifyEntry(g.handles[r.Dst], "route_pkt", []uint64{uint64(r.Primary)}); err != nil {
+			return fmt.Errorf("gray: restore %#x: %w", r.Dst, err)
+		}
+	}
 	return nil
 }
 
@@ -203,6 +359,7 @@ type GrayRig struct {
 // monitored ports, managed routes, and the detection reaction. td sets
 // the dialogue pacing (the measurement window T_d).
 func BuildGray(seed int64, cfg GrayConfig, routes []RouteSpec, td time.Duration) (*GrayRig, error) {
+	cfg.Addr.setDefaults()
 	plan, err := compiler.CompileSource(GrayP4R, compiler.DefaultOptions())
 	if err != nil {
 		return nil, err
@@ -215,7 +372,8 @@ func BuildGray(seed int64, cfg GrayConfig, routes []RouteSpec, td time.Duration)
 	drv := driver.New(s, sw, driver.DefaultCostModel())
 	det := NewGrayDetector(cfg, routes)
 	agent := core.NewAgent(s, drv, plan, core.Options{
-		Pacing: td,
+		Pacing:    td,
+		EventSink: cfg.Sink,
 		Prologue: func(p *sim.Proc, a *core.Agent) error {
 			// Heartbeats: protocol 0xFD hits hb_tbl.
 			if _, err := drv.AddEntry(p, "hb_tbl", rmt.Entry{
@@ -235,8 +393,8 @@ func BuildGray(seed int64, cfg GrayConfig, routes []RouteSpec, td time.Duration)
 		Detector: det, Heartbeaters: make(map[int]*netsim.Heartbeater),
 	}
 	for i, port := range cfg.Monitored {
-		h := net.AddHost(port, uint32(0x0A00FF00+i))
-		hb := netsim.NewHeartbeater(h, plan.Prog.Schema, FM, 0xFFFFFFFF, cfg.Ts)
+		h := net.AddHost(port, cfg.Addr.NeighborAddr(i))
+		hb := netsim.NewHeartbeater(h, plan.Prog.Schema, FM, cfg.Addr.HeartbeatDst, cfg.Ts)
 		rig.Heartbeaters[port] = hb
 	}
 	return rig, nil

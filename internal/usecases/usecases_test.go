@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -125,6 +126,72 @@ func TestFig16EtaRobustness(t *testing.T) {
 		}
 		if !res.Detected || res.FalsePositives != 0 {
 			t.Fatalf("eta=%v: detected=%v fps=%d", eta, res.Detected, res.FalsePositives)
+		}
+	}
+}
+
+// TestGrayHealUnlatchesAndEmits pins the fabric-facing detector hooks:
+// with RecoverStrikes set, a gray port that starts delivering again is
+// unlatched (routes restored, RecoveredAt stamped), and Event/
+// ClearEvent fire with Key = port through the agent's event sink.
+func TestGrayHealUnlatchesAndEmits(t *testing.T) {
+	ports := []int{2, 3}
+	cfg := DefaultGrayConfig(ports)
+	cfg.Event, cfg.ClearEvent = "gray.suspect", "gray.clear"
+	cfg.RecoverStrikes = 2
+	var events []core.Event
+	cfg.Sink = func(ev core.Event) { events = append(events, ev) }
+	routes := []RouteSpec{{Dst: 0xC0A80001, Primary: 3, Backup: 31}}
+	rig, err := BuildGray(1, cfg, routes, 30*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hb := range rig.Heartbeaters {
+		hb.Start()
+	}
+	rig.Agent.Start()
+	rig.Sim.RunFor(300 * time.Microsecond)
+	rig.Heartbeaters[3].Enabled = false
+	rig.Sim.RunFor(500 * time.Microsecond)
+	if _, failed := rig.Detector.FailedPorts[3]; !failed {
+		t.Fatal("port 3 not detected while silent")
+	}
+	rig.Heartbeaters[3].Enabled = true
+	rig.Sim.RunFor(500 * time.Microsecond)
+	rig.Agent.Stop()
+	rig.Sim.RunFor(time.Millisecond)
+	if err := rig.Agent.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := rig.Detector.FailedPorts[3]; failed {
+		t.Fatal("port 3 still latched failed after heal")
+	}
+	if rig.Detector.RecoveredAt[3] == 0 {
+		t.Fatal("RecoveredAt not stamped")
+	}
+	var suspects, clears int
+	for _, ev := range events {
+		switch ev.Kind {
+		case "gray.suspect":
+			suspects++
+		case "gray.clear":
+			clears++
+		}
+		if ev.Key != 3 {
+			t.Fatalf("event %s on port %d, want 3", ev.Kind, ev.Key)
+		}
+	}
+	if suspects != 1 || clears != 1 {
+		t.Fatalf("events: %d suspects, %d clears, want 1 and 1 (%+v)", suspects, clears, events)
+	}
+	// The managed route must be back on its primary.
+	ents, err := rig.Sw.Entries("route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Keys[0].Value == 0xC0A80001 && (e.Action != "route_pkt" || e.Data[0] != 3) {
+			t.Fatalf("route not restored to primary: %+v", e)
 		}
 	}
 }
