@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig12x,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations,faults,fig-takeover,fig-ctlchan,fig-fabric,fig-reroute")
+	run := flag.String("run", "all", "comma-separated experiments: fig10a,fig10b,fig11,fig12,fig12x,fig13,table1,fig14,fig15,fig16,recirc,freshness,ablations,faults,fig-takeover,fig-ctlchan,fig-fabric,fig-reroute,fig-place")
 	scale := flag.Float64("scale", 0.05, "fig14 trace scale relative to one full CAIDA block (8.9M packets)")
 	trials := flag.Int("trials", 5, "fig16 trials per parameter point")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulation trials in flight at once (1 = serial; results are identical at any value)")
@@ -206,6 +206,19 @@ func main() {
 			return "", nil, err
 		}
 		return experiments.FormatReroute(res), res, nil
+	})
+	stepNamed("fig-place", "place", func() (string, any, error) {
+		res, err := experiments.RunPlacement()
+		if err != nil {
+			return "", nil, err
+		}
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "PLACEMENT_fabric_leaf.txt")
+			if err := os.WriteFile(path, []byte(res.LeafReport), 0o644); err != nil {
+				return "", nil, err
+			}
+		}
+		return experiments.FormatPlacement(res), res, nil
 	})
 
 	if failed {

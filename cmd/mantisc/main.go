@@ -5,154 +5,180 @@
 //
 // Usage:
 //
-//	mantisc [-o out.p4] [-plan] [-check] [-Werror] program.p4r
+//	mantisc [-o out.p4] [-plan] [-check] [-Werror] [-target profile] [-report] program.p4r
 //
-// With -check, mantisc parses and runs the semantic analyzer only,
-// printing every diagnostic (code, position, hint) without generating
-// code; the exit status is 1 if any error-severity diagnostic (or, with
-// -Werror, any diagnostic at all) was reported.
+// With -check, mantisc runs the full analysis pipeline (semantic
+// analyzer, and — unless -target none — lowering plus the RMT placement
+// pass) printing every diagnostic without generating code. -target
+// selects the switch profile the placement pass charges the program
+// against (a built-in name like generic-16stage/tofino-like/mini, or a
+// JSON profile file); -report prints the placement stage map with
+// per-stage utilization to stdout.
+//
+// Both the -check and full compile paths end with a one-line summary
+// "path: N errors, M warnings" on stderr, and exit non-zero iff N > 0.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/compiler"
-	"repro/internal/p4r"
-	"repro/internal/p4r/analysis"
+	"repro/internal/compiler/place"
 	"repro/internal/p4r/diag"
 )
 
 func main() {
-	out := flag.String("o", "", "write generated P4 to this file (default stdout)")
-	showPlan := flag.Bool("plan", true, "print the reaction plan summary to stderr")
-	maxInitBits := flag.Int("max-init-bits", 512, "platform limit on init-action parameter bits")
-	checkOnly := flag.Bool("check", false, "run the semantic analyzer only; report diagnostics, generate nothing")
-	werror := flag.Bool("Werror", false, "treat analyzer warnings as errors")
-	flag.Parse()
-
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mantisc [-o out.p4] [-check] [-Werror] program.p4r")
-		os.Exit(2)
-	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	opts := compiler.DefaultOptions()
-	opts.ProgramName = flag.Arg(0)
-	opts.MaxInitActionBits = *maxInitBits
-	opts.Werror = *werror
-
-	if *checkOnly {
-		os.Exit(check(flag.Arg(0), string(src), opts))
-	}
-
-	plan, err := compiler.CompileSource(string(src), opts)
-	if err != nil {
-		printDiags(flag.Arg(0), err)
-		os.Exit(1)
-	}
-	// Surface analyzer warnings even on a successful compile.
-	if plan.Diags != nil {
-		for _, d := range plan.Diags.Warnings() {
-			fmt.Fprintf(os.Stderr, "%s: %s\n", flag.Arg(0), d.Error())
-		}
-	}
-
-	generated := plan.Prog.Print()
-	if *out == "" {
-		fmt.Print(generated)
-	} else if err := os.WriteFile(*out, []byte(generated), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	if *showPlan {
-		w := os.Stderr
-		fmt.Fprintf(w, "-- reaction plan --\n")
-		fmt.Fprintf(w, "source: %d LoC -> generated P4: %d LoC\n", plan.SourceLines, plan.Prog.LineCount())
-		fmt.Fprintf(w, "version bits: vv=%v mv=%v\n", plan.UsesVV, plan.UsesMV)
-		for i, it := range plan.InitTables {
-			role := "shadowed"
-			if it.Master {
-				role = "master"
-			}
-			fmt.Fprintf(w, "init table %d: %s (%s, %d params)\n", i, it.Table, role, len(it.Params))
-		}
-		var names []string
-		for name := range plan.MblValues {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			mv := plan.MblValues[name]
-			fmt.Fprintf(w, "malleable value %s: width %d init %d -> %s\n", name, mv.Width, mv.Init, mv.MetaField)
-		}
-		names = names[:0]
-		for name := range plan.MblFields {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			mf := plan.MblFields[name]
-			fmt.Fprintf(w, "malleable field %s: alts %v selector %s\n", name, mf.Alts, mf.Selector)
-		}
-		names = names[:0]
-		for name := range plan.MblTables {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			ti := plan.MblTables[name]
-			fmt.Fprintf(w, "malleable table %s: %d generated key columns (vv col %d)\n", name, ti.GenKeyCount, ti.VVCol)
-		}
-		for _, rxn := range plan.Reactions {
-			fmt.Fprintf(w, "reaction %s: %d ing slots, %d egr slots, %d register params, %d malleable params\n",
-				rxn.Name, len(rxn.IngSlots), len(rxn.EgrSlots), len(rxn.RegParams), len(rxn.MblParams))
-		}
-		res := plan.Prog.EstimateResources(nil)
-		fmt.Fprintf(w, "resources: %d stages, %d tables, %d registers, SRAM %dKb, TCAM %dKb, metadata %db\n",
-			res.Stages, res.NumTables, res.NumRegisters, res.SRAMBits/1024, res.TCAMBits/1024, res.MetadataBits)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// check runs analyze-only mode and returns the process exit code.
-func check(path, src string, opts compiler.Options) int {
-	f, err := p4r.Parse(src)
+// run is main with its streams and exit code lifted out for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mantisc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write generated P4 to this file (default stdout)")
+	showPlan := fs.Bool("plan", true, "print the reaction plan summary to stderr")
+	maxInitBits := fs.Int("max-init-bits", 512, "platform limit on init-action parameter bits")
+	checkOnly := fs.Bool("check", false, "analyze and place only; report diagnostics, generate nothing")
+	werror := fs.Bool("Werror", false, "treat warnings as errors")
+	target := fs.String("target", place.DefaultTarget,
+		"switch profile for the RMT placement pass: a built-in name, a .json profile file, or \"none\" to skip placement")
+	report := fs.Bool("report", false, "print the placement stage map and per-stage utilization to stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mantisc [-o out.p4] [-check] [-Werror] [-target profile] [-report] program.p4r")
+		return 2
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
 	if err != nil {
-		printDiags(path, err)
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	opts := compiler.DefaultOptions()
+	opts.ProgramName = path
+	opts.MaxInitActionBits = *maxInitBits
+	opts.Werror = *werror
+	if *target != "" && *target != "none" {
+		opts.Target = *target
+	}
+	if *report && opts.Target == "" {
+		fmt.Fprintln(stderr, "mantisc: -report needs a placement target (drop -target none)")
+		return 2
+	}
+
+	plan, cerr := compiler.CompileSource(string(src), opts)
+	// Render every diagnostic: the error side (which may be a structured
+	// list) plus warnings that survived a successful compile.
+	errs, warns := printDiags(stderr, path, cerr)
+	if plan != nil && cerr == nil && plan.Diags != nil {
+		for _, d := range plan.Diags.Warnings() {
+			fmt.Fprintf(stderr, "%s: %s\n", path, d.Error())
+			warns++
+		}
+	}
+
+	// A placement report is printed even when placement failed — the
+	// stage map (with its overflow rows) is how you see why.
+	if *report && plan != nil && plan.Placement != nil {
+		fmt.Fprint(stdout, plan.Placement.Report())
+	}
+
+	if cerr == nil && !*checkOnly {
+		generated := plan.Prog.Print()
+		if *out == "" {
+			fmt.Fprint(stdout, generated)
+		} else if werr := os.WriteFile(*out, []byte(generated), 0o644); werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 2
+		}
+		if *showPlan {
+			printPlan(stderr, plan)
+		}
+	}
+
+	fmt.Fprintf(stderr, "%s: %d errors, %d warnings\n", path, errs, warns)
+	if errs > 0 {
 		return 1
 	}
-	diags := analysis.Analyze(f, analysis.Limits{
-		MaxInitActionBits: opts.MaxInitActionBits,
-		MeasSlotBits:      opts.MeasSlotBits,
-		MaxTableEntries:   opts.MaxTableEntries,
-	})
-	if opts.Werror {
-		diags.Promote()
-	}
-	for _, d := range diags.Diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", path, d.Error())
-	}
-	if diags.HasErrors() {
-		return 1
-	}
-	fmt.Fprintf(os.Stderr, "%s: ok (%d warnings)\n", path, len(diags.Warnings()))
 	return 0
 }
 
-// printDiags renders a compile error, unpacking diagnostic lists so each
-// finding gets its own prefixed line.
-func printDiags(path string, err error) {
+// printDiags renders a compile error, unpacking diagnostic lists so
+// each finding gets its own prefixed line, and returns the error and
+// warning counts.
+func printDiags(stderr io.Writer, path string, err error) (errs, warns int) {
+	if err == nil {
+		return 0, 0
+	}
 	if l, ok := err.(*diag.List); ok {
 		for _, d := range l.Diags {
-			fmt.Fprintf(os.Stderr, "%s: %s\n", path, d.Error())
+			fmt.Fprintf(stderr, "%s: %s\n", path, d.Error())
+			if d.Severity == diag.Error {
+				errs++
+			} else {
+				warns++
+			}
 		}
-		return
+		return errs, warns
 	}
-	fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+	fmt.Fprintf(stderr, "%s: %v\n", path, err)
+	return 1, 0
+}
+
+// printPlan writes the reaction-plan summary.
+func printPlan(w io.Writer, plan *compiler.Plan) {
+	fmt.Fprintf(w, "-- reaction plan --\n")
+	fmt.Fprintf(w, "source: %d LoC -> generated P4: %d LoC\n", plan.SourceLines, plan.Prog.LineCount())
+	fmt.Fprintf(w, "version bits: vv=%v mv=%v\n", plan.UsesVV, plan.UsesMV)
+	for i, it := range plan.InitTables {
+		role := "shadowed"
+		if it.Master {
+			role = "master"
+		}
+		fmt.Fprintf(w, "init table %d: %s (%s, %d params)\n", i, it.Table, role, len(it.Params))
+	}
+	var names []string
+	for name := range plan.MblValues {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mv := plan.MblValues[name]
+		fmt.Fprintf(w, "malleable value %s: width %d init %d -> %s\n", name, mv.Width, mv.Init, mv.MetaField)
+	}
+	names = names[:0]
+	for name := range plan.MblFields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mf := plan.MblFields[name]
+		fmt.Fprintf(w, "malleable field %s: alts %v selector %s\n", name, mf.Alts, mf.Selector)
+	}
+	names = names[:0]
+	for name := range plan.MblTables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ti := plan.MblTables[name]
+		fmt.Fprintf(w, "malleable table %s: %d generated key columns (vv col %d)\n", name, ti.GenKeyCount, ti.VVCol)
+	}
+	for _, rxn := range plan.Reactions {
+		fmt.Fprintf(w, "reaction %s: %d ing slots, %d egr slots, %d register params, %d malleable params\n",
+			rxn.Name, len(rxn.IngSlots), len(rxn.EgrSlots), len(rxn.RegParams), len(rxn.MblParams))
+	}
+	res := plan.Prog.EstimateResources(nil)
+	fmt.Fprintf(w, "resources: %d stages, %d tables, %d registers, SRAM %dKb, TCAM %dKb, metadata %db\n",
+		res.Stages, res.NumTables, res.NumRegisters, res.SRAMBits/1024, res.TCAMBits/1024, res.MetadataBits)
+	if plan.Placement != nil {
+		fmt.Fprintf(w, "placement: profile %s, %d+%d stages, fits=%v (use -report for the stage map)\n",
+			plan.Placement.Profile.Name, plan.Placement.IngressStages, plan.Placement.EgressStages, plan.Placement.Fits())
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/compiler/place"
 	"repro/internal/core"
 	"repro/internal/ctlchan"
 	"repro/internal/ctlplane"
@@ -164,7 +165,7 @@ func parseGrayTrunk(spec string) (leaf, spine int, rate float64, err error) {
 // spine at duration/3 and restores it at 2·duration/3; grayTrunk (if
 // non-empty) silently degrades one leaf↔spine trunk over the same
 // window instead.
-func runTopology(spec string, duration, pacing time.Duration, seed int64, ctlDelay time.Duration, ctlProf faults.LinkProfile, failSpine int, grayTrunk string) {
+func runTopology(spec string, duration, pacing time.Duration, seed int64, ctlDelay time.Duration, ctlProf faults.LinkProfile, failSpine int, grayTrunk, target string) {
 	rest, ok := strings.CutPrefix(spec, "leafspine:")
 	var leaves, spines int
 	if ok {
@@ -180,6 +181,7 @@ func runTopology(spec string, duration, pacing time.Duration, seed int64, ctlDel
 	cfg := fabric.DosFabricConfig{Fabric: fabric.Config{
 		Leaves: leaves, Spines: spines, Seed: seed,
 		Pacing: pacing, CtlDelay: ctlDelay, CtlProfile: ctlProf,
+		Target: target,
 	}}
 	if ctlProf.Loss > 0 || ctlProf.PartitionEvery > 0 {
 		// Sustained channel faults need a longer per-op budget; see
@@ -341,6 +343,7 @@ func main() {
 	ctlLoss := flag.Float64("ctl-loss", 0, "control-channel frame loss probability per direction (implies the message channel)")
 	ctlPartition := flag.String("ctl-partition", "", "periodic control-channel partitions, EVERY/FOR (e.g. 700us/300us; implies the message channel)")
 	topology := flag.String("topology", "", "run a multi-switch fabric instead of one switch: leafspine:L,S (uses built-in programs; no program argument)")
+	target := flag.String("target", "", "switch profile the program must place under (default: the compiler's generic-16stage; \"none\" skips the placement check)")
 	failSpine := flag.Int("fail-spine", -1, "with -topology: crash this spine (all trunks down, control endpoints dead, agent halted) at duration/3, restore at 2·duration/3")
 	grayTrunk := flag.String("gray-trunk", "", "with -topology: silently degrade one leaf↔spine trunk, L,S[:RATE] (e.g. 0,1:0.3), over the same fail/heal window")
 	flag.Parse()
@@ -359,7 +362,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
 			os.Exit(2)
 		}
-		runTopology(*topology, *duration, *pacing, *seed, *ctlDelay, ctlProf, *failSpine, *grayTrunk)
+		runTopology(*topology, *duration, *pacing, *seed, *ctlDelay, ctlProf, *failSpine, *grayTrunk, *target)
 		return
 	}
 	if *failSpine >= 0 || *grayTrunk != "" {
@@ -376,10 +379,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	plan, err := compiler.CompileSource(string(src), compiler.DefaultOptions())
+	copts := compiler.DefaultOptions()
+	switch *target {
+	case "none":
+	case "":
+		copts.Target = place.DefaultTarget
+	default:
+		copts.Target = *target
+	}
+	plan, err := compiler.CompileSource(string(src), copts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mantisd: %v\n", err)
 		os.Exit(1)
+	}
+	if plan.Placement != nil {
+		fmt.Printf("placement:         profile %s, %d ingress + %d egress stages, fits\n",
+			plan.Placement.Profile.Name, plan.Placement.IngressStages, plan.Placement.EgressStages)
 	}
 
 	s := sim.New(*seed)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/compiler/place"
 	"repro/internal/p4"
 	"repro/internal/p4r"
 	"repro/internal/p4r/analysis"
@@ -29,6 +30,12 @@ type Options struct {
 	MaxTableEntries int
 	// Werror promotes analyzer warnings to errors (mantisc -Werror).
 	Werror bool
+	// Target names a switch profile (a place registry name or a JSON
+	// profile path) to run the RMT placement pass against after
+	// lowering. Empty skips placement: library callers that compile
+	// deliberately oversized programs (the Fig. 13 resource sweeps)
+	// must stay unconstrained unless they opt in.
+	Target string
 }
 
 // DefaultOptions returns production-like limits.
@@ -59,7 +66,11 @@ type compiler struct {
 	mvID, vvID int
 }
 
-// Compile lowers a parsed P4R file into a program + plan.
+// Compile lowers a parsed P4R file into a program + plan. When
+// opts.Target names a switch profile and the generated program does not
+// place under its budgets, Compile returns the plan (with
+// Plan.Placement populated, so callers can render the stage map)
+// alongside the non-nil diagnostic error.
 func Compile(f *p4r.File, opts Options) (*Plan, error) {
 	if opts.MaxInitActionBits == 0 {
 		opts.MaxInitActionBits = 512
@@ -117,19 +128,72 @@ func Compile(f *p4r.File, opts Options) (*Plan, error) {
 	if err := c.prog.Validate(); err != nil {
 		return nil, lerr(diag.LowerInternal, 0, 0, "generated program invalid: %v", err)
 	}
+	if opts.Target != "" {
+		prof, derr := place.Find(opts.Target)
+		if derr != nil {
+			c.plan.Diags.Add(derr)
+			return nil, c.plan.Diags
+		}
+		pl := place.Place(c.prog, prof, place.Options{Pos: c.placementPositions()})
+		c.plan.Placement = pl
+		c.plan.Diags.Merge(pl.Diags)
+		if pl.Diags.HasErrors() {
+			return c.plan, c.plan.Diags
+		}
+	}
 	return c.plan, nil
 }
 
+// placementPositions maps lowered table and register names back to P4R
+// source positions for placement diagnostics. Compiler-generated state
+// points at the declaration that caused it: measurement tables and
+// registers at their reaction, duplicate/timestamp registers at the
+// original register. Init and loader tables carry no position.
+func (c *compiler) placementPositions() map[string]place.Pos {
+	pos := make(map[string]place.Pos)
+	for _, t := range c.f.Tables {
+		pos[t.Name] = place.Pos{Line: t.Line, Col: t.Col}
+	}
+	for _, r := range c.f.Registers {
+		pos[r.Name] = place.Pos{Line: r.Line, Col: r.Col}
+	}
+	rxnPos := make(map[string]place.Pos, len(c.f.Reactions))
+	for _, r := range c.f.Reactions {
+		rxnPos[r.Name] = place.Pos{Line: r.Line, Col: r.Col}
+	}
+	for _, rxn := range c.plan.Reactions {
+		p := rxnPos[rxn.Name]
+		if len(rxn.IngSlots) > 0 {
+			pos[measTableName(rxn.Name, "ing")] = p
+		}
+		if len(rxn.EgrSlots) > 0 {
+			pos[measTableName(rxn.Name, "egr")] = p
+		}
+		for _, slot := range rxn.IngSlots {
+			pos[slot.Register] = p
+		}
+		for _, slot := range rxn.EgrSlots {
+			pos[slot.Register] = p
+		}
+		for _, rp := range rxn.RegParams {
+			pos[rp.Dup] = pos[rp.Orig]
+			pos[rp.Ts] = pos[rp.Orig]
+		}
+	}
+	return pos
+}
+
 // CompileSource parses and compiles P4R source text, recording the
-// source's non-blank line count (the Table-1 "P4R LoC" metric).
+// source's non-blank line count (the Table-1 "P4R LoC" metric). Like
+// Compile, a placement failure returns the plan alongside the error.
 func CompileSource(src string, opts Options) (*Plan, error) {
 	f, err := p4r.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := Compile(f, opts)
-	if err != nil {
-		return nil, err
+	plan, cerr := Compile(f, opts)
+	if plan == nil {
+		return nil, cerr
 	}
 	n := 0
 	for _, line := range strings.Split(src, "\n") {
@@ -138,7 +202,7 @@ func CompileSource(src string, opts Options) (*Plan, error) {
 		}
 	}
 	plan.SourceLines = n
-	return plan, nil
+	return plan, cerr
 }
 
 func ceilLog2(n int) int {
@@ -370,11 +434,12 @@ func (c *compiler) packInitTables() error {
 
 // carrierFor ensures a malleable field has a carrier metadata field and
 // loader table (the "load values in prior stages" optimization), and
-// returns the carrier field name.
-func (c *compiler) carrierFor(mblName string) (string, error) {
+// returns the carrier field name. line/col position the diagnostic at
+// the referencing construct.
+func (c *compiler) carrierFor(mblName string, line, col int) (string, error) {
 	info, ok := c.plan.MblFields[mblName]
 	if !ok {
-		return "", lerr(diag.LowerUnknown, 0, 0, "unknown malleable field %q", mblName)
+		return "", lerr(diag.LowerUnknown, line, col, "unknown malleable field %q", mblName)
 	}
 	if info.Carrier != "" {
 		return info.Carrier, nil
@@ -430,9 +495,9 @@ func (c *compiler) lowerFieldLists() error {
 					fields = append(fields, mv.MetaField)
 					continue
 				}
-				carrier, err := c.carrierFor(e.Mbl)
+				carrier, err := c.carrierFor(e.Mbl, e.Line, e.Col)
 				if err != nil {
-					return fmt.Errorf("field_list %s: %w", fl.Name, err)
+					return err
 				}
 				fields = append(fields, carrier)
 			default:

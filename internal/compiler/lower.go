@@ -1,7 +1,6 @@
 package compiler
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
@@ -517,7 +516,7 @@ func (c *compiler) condOperand(arg p4r.Arg) (p4.Operand, error) {
 			return p4.FieldOp(c.prog.Schema.MustID(mv.MetaField), mv.MetaField), nil
 		}
 		if _, ok := c.plan.MblFields[arg.Mbl]; ok {
-			carrier, err := c.carrierFor(arg.Mbl)
+			carrier, err := c.carrierFor(arg.Mbl, arg.Line, arg.Col)
 			if err != nil {
 				return p4.Operand{}, err
 			}
@@ -568,13 +567,15 @@ func (c *compiler) lowerStmts(stmts []p4r.Stmt) ([]p4.ControlStmt, error) {
 }
 
 func (c *compiler) buildControlFlow() error {
+	// lowerStmts errors are already positioned diagnostics; no prefix
+	// wrapping — the line number locates the pipeline.
 	userIng, err := c.lowerStmts(c.f.Ingress)
 	if err != nil {
-		return fmt.Errorf("ingress: %w", err)
+		return err
 	}
 	userEgr, err := c.lowerStmts(c.f.Egress)
 	if err != nil {
-		return fmt.Errorf("egress: %w", err)
+		return err
 	}
 	var ing []p4.ControlStmt
 	for _, it := range c.plan.InitTables {

@@ -1,0 +1,128 @@
+package place_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/compiler/place"
+	"repro/internal/fabric"
+	"repro/internal/usecases"
+)
+
+// shippedPrograms returns every P4R program the repo ships: the
+// examples/ corpus plus the usecases and fabric built-ins.
+func shippedPrograms(t *testing.T) map[string]string {
+	t.Helper()
+	progs := map[string]string{
+		"usecases/DosP4R":        usecases.DosP4R,
+		"usecases/GrayP4R":       usecases.GrayP4R,
+		"usecases/HashPolarP4R":  usecases.HashPolarP4R,
+		"usecases/RLECNP4R":      usecases.RLECNP4R,
+		"usecases/BaseRouterP4R": usecases.BaseRouterP4R,
+		"fabric/LeafP4R":         fabric.LeafP4R,
+		"fabric/SpineP4R":        fabric.SpineP4R,
+	}
+	root := filepath.Join("..", "..", "..", "examples")
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".p4r") {
+			return nil
+		}
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		rel, _ := filepath.Rel(filepath.Join(root, ".."), path)
+		progs[rel] = string(src)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking examples: %v", err)
+	}
+	return progs
+}
+
+func compileWithTarget(t *testing.T, name, src, target string) (*compiler.Plan, error) {
+	t.Helper()
+	opts := compiler.DefaultOptions()
+	opts.Target = target
+	plan, err := compiler.CompileSource(src, opts)
+	if plan == nil && err != nil {
+		t.Fatalf("%s: compile failed before placement: %v", name, err)
+	}
+	return plan, err
+}
+
+// TestShippedProgramsFitDefaultProfile pins the acceptance criterion
+// that every program we ship places cleanly under the default profile.
+func TestShippedProgramsFitDefaultProfile(t *testing.T) {
+	for name, src := range shippedPrograms(t) {
+		plan, err := compileWithTarget(t, name, src, place.DefaultTarget)
+		if err != nil {
+			t.Errorf("%s does not place under %s:\n%v", name, place.DefaultTarget, err)
+			continue
+		}
+		pl := plan.Placement
+		if pl == nil {
+			t.Errorf("%s: no placement computed", name)
+			continue
+		}
+		if !pl.Fits() {
+			t.Errorf("%s: placement reports violations:\n%s", name, pl.Report())
+		}
+		if pl.IngressStages+pl.EgressStages > pl.Profile.Stages {
+			t.Errorf("%s: uses %d+%d stages, profile has %d",
+				name, pl.IngressStages, pl.EgressStages, pl.Profile.Stages)
+		}
+	}
+}
+
+// TestShippedProgramsFitTofinoLike: a bigger-iron profile must also fit.
+func TestShippedProgramsFitTofinoLike(t *testing.T) {
+	for name, src := range shippedPrograms(t) {
+		if _, err := compileWithTarget(t, name, src, "tofino-like"); err != nil {
+			t.Errorf("%s does not place under tofino-like:\n%v", name, err)
+		}
+	}
+}
+
+// TestMiniRejectsAShippedProgram pins that the deliberately tight mini
+// profile rejects at least one realistic program, with a positioned
+// P-family diagnostic carrying a hint.
+func TestMiniRejectsAShippedProgram(t *testing.T) {
+	rejected := 0
+	for name, src := range shippedPrograms(t) {
+		plan, err := compileWithTarget(t, name, src, place.MiniTarget)
+		if err == nil {
+			continue
+		}
+		rejected++
+		if plan == nil || plan.Placement == nil {
+			t.Errorf("%s: placement failure must still return the plan", name)
+			continue
+		}
+		found := false
+		for _, d := range plan.Placement.Diags.Diags {
+			if !strings.HasPrefix(d.Code, "P") {
+				t.Errorf("%s: non-placement code %s in placement diags", name, d.Code)
+			}
+			if d.Line > 0 && d.Hint != "" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: mini rejection has no positioned diagnostic with a hint:\n%v", name, err)
+		}
+		if !strings.Contains(plan.Placement.Report(), "DOES NOT FIT") {
+			t.Errorf("%s: report does not say DOES NOT FIT:\n%s", name, plan.Placement.Report())
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("mini profile rejected no shipped program; its budgets are too generous")
+	}
+}

@@ -15,6 +15,7 @@
 package compiler
 
 import (
+	"repro/internal/compiler/place"
 	"repro/internal/p4"
 	"repro/internal/p4r/diag"
 	"repro/internal/rmt"
@@ -54,8 +55,13 @@ type Plan struct {
 	UsesMV bool
 
 	// Diags holds the semantic analyzer's findings for this compile
-	// (warnings included even when compilation succeeds).
+	// (warnings included even when compilation succeeds), plus any
+	// placement findings when Options.Target was set.
 	Diags *diag.List
+
+	// Placement is the RMT stage assignment computed when
+	// Options.Target was set; nil otherwise.
+	Placement *place.Placement
 }
 
 // MblValueInfo describes one malleable value.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/compiler/place"
 	"repro/internal/core"
 	"repro/internal/ctlchan"
 	"repro/internal/ctlplane"
@@ -90,6 +91,12 @@ type Config struct {
 	// produce identical packet schemas; Build verifies.
 	LeafProgram  string
 	SpineProgram string
+
+	// Target is the switch profile both programs must place under
+	// (compiler.Options.Target; default place.DefaultTarget). "none"
+	// skips the placement check — every simulated switch then behaves
+	// as if it had unbounded stages.
+	Target string
 
 	// TrunkDelay is the one-way inter-switch propagation delay (default
 	// 1µs); TrunkProfile its fault profile (default none).
@@ -193,6 +200,9 @@ func (cfg *Config) setDefaults() error {
 	if cfg.SpineProgram == "" {
 		cfg.SpineProgram = SpineP4R
 	}
+	if cfg.Target == "" {
+		cfg.Target = place.DefaultTarget
+	}
 	if cfg.TrunkDelay <= 0 {
 		cfg.TrunkDelay = time.Microsecond
 	}
@@ -274,11 +284,15 @@ func Build(s *sim.Simulator, cfg Config) (*Fabric, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	leafPlan, err := compiler.CompileSource(cfg.LeafProgram, compiler.DefaultOptions())
+	opts := compiler.DefaultOptions()
+	if cfg.Target != "none" {
+		opts.Target = cfg.Target
+	}
+	leafPlan, err := compiler.CompileSource(cfg.LeafProgram, opts)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: leaf program: %w", err)
 	}
-	spinePlan, err := compiler.CompileSource(cfg.SpineProgram, compiler.DefaultOptions())
+	spinePlan, err := compiler.CompileSource(cfg.SpineProgram, opts)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: spine program: %w", err)
 	}

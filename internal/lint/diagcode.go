@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DiagcodeAnalyzer keeps the compiler's user-facing error surface on
+// the coded-diagnostic path. Lowering and placement report problems as
+// diag.Diagnostic values with a stable code, a source position, and a
+// hint; a bare fmt.Errorf in internal/compiler produces an unpositioned,
+// uncoded string that escapes the -Werror/-check accounting, breaks the
+// golden corpus, and gives editors nothing to jump to. Test files are
+// exempt — they format failure messages, not diagnostics.
+var DiagcodeAnalyzer = &Analyzer{
+	Name: "diagcode",
+	Doc:  "compiler errors must be coded diag.Diagnostics, not bare fmt.Errorf",
+	Match: func(p string) bool {
+		return pathIn(p, "repro/internal/compiler")
+	},
+	Run: runDiagcode,
+}
+
+func runDiagcode(pass *Pass) error {
+	for _, f := range pass.Files {
+		fmtName := importLocal(f, "fmt")
+		if fmtName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pkgCall(call, fmtName) != "Errorf" {
+				return true
+			}
+			if pass.TestFile(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf in the compiler error path; emit a positioned diag.Diagnostic with a code and hint instead")
+			return true
+		})
+	}
+	return nil
+}

@@ -82,7 +82,7 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, path string) ([]Di
 
 // All lists every analyzer mantislint ships, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{WrapcheckAnalyzer, SimclockAnalyzer, JournalIntentAnalyzer}
+	return []*Analyzer{WrapcheckAnalyzer, SimclockAnalyzer, JournalIntentAnalyzer, DiagcodeAnalyzer}
 }
 
 // RunAll applies every analyzer whose Match accepts path.

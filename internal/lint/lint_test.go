@@ -28,6 +28,10 @@ func TestJournalIntentCtlchan(t *testing.T) {
 	linttest.Run(t, lint.JournalIntentAnalyzer, filepath.Join("testdata", "journalintent_ctlchan"), "repro/internal/ctlchan")
 }
 
+func TestDiagcode(t *testing.T) {
+	linttest.Run(t, lint.DiagcodeAnalyzer, filepath.Join("testdata", "diagcode"), "repro/internal/compiler/place")
+}
+
 // TestMatchScoping pins that analyzers stay out of packages they were
 // not written for — running e.g. simclock on cmd/experiments would flag
 // legitimate wall-clock use.
@@ -44,7 +48,8 @@ func TestMatchScoping(t *testing.T) {
 		{"repro/internal/core", []string{"simclock", "journalintent"}},
 		{"repro/internal/fabric", []string{"simclock"}},
 		{"repro/internal/ctlchan", []string{"journalintent"}},
-		{"repro/internal/compiler", nil},
+		{"repro/internal/compiler", []string{"diagcode"}},
+		{"repro/internal/compiler/place", []string{"diagcode"}},
 		{"repro/cmd/experiments", nil},
 		{"repro/internal/corelike", nil},
 	}

@@ -1,0 +1,29 @@
+// Fixture for the diagcode analyzer (analyzed as
+// repro/internal/compiler/place).
+package place
+
+import (
+	"fmt"
+	"strings"
+)
+
+type diagnostic struct {
+	Code, Msg string
+}
+
+func bad(name string) error {
+	return fmt.Errorf("table %q does not fit", name) // want "positioned diag.Diagnostic"
+}
+
+func badWrapped(err error) error {
+	return fmt.Errorf("load profile: %w", err) // want "positioned diag.Diagnostic"
+}
+
+func goodDiag(name string) diagnostic {
+	return diagnostic{Code: "P002", Msg: "table " + name + " does not fit"}
+}
+
+func goodSprintf(parts []string) string {
+	// Non-error formatting stays allowed; only Errorf is the error path.
+	return fmt.Sprintf("stages: %s", strings.Join(parts, ","))
+}

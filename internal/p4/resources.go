@@ -130,6 +130,45 @@ func flattenApplies(stmts []ControlStmt) []string {
 	return out
 }
 
+// TableDependencies analyzes one pipeline's control flow and returns
+// the applied tables in program order (first occurrence only — an RMT
+// table is physically placed once) plus, for each table, the earlier
+// tables it depends on: those whose action writes overlap its match
+// reads or action writes (match and action dependencies in RMT terms).
+// A dependent table must be placed in a strictly later stage than every
+// table in its dependency list; independent tables may share a stage.
+// The placement pass (internal/compiler/place) consumes this to assign
+// tables to budgeted physical stages.
+func (p *Program) TableDependencies(flow []ControlStmt) (order []string, deps map[string][]string) {
+	applies := flattenApplies(flow)
+	deps = make(map[string][]string, len(applies))
+	type effects struct{ reads, writes fieldSet }
+	var eff []effects
+	for _, name := range applies {
+		if _, seen := deps[name]; seen {
+			continue
+		}
+		r, w := p.tableEffects(p.Tables[name])
+		var d []string
+		for j, prev := range eff {
+			if prev.writes.intersects(r) || prev.writes.intersects(w) {
+				d = append(d, order[j])
+			}
+		}
+		order = append(order, name)
+		eff = append(eff, effects{reads: r, writes: w})
+		deps[name] = d
+	}
+	return order, deps
+}
+
+// RegisterAccessors returns, for every stateful register touched by the
+// program, the tables whose actions access it, in table declaration
+// order. Registers accessed by no table are absent.
+func (p *Program) RegisterAccessors() map[string][]string {
+	return p.registerTables()
+}
+
 // allocateStages levels the table dependency graph of one pipeline: a
 // table must be placed after any earlier table whose writes overlap its
 // reads or writes (match and action dependencies in RMT terms).
@@ -175,6 +214,58 @@ func (p *Program) allocateStages(flow []ControlStmt) (map[string]int, int) {
 // (marginal increase over the base program).
 const MetadataPrefix = "p4r_meta_."
 
+// TableFootprint is the memory cost of one table at a given capacity,
+// split by memory kind the way RMT hardware charges it: the match key
+// of a ternary table occupies TCAM (value + mask per key bit) while its
+// bound action data lives in SRAM action memory; an exact table charges
+// key and action data to SRAM together.
+type TableFootprint struct {
+	Name     string
+	TCAM     bool
+	Capacity int
+	// KeyBits is the per-entry match storage (already doubled for TCAM
+	// value+mask); DataBits the widest bound action-parameter set.
+	KeyBits  int
+	DataBits int
+	// SRAMBits and TCAMBits are the totals across Capacity entries.
+	SRAMBits int
+	TCAMBits int
+}
+
+// EntryBits is the storage cost of one entry (match + action data).
+func (f TableFootprint) EntryBits() int { return f.KeyBits + f.DataBits }
+
+// FootprintOf computes the memory footprint of one table at the given
+// capacity (pass t.Size, or a live occupancy, as capacity). The table's
+// declared Size on a lowered program already includes the Mantis
+// table-expansion blowup (alt-combinations × malleable duplication), so
+// footprints of compiled programs charge the expanded entry count.
+func (p *Program) FootprintOf(t *Table, capacity int) TableFootprint {
+	keyBits := t.KeyWidthBits()
+	tcam := t.HasTernary()
+	if tcam {
+		// TCAM stores a value and a mask per key bit.
+		keyBits *= 2
+	}
+	dataBits := 0
+	for _, an := range t.ActionNames {
+		if a := p.Actions[an]; a != nil && a.ParamWidthBits() > dataBits {
+			dataBits = a.ParamWidthBits()
+		}
+	}
+	f := TableFootprint{Name: t.Name, TCAM: tcam, Capacity: capacity, KeyBits: keyBits, DataBits: dataBits}
+	if tcam {
+		// Only the match key occupies TCAM; bound action data lives in
+		// SRAM action memory (which is why Fig. 13's tblWriteX TCAM
+		// usage is constant in the malleable field width).
+		f.TCAMBits = keyBits * capacity
+		f.SRAMBits = dataBits * capacity
+	} else {
+		f.SRAMBits = (keyBits + dataBits) * capacity
+	}
+	return f
+}
+
 // EstimateResources computes the program's footprint. occupancy gives
 // the populated entry count per table; tables not listed use their
 // declared Size.
@@ -193,18 +284,7 @@ func (p *Program) EstimateResources(occupancy map[string]int) Resources {
 		if occ, ok := occupancy[name]; ok {
 			cap = occ
 		}
-		keyBits := t.KeyWidthBits()
-		tcam := t.HasTernary()
-		if tcam {
-			// TCAM stores a value and a mask per key bit.
-			keyBits *= 2
-		}
-		dataBits := 0
-		for _, an := range t.ActionNames {
-			if a := p.Actions[an]; a != nil && a.ParamWidthBits() > dataBits {
-				dataBits = a.ParamWidthBits()
-			}
-		}
+		f := p.FootprintOf(t, cap)
 		stage := ingStages[name]
 		if stage == 0 {
 			stage = egrStages[name]
@@ -212,21 +292,17 @@ func (p *Program) EstimateResources(occupancy map[string]int) Resources {
 		tr := TableResources{
 			Name:      name,
 			Stage:     stage,
-			TCAM:      tcam,
+			TCAM:      f.TCAM,
 			Capacity:  cap,
-			EntryBits: keyBits + dataBits,
+			EntryBits: f.EntryBits(),
 		}
-		if tcam {
-			// Only the match key occupies TCAM; bound action data lives in
-			// SRAM action memory (which is why Fig. 13's tblWriteX TCAM
-			// usage is constant in the malleable field width).
-			tr.Bits = keyBits * cap
-			res.TCAMBits += tr.Bits
-			res.SRAMBits += dataBits * cap
+		if f.TCAM {
+			tr.Bits = f.TCAMBits
 		} else {
-			tr.Bits = (keyBits + dataBits) * cap
-			res.SRAMBits += tr.Bits
+			tr.Bits = f.SRAMBits
 		}
+		res.TCAMBits += f.TCAMBits
+		res.SRAMBits += f.SRAMBits
 		res.Tables = append(res.Tables, tr)
 	}
 	for _, name := range p.RegisterOrder {

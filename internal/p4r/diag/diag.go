@@ -15,6 +15,8 @@
 //	S0xx — syntax errors from the lexer/parser (always fail-first)
 //	M0xx — semantic analysis findings (collect-all, pre-lowering)
 //	L0xx — lowering errors from the compiler backend
+//	P0xx — placement/fit findings from the RMT resource-allocation
+//	       pass (internal/compiler/place, collect-all, post-lowering)
 package diag
 
 import (
@@ -75,6 +77,20 @@ const (
 	LowerInvalid  = "L002" // construct cannot be lowered as written
 	LowerCapacity = "L003" // width or capacity limit exceeded
 	LowerInternal = "L004" // generated program failed validation
+)
+
+// Placement codes (internal/compiler/place). The placement pass runs
+// after lowering and charges the generated program against a switch
+// profile's per-stage budgets; like the semantic analyzer it collects
+// every violation instead of dying on the first.
+const (
+	PlaceStages    = "P001" // dependency chain needs more stages than the profile has
+	PlaceSRAM      = "P002" // no stage has enough SRAM left for a table
+	PlaceTCAM      = "P003" // no stage has enough TCAM left for a table
+	PlaceRegFile   = "P004" // per-stage register-file budget exceeded
+	PlaceOversized = "P005" // one table exceeds an empty stage's budget outright
+	PlaceSlots     = "P006" // no stage has a free logical table slot
+	PlaceProfile   = "P007" // unknown -target profile or malformed profile file
 )
 
 // Diagnostic is one analyzer or compiler finding. Line and Col are

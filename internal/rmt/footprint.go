@@ -1,0 +1,32 @@
+package rmt
+
+import "repro/internal/p4"
+
+// Occupancy returns the live entry count of every table on the switch.
+// The map is keyed by table name and freshly allocated per call, so
+// callers can feed it straight into place.Options.Occupancy to re-run
+// placement against what the control plane actually installed rather
+// than the declared sizes.
+func (sw *Switch) Occupancy() map[string]int {
+	occ := make(map[string]int, len(sw.tables))
+	for name, ti := range sw.tables {
+		occ[name] = len(ti.byHandle)
+	}
+	return occ
+}
+
+// Footprints returns the per-table SRAM/TCAM footprint of the compiled
+// program at live occupancy: each table is costed by Program.FootprintOf
+// with its current entry count (minimum 1, so an installed-but-empty
+// table still charges one entry of width).
+func (sw *Switch) Footprints() map[string]p4.TableFootprint {
+	out := make(map[string]p4.TableFootprint, len(sw.tables))
+	for name, ti := range sw.tables {
+		n := len(ti.byHandle)
+		if n < 1 {
+			n = 1
+		}
+		out[name] = sw.prog.FootprintOf(ti.def, n)
+	}
+	return out
+}

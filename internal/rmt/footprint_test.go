@@ -1,0 +1,40 @@
+package rmt
+
+import "testing"
+
+// TestFootprintsTrackOccupancy pins the live-occupancy resource view:
+// empty tables charge one entry's width, installed entries grow the
+// footprint, and Occupancy mirrors the handle count.
+func TestFootprintsTrackOccupancy(t *testing.T) {
+	_, sw := newTestSwitch(t)
+
+	occ := sw.Occupancy()
+	if occ["forward"] != 0 {
+		t.Fatalf("fresh switch occupancy = %d, want 0", occ["forward"])
+	}
+	fp := sw.Footprints()
+	empty := fp["forward"]
+	if empty.Capacity != 1 || empty.SRAMBits <= 0 {
+		t.Fatalf("empty forward footprint = %+v, want capacity 1 with SRAM bits", empty)
+	}
+	if acl := fp["acl"]; acl.TCAMBits <= 0 {
+		t.Fatalf("ternary acl footprint has no TCAM bits: %+v", acl)
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := sw.AddEntry("forward", Entry{
+			Keys:   []KeySpec{ExactKey(uint64(10 + i))},
+			Action: "set_egress",
+			Data:   []uint64{1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sw.Occupancy()["forward"]; got != 3 {
+		t.Fatalf("occupancy after 3 adds = %d", got)
+	}
+	grown := sw.Footprints()["forward"]
+	if grown.Capacity != 3 || grown.SRAMBits != 3*empty.SRAMBits {
+		t.Fatalf("footprint did not scale with occupancy: %+v vs empty %+v", grown, empty)
+	}
+}
