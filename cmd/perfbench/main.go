@@ -5,9 +5,10 @@
 //
 //	perfbench -out BENCH_rmt.json -note "dev laptop, go1.24"
 //
-// Check the current tree against the baseline (CI runs this with
-// -report-only so shared-runner noise cannot fail the build; locally,
-// drop -report-only to get a non-zero exit on regression):
+// Check the current tree against the baseline (CI runs this enforcing:
+// non-zero exit on regression, with the default 2x time tolerance and
+// zero allocation tolerance; -report-only downgrades regressions to a
+// log line for ad-hoc comparisons on very noisy machines):
 //
 //	perfbench -baseline BENCH_rmt.json -check
 //	perfbench -baseline BENCH_rmt.json -check -report-only

@@ -130,19 +130,48 @@ type Stats struct {
 // BuiltinFunc is a host function callable from reaction bodies.
 type BuiltinFunc func(p *sim.Proc, a *Agent, args []rcl.Arg) (int64, error)
 
-// runtimeReaction pairs a plan reaction with its executable body.
+// runtimeReaction pairs a plan reaction with its executable body and
+// the dispatch state compiled at setup (see setupReactionRuntime in
+// reaction.go): precomputed poll batches, reusable read buffers,
+// persistent parameter storage, and — for interpreted bodies — a
+// prepared rcl.Frame with parameters bound by pointer/reference. The
+// steady-state iteration touches only this preallocated state.
 type runtimeReaction struct {
 	info   *compiler.ReactionInfo
 	prog   *rcl.Program   // interpreted body (nil if native)
 	native NativeReaction // native override (nil if interpreted)
+
+	// Compiled poll plan: the full ReadReq batch per checkpoint bit, a
+	// reusable result matrix, and prebound retry closures so drvOp gets
+	// no per-iteration allocation.
+	pollReqs [2][]driver.ReadReq
+	rows     [][]uint64
+	pollFns  [2]func() error
+
+	// Persistent parameter storage, refilled in place each iteration.
+	fields map[string]uint64
+	regs   map[string][]uint64
+
+	// Interpreted dispatch: prepared frame plus the flat copy
+	// instructions that move polled values into its bound cells.
+	frame    *rcl.Frame
+	fieldDst []scalarBind
+	mblDst   []scalarBind
+	regDst   []arrayBind
+
+	ctx  Ctx     // reused for native dispatch
+	host rclHost // reused for interpreted dispatch
+
 	// lastFields/lastRegs hold the most recent successfully polled
 	// parameters — the degradation snapshot used when polling fails and
-	// RecoveryOptions.DegradeOnPollFailure is set. Nil until the first
-	// successful poll. lastPollAt stamps that poll, so the staleness
+	// RecoveryOptions.DegradeOnPollFailure is set (explicit copies of
+	// the working storage; hasSnapshot arms them after the first
+	// successful poll). lastPollAt stamps that poll, so the staleness
 	// budget can refuse snapshots that have aged past usefulness.
-	lastFields map[string]uint64
-	lastRegs   map[string][]uint64
-	lastPollAt sim.Time
+	lastFields  map[string]uint64
+	lastRegs    map[string][]uint64
+	hasSnapshot bool
+	lastPollAt  sim.Time
 }
 
 // Agent is one Mantis control-plane instance driving one pipeline.
@@ -180,7 +209,24 @@ type Agent struct {
 	// batchedReads selects one driver transaction per reaction poll
 	// (default) vs one per range — the batching ablation.
 	batchedReads bool
-	stats        Stats
+	// rangeRd is the channel's optional allocation-free read extension
+	// (driver.RangeReader), probed once at construction. Nil when the
+	// channel only supports BatchRead.
+	rangeRd driver.RangeReader
+	stats   Stats
+
+	// Control-plane fast-path scratch: the master init table's action
+	// data and call are persistent buffers refilled per flip, and flipFn
+	// is the prebound retry body, so the twice-per-iteration master
+	// update allocates nothing. Set up in prologue.
+	masterScratch []uint64
+	masterCall    p4.ActionCall
+	flipFn        func() error
+	flipOpName    string
+
+	// intentScratch is the pooled write-ahead intent record; the journal
+	// stores serialize on write and never retain the pointer.
+	intentScratch journal.Intent
 
 	// stopReq and err may be touched from outside the simulation
 	// goroutine (Stop from a test's main goroutine, Err after Run
@@ -237,6 +283,8 @@ func NewAgent(s *sim.Simulator, drv driver.Channel, plan *compiler.Plan, opts Op
 		builtins:    make(map[string]BuiltinFunc),
 	}
 	a.batchedReads = true
+	a.rangeRd, _ = drv.(driver.RangeReader)
+	a.stats.Latencies = make([]time.Duration, 0, opts.LatencySamples)
 	for name, info := range plan.MblTables {
 		a.tables[name] = newTableManager(a, info)
 	}
@@ -382,6 +430,9 @@ func (a *Agent) applySwaps(p *sim.Proc) error {
 				rr.prog = prog
 				rr.native = nil
 			}
+			// Relink the compiled dispatch (frame bindings, buffers) to
+			// the new body.
+			a.setupReactionRuntime(p, rr)
 			if sw.rerunInit && a.opts.Prologue != nil {
 				if err := a.opts.Prologue(p, a); err != nil {
 					return fmt.Errorf("swap %s: re-running prologue: %w", sw.name, err)
@@ -523,8 +574,23 @@ func (a *Agent) prologue(p *sim.Proc) error {
 		}
 	}
 
+	// The master flip fast path: one persistent ActionCall + data
+	// scratch and a prebound retry body, shared by the mv flip and the
+	// commit flip (they never overlap within an iteration). rmt's
+	// setDefault deep-copies, so reusing the scratch across flips is
+	// safe. Recovered agents need this too.
+	if len(a.plan.InitTables) > 0 {
+		master := a.plan.InitTables[0]
+		a.masterCall.Action = master.Action
+		a.masterScratch = make([]uint64, 0, len(master.Params))
+		a.flipOpName = "SetDefaultAction " + master.Table
+		table := master.Table
+		a.flipFn = func() error { return a.drv.SetDefaultAction(a.proc, table, &a.masterCall) }
+	}
+
 	// Reaction bodies: native overrides win; otherwise compile the
-	// embedded C-like body.
+	// embedded C-like body. setupReactionRuntime then compiles the
+	// dispatch (poll plan, persistent buffers, prepared frame).
 	for _, info := range a.plan.Reactions {
 		rr := &runtimeReaction{info: info}
 		if fn, ok := a.natives[info.Name]; ok {
@@ -542,6 +608,7 @@ func (a *Agent) prologue(p *sim.Proc) error {
 				a.regCache[rp.Orig] = newRegCacheState(rp)
 			}
 		}
+		a.setupReactionRuntime(p, rr)
 	}
 
 	if a.opts.Prologue != nil && !a.recovered {
@@ -559,10 +626,12 @@ func (a *Agent) prologue(p *sim.Proc) error {
 
 // masterData builds the master init table's action data for the given
 // version bits, applying any pending malleable writes whose slot lives
-// in the master.
-func (a *Agent) masterData(vv, mv uint64, applyPending bool) []uint64 {
+// in the master. The result is written into dst (reusing its capacity)
+// — the steady-state path passes the agent's persistent scratch, so no
+// allocation occurs after warmup.
+func (a *Agent) masterData(dst []uint64, vv, mv uint64, applyPending bool) []uint64 {
 	master := a.plan.InitTables[0]
-	data := append([]uint64(nil), a.initData[0]...)
+	data := append(dst[:0], a.initData[0]...)
 	for i, ip := range master.Params {
 		switch ip.Kind {
 		case compiler.InitVV:
@@ -580,9 +649,12 @@ func (a *Agent) masterData(vv, mv uint64, applyPending bool) []uint64 {
 	return data
 }
 
+// updateMaster issues the master default-action update through the
+// persistent call + prebound retry body. rmt deep-copies the data on
+// install, so handing it the scratch is safe across retries and flips.
 func (a *Agent) updateMaster(p *sim.Proc, data []uint64) error {
-	master := a.plan.InitTables[0]
-	return a.drvSetDefaultAction(p, master.Table, &p4.ActionCall{Action: master.Action, Data: data})
+	a.masterCall.Data = data
+	return a.drvOp(p, a.flipOpName, a.flipFn)
 }
 
 // iteration executes one turn of the dialogue loop, mirroring the §6
@@ -629,7 +701,8 @@ func (a *Agent) iteration(p *sim.Proc) error {
 	// the still-working copy would break the snapshot isolation of §5.2.
 	checkpoint := a.mv
 	if a.plan.UsesMV && len(a.plan.InitTables) > 0 {
-		if err := a.updateMaster(p, a.masterData(a.vv, a.mv^1, false)); err != nil {
+		a.masterScratch = a.masterData(a.masterScratch, a.vv, a.mv^1, false)
+		if err := a.updateMaster(p, a.masterScratch); err != nil {
 			return err
 		}
 		a.mv ^= 1
@@ -723,7 +796,8 @@ func (a *Agent) commit(p *sim.Proc) error {
 			nmChanges = append(nmChanges, nonMasterChange{t, data})
 		}
 	}
-	newMaster := a.masterData(newVV, a.mv, true)
+	a.masterScratch = a.masterData(a.masterScratch, newVV, a.mv, true)
+	newMaster := a.masterScratch
 
 	if a.journaling() {
 		targetInit := make([][]uint64, len(a.initData))
@@ -782,13 +856,15 @@ func (a *Agent) commit(p *sim.Proc) error {
 		}
 		// Definitively not applied: reissue the identical flip.
 	}
-	a.initData[0] = newMaster
+	// Copy rather than alias: newMaster is the agent's reusable scratch
+	// and will be overwritten by the next iteration's mv flip.
+	a.initData[0] = append(a.initData[0][:0], newMaster...)
 	oldVV := a.vv
 	a.vv = newVV
 	for name, v := range a.pendingMbl {
 		a.mblCache[name] = v
 	}
-	a.pendingMbl = make(map[string]uint64)
+	clear(a.pendingMbl)
 
 	// Mirror: re-apply to the now-shadow copies so a future flip is safe.
 	for _, ch := range nmChanges {

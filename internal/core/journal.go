@@ -184,7 +184,10 @@ func (a *Agent) journalBegin(p *sim.Proc) error {
 	if !a.journaling() {
 		return nil
 	}
-	it := &journal.Intent{
+	// The intent scratch is reused every iteration: Store.WriteIntent
+	// serializes before returning (see the journal.Store contract), so
+	// handing it a pooled value is safe.
+	a.intentScratch = journal.Intent{
 		Iteration: a.stats.Iterations + 1,
 		Phase:     journal.PhaseBegun,
 		StartVV:   a.vv,
@@ -192,7 +195,7 @@ func (a *Agent) journalBegin(p *sim.Proc) error {
 		WrittenAt: int64(p.Now()),
 	}
 	return a.journalWrite(p, "begin intent", func() error {
-		return a.opts.Journal.Store.WriteIntent(it)
+		return a.opts.Journal.Store.WriteIntent(&a.intentScratch)
 	})
 }
 
@@ -203,23 +206,23 @@ func (a *Agent) journalCommitStaged(p *sim.Proc, targetInit [][]uint64) error {
 	if !a.journaling() {
 		return nil
 	}
-	it := &journal.Intent{
+	// Ops references the staged-op slice directly (no defensive copy):
+	// WriteIntent serializes synchronously and the slice is not mutated
+	// until the intent is retired.
+	a.intentScratch = journal.Intent{
 		Iteration: a.stats.Iterations + 1,
 		Phase:     journal.PhaseCommitStaged,
 		StartVV:   a.vv,
 		TargetVV:  a.vv ^ 1,
-		Ops:       append([]journal.TableOp(nil), a.stagedOps...),
+		Ops:       a.stagedOps,
 		WrittenAt: int64(p.Now()),
 	}
 	if len(a.pendingMbl) > 0 {
-		it.PendingMbl = make(map[string]uint64, len(a.pendingMbl))
-		for k, v := range a.pendingMbl {
-			it.PendingMbl[k] = v
-		}
+		a.intentScratch.PendingMbl = a.pendingMbl
 	}
-	it.TargetInitData = targetInit
+	a.intentScratch.TargetInitData = targetInit
 	return a.journalWrite(p, "commit intent", func() error {
-		return a.opts.Journal.Store.WriteIntent(it)
+		return a.opts.Journal.Store.WriteIntent(&a.intentScratch)
 	})
 }
 
@@ -227,7 +230,7 @@ func (a *Agent) journalCommitStaged(p *sim.Proc, targetInit [][]uint64) error {
 // retires the iteration's intent (checkpoint strictly first; see the
 // file comment for why).
 func (a *Agent) journalIterationEnd(p *sim.Proc) error {
-	a.stagedOps = nil
+	a.stagedOps = a.stagedOps[:0]
 	if !a.journaling() {
 		return nil
 	}
@@ -246,7 +249,7 @@ func (a *Agent) journalIterationEnd(p *sim.Proc) error {
 // journalAbandon retires the intent of an iteration whose staged state
 // was just rolled back. The checkpoint is untouched: nothing committed.
 func (a *Agent) journalAbandon(p *sim.Proc) error {
-	a.stagedOps = nil
+	a.stagedOps = a.stagedOps[:0]
 	if !a.journaling() {
 		return nil
 	}

@@ -135,69 +135,242 @@ func (rc *regCacheState) merge(copyIdx uint64, lo int, dup, ts []uint64) {
 	}
 }
 
-// pollReaction reads one reaction's parameters from the checkpoint
-// copies in a single batched driver transaction and binds them.
-func (a *Agent) pollReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64) (map[string]uint64, map[string][]uint64, error) {
+// ---- Compiled reaction dispatch ----
+//
+// setupReactionRuntime compiles one reaction's dispatch at agent setup
+// time, so the steady-state iteration walks flat instruction slices and
+// preallocated buffers instead of rebuilding request slices, parameter
+// maps, and interface-boxed params every time:
+//
+//   - pollReqs[v] is the complete driver.ReadReq batch for checkpoint
+//     bit v, precomputed for both bits;
+//   - rows is the reusable read-result matrix (refilled in place via
+//     driver.RangeReader when the channel supports it);
+//   - fields/regs are persistent parameter maps whose key sets never
+//     change after setup, so per-iteration stores never allocate;
+//   - interpreted bodies run through a prepared rcl.Frame with scalar
+//     parameters bound by pointer and arrays by reference;
+//   - pollFns are prebound retry closures, so drvOp is not handed a
+//     freshly allocated closure per iteration.
+
+// scalarBind routes one polled field (or malleable param) into a bound
+// rcl frame scalar.
+type scalarBind struct {
+	key string // fields key (f.Param) or malleable name
+	dst *int64
+}
+
+// arrayBind routes one polled register parameter into a bound rcl frame
+// array, converting uint64 → int64 in place.
+type arrayBind struct {
+	key string // regs key (rp.Var)
+	dst []int64
+}
+
+// setupReactionRuntime (re)builds rr's compiled dispatch state. Called
+// from the prologue for every reaction and again from applySwaps when a
+// swap relinks the body.
+func (a *Agent) setupReactionRuntime(p *sim.Proc, rr *runtimeReaction) {
 	info := rr.info
-	var reqs []driver.ReadReq
-	slotCount := 0
-	for _, slots := range [][]compiler.MeasSlot{info.IngSlots, info.EgrSlots} {
-		for _, s := range slots {
-			reqs = append(reqs, driver.ReadReq{Reg: s.Register, Lo: checkpoint, Hi: checkpoint + 1})
-			slotCount++
+
+	// Poll plan: both checkpoint-bit variants, fully precomputed.
+	for v := uint64(0); v < 2; v++ {
+		reqs := rr.pollReqs[v][:0]
+		for _, s := range info.IngSlots {
+			reqs = append(reqs, driver.ReadReq{Reg: s.Register, Lo: v, Hi: v + 1})
+		}
+		for _, s := range info.EgrSlots {
+			reqs = append(reqs, driver.ReadReq{Reg: s.Register, Lo: v, Hi: v + 1})
+		}
+		for _, rp := range info.RegParams {
+			base := v * uint64(rp.PaddedN)
+			reqs = append(reqs,
+				driver.ReadReq{Reg: rp.Dup, Lo: base + uint64(rp.Lo), Hi: base + uint64(rp.Hi) + 1},
+				driver.ReadReq{Reg: rp.Ts, Lo: base + uint64(rp.Lo), Hi: base + uint64(rp.Hi) + 1},
+			)
+		}
+		rr.pollReqs[v] = reqs
+	}
+	nSlots := len(info.IngSlots) + len(info.EgrSlots)
+	rr.rows = make([][]uint64, nSlots+2*len(info.RegParams))
+	for i := range rr.rows {
+		n := 1
+		if i >= nSlots {
+			rp := info.RegParams[(i-nSlots)/2]
+			n = rp.Hi - rp.Lo + 1
+		}
+		rr.rows[i] = make([]uint64, 0, n)
+	}
+
+	// Prebound retry bodies for both checkpoint bits.
+	for v := uint64(0); v < 2; v++ {
+		v := v
+		rr.pollFns[v] = func() error { return a.pollRead(a.proc, rr, v) }
+	}
+
+	// Persistent parameter storage. The key sets are fixed at setup;
+	// per-iteration refills overwrite existing keys and never allocate.
+	rr.fields = make(map[string]uint64)
+	rr.regs = make(map[string][]uint64)
+	for _, s := range info.IngSlots {
+		for _, f := range s.Fields {
+			rr.fields[f.Param] = 0
+		}
+	}
+	for _, s := range info.EgrSlots {
+		for _, f := range s.Fields {
+			rr.fields[f.Param] = 0
 		}
 	}
 	for _, rp := range info.RegParams {
-		base := checkpoint * uint64(rp.PaddedN)
-		reqs = append(reqs,
-			driver.ReadReq{Reg: rp.Dup, Lo: base + uint64(rp.Lo), Hi: base + uint64(rp.Hi) + 1},
-			driver.ReadReq{Reg: rp.Ts, Lo: base + uint64(rp.Lo), Hi: base + uint64(rp.Hi) + 1},
-		)
+		rr.regs[rp.Var] = make([]uint64, rp.Hi+1)
 	}
+	rr.lastFields = make(map[string]uint64, len(rr.fields))
+	rr.lastRegs = make(map[string][]uint64, len(rr.regs))
+	for _, rp := range info.RegParams {
+		rr.lastRegs[rp.Var] = make([]uint64, rp.Hi+1)
+	}
+	rr.hasSnapshot = false
 
-	fields := make(map[string]uint64)
-	regs := make(map[string][]uint64)
-	if len(reqs) > 0 {
-		read := a.drvBatchRead
-		if !a.batchedReads {
-			read = a.drvUnbatchedRead
+	rr.host = rclHost{agent: a, proc: p}
+	rr.ctx = Ctx{agent: a, proc: p, rxn: rr, fields: rr.fields, regs: rr.regs}
+
+	// Interpreted dispatch: prepared frame, scalars bound by pointer,
+	// register arrays bound by reference to persistent int64 buffers.
+	rr.frame = nil
+	rr.fieldDst = rr.fieldDst[:0]
+	rr.mblDst = rr.mblDst[:0]
+	rr.regDst = rr.regDst[:0]
+	if rr.native == nil {
+		rr.frame = rr.prog.NewFrame()
+		for _, s := range info.IngSlots {
+			for _, f := range s.Fields {
+				rr.fieldDst = append(rr.fieldDst, scalarBind{key: f.Param, dst: rr.frame.BindScalar(f.Var)})
+			}
 		}
-		vals, err := read(p, reqs)
-		if err != nil {
-			return nil, nil, err
-		}
-		i := 0
-		for _, slots := range [][]compiler.MeasSlot{info.IngSlots, info.EgrSlots} {
-			for _, s := range slots {
-				word := vals[i][0]
-				i++
-				for _, f := range s.Fields {
-					fields[f.Param] = (word >> uint(f.Shift)) & packet.Mask(f.Width)
-				}
+		for _, s := range info.EgrSlots {
+			for _, f := range s.Fields {
+				rr.fieldDst = append(rr.fieldDst, scalarBind{key: f.Param, dst: rr.frame.BindScalar(f.Var)})
 			}
 		}
 		for _, rp := range info.RegParams {
-			dup, ts := vals[i], vals[i+1]
-			i += 2
-			rc := a.regCache[rp.Orig]
-			rc.merge(checkpoint, rp.Lo, dup, ts)
-			out := make([]uint64, rp.Hi+1)
-			copy(out, rc.vals[:rp.Hi+1])
-			regs[rp.Var] = out
+			buf := make([]int64, rp.Hi+1)
+			rr.frame.BindArray(rp.Var, buf)
+			rr.regDst = append(rr.regDst, arrayBind{key: rp.Var, dst: buf})
+		}
+		for _, mp := range info.MblParams {
+			rr.mblDst = append(rr.mblDst, scalarBind{key: mp.Name, dst: rr.frame.BindScalar(mp.Var)})
 		}
 	}
-	return fields, regs, nil
+}
+
+// pollRead issues the precompiled read batch for one checkpoint bit and
+// leaves the raw values in rr.rows. On a RangeReader channel the rows
+// are refilled in place (zero allocation); otherwise the returned matrix
+// is copied into the persistent rows so extraction is uniform.
+func (a *Agent) pollRead(p *sim.Proc, rr *runtimeReaction, checkpoint uint64) error {
+	reqs := rr.pollReqs[checkpoint]
+	if a.batchedReads && a.rangeRd != nil {
+		return a.rangeRd.BatchReadInto(p, reqs, rr.rows)
+	}
+	var (
+		vals [][]uint64
+		err  error
+	)
+	if a.batchedReads {
+		vals, err = a.drv.BatchRead(p, reqs)
+	} else {
+		vals, err = a.drv.UnbatchedRead(p, reqs)
+	}
+	if err != nil {
+		return err
+	}
+	for i := range vals {
+		rr.rows[i] = append(rr.rows[i][:0], vals[i]...)
+	}
+	return nil
+}
+
+// extractPoll decodes rr.rows into the persistent parameter storage:
+// packed slot words are unpacked into rr.fields, register dup/ts pairs
+// are merged through the timestamp-guarded cache into rr.regs.
+func (a *Agent) extractPoll(rr *runtimeReaction, checkpoint uint64) {
+	info := rr.info
+	i := 0
+	i = extractSlots(rr, info.IngSlots, i)
+	i = extractSlots(rr, info.EgrSlots, i)
+	for _, rp := range info.RegParams {
+		dup, ts := rr.rows[i], rr.rows[i+1]
+		i += 2
+		rc := a.regCache[rp.Orig]
+		rc.merge(checkpoint, rp.Lo, dup, ts)
+		copy(rr.regs[rp.Var], rc.vals[:rp.Hi+1])
+	}
+}
+
+func extractSlots(rr *runtimeReaction, slots []compiler.MeasSlot, i int) int {
+	for _, s := range slots {
+		word := rr.rows[i][0]
+		i++
+		for _, f := range s.Fields {
+			rr.fields[f.Param] = (word >> uint(f.Shift)) & packet.Mask(f.Width)
+		}
+	}
+	return i
+}
+
+// snapshotPoll copies the just-polled parameters into the degradation
+// snapshot. Key sets match by construction, so the copies are
+// allocation-free after the first iteration.
+func (rr *runtimeReaction) snapshotPoll() {
+	for k, v := range rr.fields {
+		rr.lastFields[k] = v
+	}
+	for k, v := range rr.regs {
+		copy(rr.lastRegs[k], v)
+	}
+	rr.hasSnapshot = true
+}
+
+// restoreSnapshot loads the degradation snapshot back into the working
+// parameter storage, so dispatch (native ctx or prepared frame) sees the
+// stale-but-consistent values through the same buffers.
+func (rr *runtimeReaction) restoreSnapshot() {
+	for k, v := range rr.lastFields {
+		rr.fields[k] = v
+	}
+	for k, v := range rr.lastRegs {
+		copy(rr.regs[k], v)
+	}
+}
+
+// pollReaction reads one reaction's parameters from the checkpoint
+// copies (a single batched driver transaction on the default path) into
+// the reaction's persistent parameter storage.
+func (a *Agent) pollReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64) error {
+	if len(rr.pollReqs[checkpoint]) == 0 {
+		return nil
+	}
+	op := "BatchRead"
+	if !a.batchedReads {
+		op = "UnbatchedRead"
+	}
+	if err := a.drvOp(p, op, rr.pollFns[checkpoint]); err != nil {
+		return err
+	}
+	a.extractPoll(rr, checkpoint)
+	return nil
 }
 
 // runReaction polls parameters and executes the body (native or
 // interpreted).
 func (a *Agent) runReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64) error {
-	fields, regs, err := a.pollReaction(p, rr, checkpoint)
+	err := a.pollReaction(p, rr, checkpoint)
 	switch {
 	case err == nil:
-		rr.lastFields, rr.lastRegs = fields, regs
+		rr.snapshotPoll()
 		rr.lastPollAt = p.Now()
-	case a.opts.Recovery.DegradeOnPollFailure && rr.lastFields != nil &&
+	case a.opts.Recovery.DegradeOnPollFailure && rr.hasSnapshot &&
 		(errors.Is(err, ErrRetriesExhausted) || errors.Is(err, driver.ErrChannelDegraded)):
 		// Graceful degradation: the channel would not yield a fresh
 		// snapshot, so the reaction runs on the last checkpointed one.
@@ -210,7 +383,7 @@ func (a *Agent) runReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64)
 			a.stats.StalenessAborts++
 			return fmt.Errorf("reaction %s: degradation snapshot older than staleness budget %v: %w", rr.info.Name, b, err)
 		}
-		fields, regs = rr.lastFields, rr.lastRegs
+		rr.restoreSnapshot()
 		a.iterDegraded = true
 	default:
 		return err
@@ -218,25 +391,21 @@ func (a *Agent) runReaction(p *sim.Proc, rr *runtimeReaction, checkpoint uint64)
 	a.inReaction = true
 	defer func() { a.inReaction = false }()
 	if rr.native != nil {
-		ctx := &Ctx{agent: a, proc: p, rxn: rr, fields: fields, regs: regs}
-		return rr.native(ctx)
+		return rr.native(&rr.ctx)
 	}
-	params := make(map[string]any)
-	for _, slots := range [][]compiler.MeasSlot{rr.info.IngSlots, rr.info.EgrSlots} {
-		for _, s := range slots {
-			for _, f := range s.Fields {
-				params[f.Var] = int64(fields[f.Param])
-			}
+	for _, b := range rr.fieldDst {
+		*b.dst = int64(rr.fields[b.key])
+	}
+	for _, b := range rr.regDst {
+		src := rr.regs[b.key]
+		for i, x := range src {
+			b.dst[i] = int64(x)
 		}
 	}
-	for _, rp := range rr.info.RegParams {
-		params[rp.Var] = regs[rp.Var]
+	for _, b := range rr.mblDst {
+		*b.dst = int64(a.mblCache[b.key])
 	}
-	for _, mp := range rr.info.MblParams {
-		params[mp.Var] = int64(a.mblCache[mp.Name])
-	}
-	host := &rclHost{agent: a, proc: p}
-	return rr.prog.Exec(host, params)
+	return rr.frame.Exec(&rr.host)
 }
 
 // ---- rcl host binding ----

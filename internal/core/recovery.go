@@ -194,7 +194,10 @@ func (a *Agent) drvOp(p *sim.Proc, op string, fn func() error) error {
 	if maxBackoff <= 0 {
 		maxBackoff = 64 * time.Microsecond
 	}
-	bo := faults.NewBackoff(a.sim.Rand(), backoff, maxBackoff)
+	// The backoff state is built lazily, only once a retry is actually
+	// needed: the fault-free steady-state path through drvOp stays
+	// allocation-free.
+	var bo *faults.Backoff
 	for attempt := 1; ; attempt++ {
 		if a.iterDeadline > 0 && p.Now() >= a.iterDeadline {
 			return fmt.Errorf("%s: %w", op, ErrWatchdog)
@@ -222,6 +225,9 @@ func (a *Agent) drvOp(p *sim.Proc, op string, fn func() error) error {
 		a.stats.Retries++
 		// Full-jitter backoff (faults.Backoff): agents that tripped over
 		// the same fault window retry decorrelated instead of in lockstep.
+		if bo == nil {
+			bo = faults.NewBackoff(a.sim.Rand(), backoff, maxBackoff)
+		}
 		p.Sleep(bo.Next())
 	}
 }
@@ -343,7 +349,7 @@ func (a *Agent) rollbackIteration(p *sim.Proc) {
 	a.iterDeadline = 0
 	a.iterRetries = 0
 	dirty := len(a.pendingMbl) > 0
-	a.pendingMbl = make(map[string]uint64)
+	clear(a.pendingMbl)
 	for _, tm := range a.tables {
 		if tm.rollback(p) {
 			dirty = true

@@ -37,6 +37,12 @@ type tableManager struct {
 	entries    map[UserHandle]*userEntry
 	nextHandle UserHandle
 
+	// fields and combos are derived from the (immutable) table info once
+	// at construction: the expansion fields in selector-column order and
+	// every alt combination over them. All user entries share them.
+	fields []string
+	combos [][]int
+
 	// mirror holds closures to run in the fill-shadow phase (step 3),
 	// re-applying this iteration's changes to the now-shadow copy. The
 	// closures are resumable: re-running one after a partial failure
@@ -58,11 +64,15 @@ type userEntry struct {
 }
 
 func newTableManager(a *Agent, info *compiler.MblTableInfo) *tableManager {
-	return &tableManager{agent: a, info: info, entries: make(map[UserHandle]*userEntry)}
+	tm := &tableManager{agent: a, info: info, entries: make(map[UserHandle]*userEntry)}
+	tm.fields = tm.expandFields()
+	tm.combos = tm.allCombos()
+	return tm
 }
 
 // expandFields returns the malleable fields involved in this table's
-// expansion, ordered by selector column for determinism.
+// expansion, ordered by selector column for determinism. Called once at
+// construction; use tm.fields afterwards.
 func (tm *tableManager) expandFields() []string {
 	fields := make([]string, 0, len(tm.info.SelectorCol))
 	for f := range tm.info.SelectorCol {
@@ -74,7 +84,8 @@ func (tm *tableManager) expandFields() []string {
 	return fields
 }
 
-// combos enumerates all alt combinations over the expansion fields.
+// allCombos enumerates all alt combinations over the expansion fields.
+// Called once at construction; use tm.combos afterwards.
 func (tm *tableManager) allCombos() [][]int {
 	fields := tm.expandFields()
 	if len(fields) == 0 {
@@ -159,7 +170,7 @@ func (tm *tableManager) versioned() bool { return tm.info.VVCol >= 0 }
 // install extends version's concrete entries until every combo is
 // installed, using the entry's current spec.
 func (tm *tableManager) install(p *sim.Proc, ue *userEntry, version uint64) error {
-	fields := tm.expandFields()
+	fields := tm.fields
 	for len(ue.concrete[version]) < len(ue.combos) {
 		i := len(ue.concrete[version])
 		e, err := tm.concreteEntry(ue.spec, fields, ue.combos[i], version)
@@ -192,7 +203,7 @@ func (tm *tableManager) uninstall(p *sim.Proc, ue *userEntry, version uint64) er
 // an entry to data it already carries is harmless, so re-running after
 // a partial failure is safe without progress tracking.
 func (tm *tableManager) applyAll(p *sim.Proc, ue *userEntry, version uint64, spec UserEntry) error {
-	fields := tm.expandFields()
+	fields := tm.fields
 	for i, combo := range ue.combos {
 		e, err := tm.concreteEntry(spec, fields, combo, version)
 		if err != nil {
@@ -215,8 +226,7 @@ func (tm *tableManager) addEntry(p *sim.Proc, spec UserEntry) (UserHandle, error
 			return 0, fmt.Errorf("table %s: unknown action %q: %w", tm.info.Table, spec.Action, rmt.ErrUnknownAction)
 		}
 	}
-	combos := tm.allCombos()
-	ue := &userEntry{spec: spec, combos: combos}
+	ue := &userEntry{spec: spec, combos: tm.combos}
 	tm.nextHandle++
 	h := tm.nextHandle
 

@@ -45,6 +45,8 @@ package ctlplane
 
 import (
 	"repro/internal/driver"
+	"repro/internal/p4"
+	"repro/internal/rmt"
 	"repro/internal/sim"
 )
 
@@ -111,6 +113,10 @@ type Options struct {
 	// one dispatch (reads into one driver transaction, same-entry writes
 	// into the last value). 0 = 8; 1 disables coalescing.
 	CoalesceLimit int
+	// RingSize is the depth of the driver submission ring write requests
+	// flush through. 0 = driver.DefaultRingSize; values below
+	// CoalesceLimit are raised to it so one dispatch batch always fits.
+	RingSize int
 }
 
 // DefaultQueueLimit is the per-session queue bound when neither the
@@ -139,6 +145,9 @@ type Stats struct {
 	// WritesCoalesced counts pipelined same-entry writes superseded by a
 	// newer queued value before reaching the driver.
 	WritesCoalesced uint64
+	// WriteTransactions counts submission-ring flushes (doorbells); when
+	// adjacent writes batch, several requests share one flush.
+	WriteTransactions uint64
 	// Rejections counts submissions refused with ErrQueueFull.
 	Rejections uint64
 	// Demotions counts primaries displaced by a higher election id.
@@ -164,6 +173,13 @@ type Service struct {
 	// at for that class.
 	rrNext map[Class]int
 
+	// ring is the driver submission ring every write request flushes
+	// through; batchBuf and free are dispatcher/sync-path scratch that
+	// keep the steady-state write path allocation-free.
+	ring     *driver.Ring
+	batchBuf []*request
+	free     []*request
+
 	stats Stats
 }
 
@@ -176,7 +192,14 @@ func New(s *sim.Simulator, ch driver.Channel, opts Options) *Service {
 	if opts.CoalesceLimit <= 0 {
 		opts.CoalesceLimit = DefaultCoalesceLimit
 	}
+	if opts.RingSize <= 0 {
+		opts.RingSize = driver.DefaultRingSize
+	}
+	if opts.RingSize < opts.CoalesceLimit {
+		opts.RingSize = opts.CoalesceLimit
+	}
 	svc := &Service{sim: s, ch: ch, opts: opts, rrNext: make(map[Class]int)}
+	svc.ring = driver.NewRing(ch, opts.RingSize)
 	svc.disp = s.Spawn("ctlplane-dispatcher", svc.run)
 	return svc
 }
@@ -186,6 +209,9 @@ func (svc *Service) Channel() driver.Channel { return svc.ch }
 
 // Stats returns a copy of the service counters.
 func (svc *Service) Stats() Stats { return svc.stats }
+
+// RingStats returns a copy of the driver submission-ring counters.
+func (svc *Service) RingStats() driver.RingStats { return svc.ring.Stats() }
 
 // Sessions returns the open sessions (closed ones are pruned).
 func (svc *Service) Sessions() []*Session {
@@ -269,19 +295,20 @@ func (svc *Service) nextInClass(class Class) *request {
 }
 
 // dispatch executes the head request of req's session, folding in any
-// coalescible run of adjacent queued requests behind it.
+// coalescible run of adjacent queued requests behind it. Reads merge
+// into one driver transaction; field-encoded writes of any verb stage
+// into the submission ring and flush as one doorbell.
 func (svc *Service) dispatch(p *sim.Proc, req *request) {
 	s := req.sess
-	batch := []*request{req}
+	batch := append(svc.batchBuf[:0], req)
 	limit := svc.opts.CoalesceLimit
-	switch req.kind {
-	case kindRead:
+	switch {
+	case req.kind == kindRead:
 		for len(batch) < limit && len(s.queue) > len(batch) && s.queue[len(batch)].kind == kindRead {
 			batch = append(batch, s.queue[len(batch)])
 		}
-	case kindModify:
-		for len(batch) < limit && len(s.queue) > len(batch) &&
-			s.queue[len(batch)].kind == kindModify && s.queue[len(batch)].sameEntry(req) {
+	case req.kind.ringable():
+		for len(batch) < limit && len(s.queue) > len(batch) && s.queue[len(batch)].kind.ringable() {
 			batch = append(batch, s.queue[len(batch)])
 		}
 	}
@@ -296,23 +323,20 @@ func (svc *Service) dispatch(p *sim.Proc, req *request) {
 		}
 	}
 
-	switch req.kind {
-	case kindRead:
+	switch {
+	case req.kind == kindRead:
 		svc.executeReads(p, batch)
-	case kindModify:
-		// Only the newest queued value reaches the device; the superseded
-		// writes complete with the same outcome (write-behind semantics
-		// for pipelined submissions; a synchronous client never has two
-		// writes queued, so it is unaffected).
-		svc.stats.WritesCoalesced += uint64(len(batch) - 1)
-		winner := batch[len(batch)-1]
-		err := svc.executeWrite(p, winner)
-		for _, r := range batch {
-			r.err = err
-		}
+	case req.kind.ringable():
+		svc.executeRing(p, batch)
 	default:
 		if req.write {
-			req.err = svc.executeWrite(p, req)
+			if err := req.sess.writable(); err != nil {
+				// Re-checked at dispatch time: the session may have been
+				// demoted or closed while the request was queued.
+				req.err = err
+			} else {
+				req.err = req.exec(p, svc.ch)
+			}
 		} else {
 			req.err = req.exec(p, svc.ch)
 		}
@@ -322,15 +346,80 @@ func (svc *Service) dispatch(p *sim.Proc, req *request) {
 	for _, r := range batch {
 		svc.complete(r, start, end)
 	}
+	svc.batchBuf = batch[:0]
 }
 
-// executeWrite re-checks write permission at dispatch time (the session
-// may have been demoted while the request was queued), then runs it.
-func (svc *Service) executeWrite(p *sim.Proc, r *request) error {
-	if err := r.sess.writable(); err != nil {
-		return err
+// executeRing stages a run of field-encoded write requests into the
+// driver submission ring and flushes them as one doorbell. Pipelined
+// writes to the same table entry collapse to the newest queued value
+// before any descriptor is reserved (write-behind: a synchronous client
+// never has two writes queued, so it is unaffected), and every request
+// re-checks write permission at dispatch time — the session may have
+// been demoted while it was queued.
+func (svc *Service) executeRing(p *sim.Proc, batch []*request) {
+	for i, r := range batch {
+		if r.kind != kindModify {
+			continue
+		}
+		for _, later := range batch[i+1:] {
+			if later.kind == kindModify && later.sameEntry(r) {
+				r.superseded = later
+				svc.stats.WritesCoalesced++
+				break
+			}
+		}
 	}
-	return r.exec(p, svc.ch)
+	staged := false
+	for _, r := range batch {
+		if r.superseded != nil {
+			continue
+		}
+		if err := r.sess.writable(); err != nil {
+			r.err = err
+			continue
+		}
+		op, err := svc.ring.Reserve()
+		if err != nil {
+			// Unreachable when RingSize >= CoalesceLimit (New enforces
+			// it), but a typed refusal beats a silent drop.
+			r.err = err
+			continue
+		}
+		switch r.kind {
+		case kindModify:
+			op.SetModify(r.table, r.handle, r.action, r.data)
+		case kindAdd:
+			op.SetAdd(r.table, rmt.Entry{Keys: r.keys, Priority: r.priority, Action: r.action, Data: r.data})
+		case kindDelete:
+			op.SetDelete(r.table, r.handle)
+		case kindSetDefault:
+			op.SetDefault(r.table, &p4.ActionCall{Action: r.action, Data: r.data})
+		case kindHashSeed:
+			op.SetHashSeed(r.table, r.val)
+		case kindRegWrite:
+			op.SetRegWrite(r.table, r.idx, r.val)
+		}
+		op.Tag = r
+		staged = true
+	}
+	if staged {
+		svc.stats.WriteTransactions++
+		svc.ring.Flush(p)
+		svc.ring.Drain(func(op *driver.RingOp) {
+			r := op.Tag.(*request)
+			r.err = op.Err
+			r.newHandle = op.NewHandle
+		})
+	}
+	// Superseded writes complete with their winner's outcome. Walk
+	// backwards so supersession chains resolve: the winner's error is
+	// already settled when an older write copies it.
+	for i := len(batch) - 1; i >= 0; i-- {
+		if w := batch[i].superseded; w != nil {
+			batch[i].err = w.err
+			batch[i].superseded = nil
+		}
+	}
 }
 
 // executeReads merges the batch's register ranges into one driver

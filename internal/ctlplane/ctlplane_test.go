@@ -377,6 +377,103 @@ func TestWriteCoalescing(t *testing.T) {
 	}
 }
 
+// TestWriteRingBatching pipelines writes to distinct entries: unlike
+// same-entry coalescing, every write must reach the device, but the run
+// shares a single submission-ring flush (one doorbell, one transaction).
+func TestWriteRingBatching(t *testing.T) {
+	s, sw, drv, svc := testRig(t, Options{})
+	sess, _ := svc.Open(SessionOptions{Name: "legacy", Role: RoleLegacy})
+	s.Spawn("client", func(p *sim.Proc) {
+		var hs []rmt.EntryHandle
+		for i := uint64(0); i < 3; i++ {
+			h, err := sess.AddEntry(p, "tbl", rmt.Entry{
+				Keys: []rmt.KeySpec{rmt.ExactKey(i)}, Action: "act", Data: []uint64{0},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs = append(hs, h)
+		}
+		base := drv.Stats().TableOps
+		baseTx := svc.Stats().WriteTransactions
+		var pendings []*Pending
+		for i, h := range hs {
+			pn, err := sess.SubmitModify("tbl", h, "act", []uint64{uint64(10 + i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pendings = append(pendings, pn)
+		}
+		for _, pn := range pendings {
+			if err := pn.Wait(p); err != nil {
+				t.Errorf("write failed: %v", err)
+			}
+		}
+		if ops := drv.Stats().TableOps - base; ops != 3 {
+			t.Errorf("device table ops = %d, want 3 (distinct entries must all land)", ops)
+		}
+		if tx := svc.Stats().WriteTransactions - baseTx; tx != 1 {
+			t.Errorf("write transactions = %d, want 1 (batched into one ring flush)", tx)
+		}
+		for i := range hs {
+			entries, err := sw.Entries("tbl")
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, e := range entries {
+				if e.Keys[0].Value == uint64(i) && len(e.Data) > 0 && e.Data[0] == uint64(10+i) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("entry %d missing final value %d: %+v", i, 10+i, entries)
+			}
+		}
+	})
+	s.Run()
+	if svc.Stats().WritesCoalesced != 0 {
+		t.Fatalf("WritesCoalesced = %d, want 0 (distinct entries)", svc.Stats().WritesCoalesced)
+	}
+	if rs := svc.RingStats(); rs.OpsFlushed < 3 {
+		t.Fatalf("ring ops flushed = %d, want >= 3", rs.OpsFlushed)
+	}
+}
+
+// TestDemotedWhileQueued submits pipelined writes, demotes the session
+// before the dispatcher runs, and expects the dispatch-time permission
+// re-check to fail them all with ErrNotPrimary.
+func TestDemotedWhileQueued(t *testing.T) {
+	s, _, drv, svc := testRig(t, Options{})
+	old, err := svc.Open(SessionOptions{Name: "old", Role: RolePrimary, ElectionID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("client", func(p *sim.Proc) {
+		var pendings []*Pending
+		for i := uint64(0); i < 2; i++ {
+			pn, err := old.SubmitModify("tbl", 1, "act", []uint64{i})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pendings = append(pendings, pn)
+		}
+		// Demote before the dispatcher gets to run (we have not parked).
+		if _, err := svc.Open(SessionOptions{Name: "new", Role: RolePrimary, ElectionID: 2}); err != nil {
+			t.Fatal(err)
+		}
+		for _, pn := range pendings {
+			if err := pn.Wait(p); !errors.Is(err, ErrNotPrimary) {
+				t.Errorf("queued write after demotion: %v, want ErrNotPrimary", err)
+			}
+		}
+	})
+	s.Run()
+	if drv.Stats().TableOps != 0 {
+		t.Fatalf("device ops = %d, want 0 (demoted writes must not land)", drv.Stats().TableOps)
+	}
+}
+
 func TestMergeRanges(t *testing.T) {
 	reqs := []driver.ReadReq{
 		{Reg: "r1", Lo: 2, Hi: 3},

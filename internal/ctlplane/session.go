@@ -81,10 +81,21 @@ type SessionStats struct {
 type requestKind int
 
 const (
-	kindExec   requestKind = iota // opaque operation, never coalesced
-	kindRead                      // batched register read, merges with adjacent reads
-	kindModify                    // table-entry write, superseded by adjacent same-entry writes
+	kindExec       requestKind = iota // opaque operation, never coalesced
+	kindRead                          // batched register read, merges with adjacent reads
+	kindModify                        // table-entry write, superseded by adjacent same-entry writes
+	kindAdd                           // table-entry install (completion carries the new handle)
+	kindDelete                        // table-entry removal
+	kindSetDefault                    // table miss-action replacement
+	kindHashSeed                      // hash-calculation reseed
+	kindRegWrite                      // single register-cell write
 )
+
+// ringable reports whether the kind is a field-encoded write verb the
+// dispatcher stages into the driver submission ring. kindExec writes
+// stay opaque (the closure could do anything) and dispatch one at a
+// time as before.
+func (k requestKind) ringable() bool { return k >= kindModify }
 
 // request is one queued control-plane operation.
 type request struct {
@@ -93,18 +104,33 @@ type request struct {
 	kind       requestKind
 	class      Class
 	write      bool
+	pooled     bool // recyclable via Service.putReq (sync-path requests only)
 	enqueuedAt sim.Time
 
-	// exec runs the operation against the underlying channel (kindExec
-	// and kindModify).
+	// exec runs an opaque kindExec operation against the channel.
 	exec func(p *sim.Proc, ch driver.Channel) error
 	// reads/out carry a kindRead request's ranges and results.
 	reads []driver.ReadReq
 	out   [][]uint64
-	// table/handle/action key same-entry write coalescing.
-	table  string
-	handle rmt.EntryHandle
-	action string
+
+	// Field-encoded write verbs: ring descriptors in waiting. The
+	// dispatcher copies these into ring slots, so a write costs no
+	// closure and (on the pooled sync path) no allocation at all.
+	// table doubles as the register or hash-calculation name;
+	// table/handle/action also key same-entry write coalescing.
+	table    string
+	handle   rmt.EntryHandle
+	action   string
+	data     []uint64 // reused capacity when pooled
+	keys     []rmt.KeySpec
+	priority int
+	idx, val uint64
+
+	// newHandle carries a kindAdd's installed entry handle back.
+	newHandle rmt.EntryHandle
+	// superseded points at the newer same-entry write that replaced this
+	// modify within one dispatch batch (write-behind newest-wins).
+	superseded *request
 
 	done   bool
 	err    error
@@ -115,6 +141,30 @@ type request struct {
 // entry with the same action (so the newer data can supersede).
 func (r *request) sameEntry(o *request) bool {
 	return r.table == o.table && r.handle == o.handle && r.action == o.action
+}
+
+// getReq hands out a request from the freelist (or a fresh poolable
+// one). Only the synchronous Channel methods use pooled requests: they
+// own the full lifecycle (submit, wait, extract, release), so a recycled
+// request can never be observed through a stale Pending.
+func (svc *Service) getReq() *request {
+	if n := len(svc.free); n > 0 {
+		r := svc.free[n-1]
+		svc.free = svc.free[:n-1]
+		return r
+	}
+	return &request{pooled: true}
+}
+
+// putReq recycles a pooled request, keeping its data/keys capacity so
+// the steady-state write path stops allocating once warmed up.
+func (svc *Service) putReq(r *request) {
+	if !r.pooled {
+		return
+	}
+	data, keys := r.data[:0], r.keys[:0]
+	*r = request{pooled: true, data: data, keys: keys}
+	svc.free = append(svc.free, r)
 }
 
 // Pending is a handle to an in-flight request (the asynchronous
@@ -262,22 +312,22 @@ func (s *Session) writable() error {
 	return nil
 }
 
-// submit enqueues r or rejects it. Rejection is always explicit: the
+// enqueue queues r or rejects it. Rejection is always explicit: the
 // typed error tells the caller whether to back off (ErrQueueFull wraps
 // driver.ErrTransient) or stop (ErrReadOnly, ErrNotPrimary, ErrClosed).
-func (s *Session) submit(r *request) (*Pending, error) {
+func (s *Session) enqueue(r *request) error {
 	if s.closed {
-		return nil, fmt.Errorf("ctlplane: session %q: %w", s.name, ErrClosed)
+		return fmt.Errorf("ctlplane: session %q: %w", s.name, ErrClosed)
 	}
 	if r.write {
 		if err := s.writable(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if len(s.queue) >= s.queueLimit {
 		s.stats.Rejected++
 		s.svc.stats.Rejections++
-		return nil, fmt.Errorf("ctlplane: session %q: %d/%d requests pending: %w",
+		return fmt.Errorf("ctlplane: session %q: %d/%d requests pending: %w",
 			s.name, len(s.queue), s.queueLimit, ErrQueueFull)
 	}
 	s.svc.seq++
@@ -291,7 +341,30 @@ func (s *Session) submit(r *request) (*Pending, error) {
 		s.stats.MaxQueueDepth = d
 	}
 	s.svc.kick()
+	return nil
+}
+
+// submit enqueues r and wraps it in a Pending for asynchronous waiters.
+func (s *Session) submit(r *request) (*Pending, error) {
+	if err := s.enqueue(r); err != nil {
+		return nil, err
+	}
 	return &Pending{req: r}, nil
+}
+
+// syncRun enqueues r and parks until it completes. The caller still
+// owns r afterwards (to extract results) and must release pooled
+// requests via putReq.
+func (s *Session) syncRun(p *sim.Proc, r *request) error {
+	if err := s.enqueue(r); err != nil {
+		return err
+	}
+	for !r.done {
+		r.waiter = p
+		p.Park()
+		r.waiter = nil
+	}
+	return r.err
 }
 
 // ---- Asynchronous submission API ----
@@ -315,12 +388,9 @@ func (s *Session) SubmitRead(reqs []driver.ReadReq) (*Pending, error) {
 // SubmitModify enqueues a table-entry write; while it queues, a newer
 // write to the same entry supersedes its data (write-behind).
 func (s *Session) SubmitModify(table string, h rmt.EntryHandle, action string, data []uint64) (*Pending, error) {
-	d := append([]uint64(nil), data...)
 	return s.submit(&request{
 		kind: kindModify, write: true, table: table, handle: h, action: action,
-		exec: func(p *sim.Proc, ch driver.Channel) error {
-			return ch.ModifyEntry(p, table, h, action, d)
-		},
+		data: append([]uint64(nil), data...),
 	})
 }
 
@@ -334,55 +404,77 @@ func (s *Session) doSync(p *sim.Proc, write bool, fn func(dp *sim.Proc, ch drive
 }
 
 // ---- driver.Channel implementation ----
+//
+// The write verbs are field-encoded onto pooled requests: the dispatcher
+// copies the fields straight into driver submission-ring descriptors, so
+// a steady-state synchronous write allocates nothing.
 
 // AddEntry installs a table entry through the session queue.
 func (s *Session) AddEntry(p *sim.Proc, table string, e rmt.Entry) (rmt.EntryHandle, error) {
-	var h rmt.EntryHandle
-	err := s.doSync(p, true, func(dp *sim.Proc, ch driver.Channel) error {
-		var err error
-		h, err = ch.AddEntry(dp, table, e)
-		return err
-	})
+	r := s.svc.getReq()
+	r.kind, r.write = kindAdd, true
+	r.table, r.action = table, e.Action
+	r.keys = append(r.keys[:0], e.Keys...)
+	r.priority = e.Priority
+	r.data = append(r.data[:0], e.Data...)
+	err := s.syncRun(p, r)
+	h := r.newHandle
+	s.svc.putReq(r)
 	return h, err
 }
 
 // ModifyEntry rebinds an entry's action and data through the session
 // queue (coalescible when pipelined).
 func (s *Session) ModifyEntry(p *sim.Proc, table string, h rmt.EntryHandle, action string, data []uint64) error {
-	pn, err := s.SubmitModify(table, h, action, data)
-	if err != nil {
-		return err
-	}
-	return pn.Wait(p)
+	r := s.svc.getReq()
+	r.kind, r.write = kindModify, true
+	r.table, r.handle, r.action = table, h, action
+	r.data = append(r.data[:0], data...)
+	err := s.syncRun(p, r)
+	s.svc.putReq(r)
+	return err
 }
 
 // DeleteEntry removes an entry through the session queue.
 func (s *Session) DeleteEntry(p *sim.Proc, table string, h rmt.EntryHandle) error {
-	return s.doSync(p, true, func(dp *sim.Proc, ch driver.Channel) error {
-		return ch.DeleteEntry(dp, table, h)
-	})
+	r := s.svc.getReq()
+	r.kind, r.write = kindDelete, true
+	r.table, r.handle = table, h
+	err := s.syncRun(p, r)
+	s.svc.putReq(r)
+	return err
 }
 
 // SetDefaultAction replaces a table's miss action through the session
 // queue.
 func (s *Session) SetDefaultAction(p *sim.Proc, table string, call *p4.ActionCall) error {
-	return s.doSync(p, true, func(dp *sim.Proc, ch driver.Channel) error {
-		return ch.SetDefaultAction(dp, table, call)
-	})
+	r := s.svc.getReq()
+	r.kind, r.write = kindSetDefault, true
+	r.table, r.action = table, call.Action
+	r.data = append(r.data[:0], call.Data...)
+	err := s.syncRun(p, r)
+	s.svc.putReq(r)
+	return err
 }
 
 // SetHashSeed reprograms a hash calculation through the session queue.
 func (s *Session) SetHashSeed(p *sim.Proc, name string, seed uint64) error {
-	return s.doSync(p, true, func(dp *sim.Proc, ch driver.Channel) error {
-		return ch.SetHashSeed(dp, name, seed)
-	})
+	r := s.svc.getReq()
+	r.kind, r.write = kindHashSeed, true
+	r.table, r.val = name, seed
+	err := s.syncRun(p, r)
+	s.svc.putReq(r)
+	return err
 }
 
 // RegWrite writes one register cell through the session queue.
 func (s *Session) RegWrite(p *sim.Proc, reg string, idx uint64, v uint64) error {
-	return s.doSync(p, true, func(dp *sim.Proc, ch driver.Channel) error {
-		return ch.RegWrite(dp, reg, idx, v)
-	})
+	r := s.svc.getReq()
+	r.kind, r.write = kindRegWrite, true
+	r.table, r.idx, r.val = reg, idx, v
+	err := s.syncRun(p, r)
+	s.svc.putReq(r)
+	return err
 }
 
 // RegRead reads one register cell; as a single-range read it rides the

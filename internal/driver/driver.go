@@ -228,11 +228,67 @@ func (d *Driver) rangeBytes(req ReadReq) (uint64, error) {
 
 // RegRead reads one register cell (an unbatched single read).
 func (d *Driver) RegRead(p *sim.Proc, reg string, idx uint64) (uint64, error) {
-	vals, err := d.BatchRead(p, []ReadReq{{Reg: reg, Lo: idx, Hi: idx + 1}})
-	if err != nil {
+	var (
+		reqs = [1]ReadReq{{Reg: reg, Lo: idx, Hi: idx + 1}}
+		buf  [1]uint64
+		dst  = [1][]uint64{buf[:0]}
+	)
+	if err := d.readInto(p, reqs[:], dst[:], true); err != nil {
 		return 0, err
 	}
-	return vals[0][0], nil
+	return dst[0][0], nil
+}
+
+// readInto is the single read entry point behind BatchRead,
+// BatchReadInto, UnbatchedRead, and RegRead: one range-validation/cost
+// loop, then either one combined transaction (batched) or one
+// transaction per range (the ablation mode). dst must have one row per
+// request; rows are refilled in place via append on row[:0], so a
+// caller that keeps dst across iterations reads with zero allocations.
+func (d *Driver) readInto(p *sim.Proc, reqs []ReadReq, dst [][]uint64, batched bool) error {
+	if len(reqs) == 0 {
+		// An empty batch is a no-op: no transaction is issued, no channel
+		// time is spent.
+		return nil
+	}
+	if len(dst) != len(reqs) {
+		return fmt.Errorf("driver: %d result rows for %d requests: %w", len(dst), len(reqs), ErrBadBatch)
+	}
+	// Validate every range (and size the batched DMA) before any channel
+	// time is spent, in both modes.
+	var bytes uint64
+	for _, req := range reqs {
+		b, err := d.rangeBytes(req)
+		if err != nil {
+			return err
+		}
+		bytes += b
+	}
+	if batched {
+		cost := d.cost.RegReadBase +
+			time.Duration(len(reqs))*d.cost.RegReadPerReq +
+			time.Duration(bytes)*d.cost.RegReadPerByte
+		d.occupy(p, cost)
+		d.stats.RegReads++
+		d.stats.RegReadBytes += bytes
+	}
+	for i, req := range reqs {
+		if !batched {
+			// Each range is its own transaction, paying the full base
+			// cost, and its values are captured at that transaction's
+			// completion time (not the whole sweep's).
+			b, _ := d.rangeBytes(req) // validated above
+			d.occupy(p, d.cost.RegReadBase+d.cost.RegReadPerReq+time.Duration(b)*d.cost.RegReadPerByte)
+			d.stats.RegReads++
+			d.stats.RegReadBytes += b
+		}
+		row, err := d.sw.RegReadRangeInto(req.Reg, req.Lo, req.Hi, dst[i][:0])
+		if err != nil {
+			return err
+		}
+		dst[i] = row
+	}
+	return nil
 }
 
 // BatchRead reads several register ranges in one driver transaction:
@@ -240,34 +296,21 @@ func (d *Driver) RegRead(p *sim.Proc, reg string, idx uint64) (uint64, error) {
 // captured at the completion time of the whole batch.
 func (d *Driver) BatchRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error) {
 	if len(reqs) == 0 {
-		// An empty batch is a no-op: no transaction is issued, no channel
-		// time is spent.
 		return nil, nil
 	}
-	var bytes uint64
-	for _, req := range reqs {
-		b, err := d.rangeBytes(req)
-		if err != nil {
-			return nil, err
-		}
-		bytes += b
-	}
-	cost := d.cost.RegReadBase +
-		time.Duration(len(reqs))*d.cost.RegReadPerReq +
-		time.Duration(bytes)*d.cost.RegReadPerByte
-	d.occupy(p, cost)
-	d.stats.RegReads++
-	d.stats.RegReadBytes += bytes
-
 	out := make([][]uint64, len(reqs))
-	for i, req := range reqs {
-		vals, err := d.sw.RegReadRange(req.Reg, req.Lo, req.Hi)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = vals
+	if err := d.readInto(p, reqs, out, true); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// BatchReadInto is BatchRead without the result allocation: dst must
+// have one row per request, and each row is refilled in place (append
+// on row[:0], retaining capacity). The agent's steady-state poll path
+// reuses one dst matrix across all iterations.
+func (d *Driver) BatchReadInto(p *sim.Proc, reqs []ReadReq, dst [][]uint64) error {
+	return d.readInto(p, reqs, dst, true)
 }
 
 // ReadEntries dumps a table's installed entries, paying one audit
@@ -293,15 +336,15 @@ func (d *Driver) ReadDefaultAction(p *sim.Proc, table string) (*p4.ActionCall, e
 }
 
 // UnbatchedRead performs the reads one request at a time, each paying
-// the base cost — the ablation counterpart of BatchRead.
+// the base cost — the ablation counterpart of BatchRead. It shares
+// BatchRead's validation and range-cost loop via readInto.
 func (d *Driver) UnbatchedRead(p *sim.Proc, reqs []ReadReq) ([][]uint64, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
 	out := make([][]uint64, len(reqs))
-	for i, req := range reqs {
-		vals, err := d.BatchRead(p, []ReadReq{req})
-		if err != nil {
-			return nil, err
-		}
-		out[i] = vals[0]
+	if err := d.readInto(p, reqs, out, false); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -66,3 +66,15 @@ type Channel interface {
 }
 
 var _ Channel = (*Driver)(nil)
+
+// RangeReader is the optional allocation-free read extension of a
+// Channel. The agent probes for it once at setup: when the channel
+// supports it (the raw *Driver does), steady-state polls refill a
+// preallocated result matrix instead of allocating one per BatchRead;
+// when it doesn't (session, fault, or message-channel wrappers), the
+// agent falls back to BatchRead and copies.
+type RangeReader interface {
+	BatchReadInto(p *sim.Proc, reqs []ReadReq, dst [][]uint64) error
+}
+
+var _ RangeReader = (*Driver)(nil)

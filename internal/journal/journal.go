@@ -171,6 +171,9 @@ type Store interface {
 	SaveCheckpoint(c *Checkpoint) error
 	// LoadCheckpoint returns nil, nil when no checkpoint was ever saved.
 	LoadCheckpoint() (*Checkpoint, error)
+	// WriteIntent must serialize (or deep-copy) the intent before
+	// returning: callers reuse the *Intent and the slices/maps it
+	// references across iterations, so retaining either is a bug.
 	WriteIntent(it *Intent) error
 	// LoadIntent returns nil, nil when no intent is outstanding.
 	LoadIntent() (*Intent, error)

@@ -25,13 +25,24 @@ import (
 // mutates through its drv* wrappers; internal/ctlchan's mutation sites
 // are the Channel mutation methods (client-side encode-and-send, and
 // the server's execute path calling the same methods on the inner
-// channel). The bare Channel names are registered only for ctlchan —
-// applying them to core would flag its own legitimate call sites.
+// channel); internal/ctlplane mutates through the driver submission
+// ring. The bare Channel names are registered only for ctlchan and
+// ctlplane — applying them to core would flag its own legitimate call
+// sites.
+//
+// The ring submit API (internal/driver.Ring) splits submission into
+// staging and execution: Reserve and the Set* encoders are pure host
+// memory and impose no ordering, while Flush is the doorbell that
+// applies every staged descriptor to the switch. Flush is therefore
+// the mutation verb — an intent journaled after Reserve but before
+// Flush still covers the crash window.
 var JournalIntentAnalyzer = &Analyzer{
-	Name:  "journalintent",
-	Doc:   "journal intent writes in internal/core and internal/ctlchan must precede the driver mutations they cover",
-	Match: func(p string) bool { return pathIn(p, "repro/internal/core", "repro/internal/ctlchan") },
-	Run:   runJournalIntent,
+	Name: "journalintent",
+	Doc:  "journal intent writes in internal/core, internal/ctlchan, and internal/ctlplane must precede the driver mutations they cover",
+	Match: func(p string) bool {
+		return pathIn(p, "repro/internal/core", "repro/internal/ctlchan", "repro/internal/ctlplane")
+	},
+	Run: runJournalIntent,
 }
 
 // intentWriters durably record what is about to be done.
@@ -40,15 +51,24 @@ var intentWriters = map[string]bool{
 }
 
 // driverMutators maps a package subtree to its switch-mutating entry
-// points.
+// points. "Flush" (the ring doorbell) appears in every vocabulary that
+// may submit through a ring; the staging half of the ring API
+// (Reserve/Set*) deliberately does not.
 var driverMutators = map[string]map[string]bool{
 	"repro/internal/core": {
 		"drvAddEntry": true, "drvModifyEntry": true, "drvDeleteEntry": true,
 		"drvSetDefaultAction": true, "drvSetHashSeed": true,
+		"Flush": true,
 	},
 	"repro/internal/ctlchan": {
 		"AddEntry": true, "ModifyEntry": true, "DeleteEntry": true,
 		"SetDefaultAction": true, "SetHashSeed": true, "RegWrite": true,
+		"Flush": true,
+	},
+	"repro/internal/ctlplane": {
+		"AddEntry": true, "ModifyEntry": true, "DeleteEntry": true,
+		"SetDefaultAction": true, "SetHashSeed": true, "RegWrite": true,
+		"Flush": true,
 	},
 }
 

@@ -28,6 +28,10 @@ func TestJournalIntentCtlchan(t *testing.T) {
 	linttest.Run(t, lint.JournalIntentAnalyzer, filepath.Join("testdata", "journalintent_ctlchan"), "repro/internal/ctlchan")
 }
 
+func TestJournalIntentCtlplane(t *testing.T) {
+	linttest.Run(t, lint.JournalIntentAnalyzer, filepath.Join("testdata", "journalintent_ctlplane"), "repro/internal/ctlplane")
+}
+
 func TestDiagcode(t *testing.T) {
 	linttest.Run(t, lint.DiagcodeAnalyzer, filepath.Join("testdata", "diagcode"), "repro/internal/compiler/place")
 }
@@ -41,7 +45,7 @@ func TestMatchScoping(t *testing.T) {
 		want []string
 	}{
 		{"repro/internal/driver", []string{"wrapcheck"}},
-		{"repro/internal/ctlplane", []string{"wrapcheck"}},
+		{"repro/internal/ctlplane", []string{"wrapcheck", "journalintent"}},
 		{"repro/internal/faults", []string{"wrapcheck"}},
 		{"repro/internal/sim", []string{"simclock"}},
 		{"repro/internal/rmt", []string{"simclock"}},

@@ -46,3 +46,23 @@ func (a *agent) readsDontCount() {
 	_ = a.journalBegin()
 	a.drvModifyEntry("t", 7)
 }
+
+type ring struct{}
+
+func (rg *ring) Reserve() *ring { return rg }
+func (rg *ring) SetModify()     {}
+func (rg *ring) Flush() error   { return nil }
+
+func (a *agent) goodRingSubmit(rg *ring) {
+	// Reserve/Set* are pure staging: journaling the intent after filling
+	// descriptors but before the doorbell still covers the crash window.
+	rg.Reserve().SetModify()
+	_ = a.journalCommitStaged()
+	_ = rg.Flush()
+}
+
+func (a *agent) badRingSubmit(rg *ring) {
+	rg.Reserve().SetModify()
+	_ = rg.Flush() // want "driver mutation Flush precedes the intent journal write"
+	_ = a.journalCommitStaged()
+}

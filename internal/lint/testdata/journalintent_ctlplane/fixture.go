@@ -1,0 +1,48 @@
+// Fixture for the journalintent analyzer's ring-submit vocabulary
+// (analyzed as repro/internal/ctlplane). The ring API splits submission
+// into staging (Reserve/Set*, pure host memory) and execution (Flush,
+// the doorbell): only Flush is a mutation, so an intent journaled
+// between staging and the doorbell still covers the crash window.
+package ctlplane
+
+type ringOp struct{}
+
+func (op *ringOp) SetModify(t string, h int)         {}
+func (op *ringOp) SetRegWrite(r string, i, v uint64) {}
+
+type ring struct{}
+
+func (rg *ring) Reserve() *ringOp { return &ringOp{} }
+func (rg *ring) Flush() error     { return nil }
+func (rg *ring) Drain()           {}
+
+type svc struct {
+	ring *ring
+}
+
+func (s *svc) WriteIntent() error { return nil }
+
+func (s *svc) goodFlush() {
+	// Staging before the intent is fine: nothing reaches the switch
+	// until the doorbell.
+	op := s.ring.Reserve()
+	op.SetModify("t", 1)
+	_ = s.WriteIntent()
+	_ = s.ring.Flush()
+	s.ring.Drain()
+}
+
+func (s *svc) badFlush() {
+	op := s.ring.Reserve()
+	op.SetRegWrite("r", 0, 1)
+	_ = s.ring.Flush() // want "driver mutation Flush precedes the intent journal write"
+	_ = s.WriteIntent()
+}
+
+func (s *svc) flushOnly() {
+	// No intent write in scope: dispatcher fast path, not flagged.
+	op := s.ring.Reserve()
+	op.SetModify("t", 2)
+	_ = s.ring.Flush()
+	s.ring.Drain()
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/p4"
 	"repro/internal/packet"
+	"repro/internal/rcl"
 	"repro/internal/rmt"
 	"repro/internal/sim"
 )
@@ -31,6 +32,9 @@ func HotPathBenchmarks() []NamedBench {
 		{"ternary_lookup_linear_1k", benchTernaryLinear},
 		{"pipeline_packet", benchPipelinePacket},
 		{"dialogue_iteration", benchDialogueIteration},
+		{"poll_batch", benchPollBatch},
+		{"reaction_dispatch", benchReactionDispatch},
+		{"ring_submit", benchRingSubmit},
 	}
 }
 
@@ -218,12 +222,120 @@ func benchDialogueIteration(b *testing.B) {
 	}
 	drv := driver.New(s, sw, driver.DefaultCostModel())
 	agent := core.NewAgent(s, drv, plan, core.Options{MaxIterations: uint64(b.N)})
+	b.ReportAllocs()
 	b.ResetTimer()
 	agent.Start()
 	s.Run()
 	if err := agent.Err(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// perfRegProgram builds a minimal switch with one 16-cell register for
+// the poll and ring-submit probes.
+func perfRegProgram(name string) *p4.Program {
+	prog := p4.NewProgram(name)
+	prog.DefineStandardMetadata()
+	prog.AddRegister(&p4.Register{Name: "qdepths", Width: 32, Instances: 16})
+	return prog
+}
+
+// benchPollBatch measures the agent's measurement-poll shape: one
+// batched register read per iteration into a caller-owned dst matrix.
+// Steady state must be allocation-free (BatchReadInto refills rows in
+// place).
+func benchPollBatch(b *testing.B) {
+	s := sim.New(1)
+	sw, err := rmt.New(s, perfRegProgram("perf-poll"), rmt.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	drv := driver.New(s, sw, driver.DefaultCostModel())
+	reqs := []driver.ReadReq{{Reg: "qdepths", Lo: 0, Hi: 16}}
+	dst := make([][]uint64, 1)
+	s.Spawn("poll", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := drv.BatchReadInto(p, reqs, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+}
+
+// benchReactionDispatch measures one compiled-reaction execution: the
+// fold from dialogueSrc run through a prepared rcl Frame with bound
+// parameters, isolated from polling and commit. This is the interpreter
+// cost the closure compiler is accountable for.
+func benchReactionDispatch(b *testing.B) {
+	prog, err := rcl.Compile(`
+		uint16_t m = 0;
+		for (int i = 0; i < 16; ++i) { if (qdepths[i] > m) { m = qdepths[i]; } }
+		${v} = m;
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := prog.NewFrame()
+	q := make([]int64, 16)
+	f.BindArray("qdepths", q)
+	host := &noopHost{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q[i%16] = int64(i)
+		if err := f.Exec(host); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// noopHost absorbs malleable writes so benchReactionDispatch measures
+// pure dispatch.
+type noopHost struct{ last int64 }
+
+func (h *noopHost) ReadMbl(string) (int64, error)                   { return h.last, nil }
+func (h *noopHost) WriteMbl(_ string, v int64) error                { h.last = v; return nil }
+func (h *noopHost) TableOp(_, _ string, _ []rcl.Arg) (int64, error) { return 0, nil }
+func (h *noopHost) Call(_ string, _ []rcl.Arg) (int64, error)       { return 0, nil }
+
+// benchRingSubmit measures one submission-ring lap: reserve and encode
+// a dialogue iteration's worth of register writes, flush the doorbell,
+// and drain completions. The descriptors and their buffers are
+// ring-resident, so steady state must be allocation-free.
+func benchRingSubmit(b *testing.B) {
+	const opsPerLap = 8
+	s := sim.New(1)
+	sw, err := rmt.New(s, perfRegProgram("perf-ring"), rmt.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	drv := driver.New(s, sw, driver.DefaultCostModel())
+	ring := driver.NewRing(drv, opsPerLap)
+	s.Spawn("submit", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < opsPerLap; j++ {
+				op, err := ring.Reserve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				op.SetRegWrite("qdepths", uint64(j%16), uint64(i))
+			}
+			if err := ring.Flush(p); err != nil {
+				b.Fatal(err)
+			}
+			ring.Drain(func(op *driver.RingOp) {
+				if op.Err != nil {
+					b.Fatal(op.Err)
+				}
+			})
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
 }
 
 // Run executes the whole suite via testing.Benchmark and returns the

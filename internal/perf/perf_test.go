@@ -135,3 +135,33 @@ func TestHotPathSuite(t *testing.T) {
 		t.Errorf("bucketed TCAM %.1f ns/op not ≥5x faster than linear %.1f ns/op", buck.NsPerOp, lin.NsPerOp)
 	}
 }
+
+// TestZeroAllocSteadyState pins the control-plane fast-path invariant:
+// one dialogue iteration — and each of its decomposed hot stages — heap
+// allocates nothing at steady state. Prologue and warmup costs amortize
+// to zero across testing.Benchmark's iteration count; any per-iteration
+// allocation survives the division and fails here. Skipped under the
+// race detector, whose instrumentation allocates.
+func TestZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	if testing.Short() {
+		t.Skip("benchmark suite is slow")
+	}
+	targets := map[string]bool{
+		"dialogue_iteration": true,
+		"poll_batch":         true,
+		"reaction_dispatch":  true,
+		"ring_submit":        true,
+	}
+	for _, nb := range HotPathBenchmarks() {
+		if !targets[nb.Name] {
+			continue
+		}
+		r := testing.Benchmark(nb.Bench)
+		if a := r.AllocsPerOp(); a != 0 {
+			t.Errorf("%s: %d allocs/op (%d B/op), want 0", nb.Name, a, r.AllocedBytesPerOp())
+		}
+	}
+}

@@ -29,13 +29,25 @@ type Host interface {
 	Call(name string, args []Arg) (int64, error)
 }
 
-// Program is a compiled reaction body. Static variables persist on the
-// Program across Exec calls, mirroring C statics in a loaded .so.
+// Program is a compiled reaction body: the AST lowered into closure
+// trees with compile-time slot resolution (compile.go). Static
+// variables persist on the Program across Exec calls, mirroring C
+// statics in a loaded .so.
 type Program struct {
-	stmts   []Stmt
-	statics map[string]*cell
-	// MaxSteps bounds interpreted operations per invocation; reaction
-	// loops must terminate for the dialogue to advance. 0 = default.
+	stmts []Stmt
+
+	code        []stmtFn
+	nlocals     int
+	params      map[string]int // free name → params-array slot
+	staticCells map[string]*staticCell
+	// compileErr defers semantic errors found during lowering
+	// (redeclaration, bad assignment targets) to Exec time, preserving
+	// the dynamic interpreter's error surface.
+	compileErr error
+
+	// MaxSteps bounds interpreted loop iterations per invocation;
+	// reaction loops must terminate for the dialogue to advance.
+	// 0 = default.
 	MaxSteps int
 }
 
@@ -47,7 +59,13 @@ func Compile(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{stmts: stmts, statics: make(map[string]*cell)}, nil
+	p := &Program{
+		stmts:       stmts,
+		params:      make(map[string]int),
+		staticCells: make(map[string]*staticCell),
+	}
+	p.compile()
+	return p, nil
 }
 
 // ParseBody parses a reaction body and returns its statement AST without
@@ -80,64 +98,26 @@ const (
 	ctrlReturn
 )
 
+// execState is the reusable run-time state of one Frame: the flat
+// locals array (slots assigned at compile time, reused across scopes),
+// the parameter cells Bind* fills, and the stack-disciplined host-call
+// argument scratch. Nothing here allocates after the Frame's first
+// execution.
+type execState struct {
+	locals []cell
+	params []cell
+	bound  []bool // params[i] has been bound by Frame.Bind*
+	argbuf []Arg
+}
+
+// interp is the per-execution context threaded through compiled
+// closures: the host, the state arrays, and the loop step guard.
 type interp struct {
-	prog   *Program
-	host   Host
-	scopes []map[string]*cell
-	steps  int
-	max    int
-}
-
-// Exec runs the reaction once. params binds polled reaction parameters
-// by name: values must be int64 (scalar fields/malleables) or []int64
-// (register slices). Parameter arrays are bound by reference.
-func (p *Program) Exec(host Host, params map[string]any) error {
-	in := &interp{
-		prog:   p,
-		host:   host,
-		scopes: []map[string]*cell{make(map[string]*cell)},
-		max:    p.MaxSteps,
-	}
-	if in.max == 0 {
-		in.max = defaultMaxSteps
-	}
-	for name, v := range params {
-		switch val := v.(type) {
-		case int64:
-			in.scopes[0][name] = &cell{scalar: val, width: 64}
-		case uint64:
-			in.scopes[0][name] = &cell{scalar: int64(val), width: 64}
-		case int:
-			in.scopes[0][name] = &cell{scalar: int64(val), width: 64}
-		case []int64:
-			in.scopes[0][name] = &cell{arr: val, isArr: true}
-		case []uint64:
-			arr := make([]int64, len(val))
-			for i, x := range val {
-				arr[i] = int64(x)
-			}
-			in.scopes[0][name] = &cell{arr: arr, isArr: true}
-		default:
-			return fmt.Errorf("rcl: parameter %s has unsupported type %T", name, v)
-		}
-	}
-	_, err := in.execStmts(p.stmts)
-	return err
-}
-
-func (in *interp) push() { in.scopes = append(in.scopes, make(map[string]*cell)) }
-func (in *interp) pop()  { in.scopes = in.scopes[:len(in.scopes)-1] }
-
-func (in *interp) lookup(name string) (*cell, bool) {
-	for i := len(in.scopes) - 1; i >= 0; i-- {
-		if c, ok := in.scopes[i][name]; ok {
-			return c, true
-		}
-	}
-	if c, ok := in.prog.statics[name]; ok {
-		return c, true
-	}
-	return nil, false
+	prog  *Program
+	host  Host
+	st    *execState
+	steps int
+	max   int
 }
 
 func (in *interp) tick() error {
@@ -148,146 +128,36 @@ func (in *interp) tick() error {
 	return nil
 }
 
-func (in *interp) execStmts(stmts []Stmt) (ctrl, error) {
-	for _, s := range stmts {
-		c, err := in.execStmt(s)
-		if err != nil || c != ctrlNone {
-			return c, err
+// Exec runs the reaction once. params binds polled reaction parameters
+// by name: values must be int64 (scalar fields/malleables) or []int64
+// (register slices). Parameter arrays are bound by reference.
+//
+// Exec builds a throwaway Frame per call and is the convenience path;
+// hot loops (the agent dialogue) should prepare a Frame once and call
+// Frame.Exec so parameter binding and interpreter scratch are reused.
+func (p *Program) Exec(host Host, params map[string]any) error {
+	f := p.NewFrame()
+	for name, v := range params {
+		switch val := v.(type) {
+		case int64:
+			*f.BindScalar(name) = val
+		case uint64:
+			*f.BindScalar(name) = int64(val)
+		case int:
+			*f.BindScalar(name) = int64(val)
+		case []int64:
+			f.BindArray(name, val)
+		case []uint64:
+			arr := make([]int64, len(val))
+			for i, x := range val {
+				arr[i] = int64(x)
+			}
+			f.BindArray(name, arr)
+		default:
+			return fmt.Errorf("rcl: parameter %s has unsupported type %T", name, v)
 		}
 	}
-	return ctrlNone, nil
-}
-
-func (in *interp) execStmt(s Stmt) (ctrl, error) {
-	if err := in.tick(); err != nil {
-		return ctrlNone, err
-	}
-	switch st := s.(type) {
-	case DeclStmt:
-		return ctrlNone, in.execDecl(st)
-	case ExprStmt:
-		_, err := in.eval(st.E)
-		return ctrlNone, err
-	case IfStmt:
-		v, err := in.eval(st.Cond)
-		if err != nil {
-			return ctrlNone, err
-		}
-		in.push()
-		defer in.pop()
-		if v != 0 {
-			return in.execStmts(st.Then)
-		}
-		return in.execStmts(st.Else)
-	case WhileStmt:
-		for {
-			v, err := in.eval(st.Cond)
-			if err != nil {
-				return ctrlNone, err
-			}
-			if v == 0 {
-				return ctrlNone, nil
-			}
-			in.push()
-			c, err := in.execStmts(st.Body)
-			in.pop()
-			if err != nil {
-				return ctrlNone, err
-			}
-			switch c {
-			case ctrlBreak:
-				return ctrlNone, nil
-			case ctrlReturn:
-				return ctrlReturn, nil
-			}
-			if err := in.tick(); err != nil {
-				return ctrlNone, err
-			}
-		}
-	case ForStmt:
-		in.push()
-		defer in.pop()
-		if st.Init != nil {
-			if c, err := in.execStmt(st.Init); err != nil || c != ctrlNone {
-				return c, err
-			}
-		}
-		for {
-			if st.Cond != nil {
-				v, err := in.eval(st.Cond)
-				if err != nil {
-					return ctrlNone, err
-				}
-				if v == 0 {
-					return ctrlNone, nil
-				}
-			}
-			in.push()
-			c, err := in.execStmts(st.Body)
-			in.pop()
-			if err != nil {
-				return ctrlNone, err
-			}
-			switch c {
-			case ctrlBreak:
-				return ctrlNone, nil
-			case ctrlReturn:
-				return ctrlReturn, nil
-			}
-			if st.Post != nil {
-				if _, err := in.eval(st.Post); err != nil {
-					return ctrlNone, err
-				}
-			}
-			if err := in.tick(); err != nil {
-				return ctrlNone, err
-			}
-		}
-	case BreakStmt:
-		return ctrlBreak, nil
-	case ContinueStmt:
-		return ctrlContinue, nil
-	case ReturnStmt:
-		if st.E != nil {
-			if _, err := in.eval(st.E); err != nil {
-				return ctrlNone, err
-			}
-		}
-		return ctrlReturn, nil
-	}
-	return ctrlNone, fmt.Errorf("rcl: unknown statement %T", s)
-}
-
-func (in *interp) execDecl(d DeclStmt) error {
-	for _, v := range d.Vars {
-		if d.Static {
-			if _, exists := in.prog.statics[v.Name]; exists {
-				continue // statics initialize once
-			}
-		} else if _, dup := in.scopes[len(in.scopes)-1][v.Name]; dup {
-			return fmt.Errorf("rcl line %d: redeclaration of %s", d.Line, v.Name)
-		}
-		c := &cell{width: d.Width}
-		if v.ArraySize > 0 {
-			c.isArr = true
-			c.arr = make([]int64, v.ArraySize)
-			if v.Init != nil {
-				return fmt.Errorf("rcl line %d: array initializers are not supported", d.Line)
-			}
-		} else if v.Init != nil {
-			val, err := in.eval(v.Init)
-			if err != nil {
-				return err
-			}
-			c.store(val)
-		}
-		if d.Static {
-			in.prog.statics[v.Name] = c
-		} else {
-			in.scopes[len(in.scopes)-1][v.Name] = c
-		}
-	}
-	return nil
+	return f.Exec(host)
 }
 
 func boolToInt(b bool) int64 {
@@ -295,322 +165,4 @@ func boolToInt(b bool) int64 {
 		return 1
 	}
 	return 0
-}
-
-func (in *interp) eval(e Expr) (int64, error) {
-	if err := in.tick(); err != nil {
-		return 0, err
-	}
-	switch x := e.(type) {
-	case NumLit:
-		return x.V, nil
-	case StrLit:
-		return 0, fmt.Errorf("rcl: string literal used as a value")
-	case VarRef:
-		c, ok := in.lookup(x.Name)
-		if !ok {
-			return 0, fmt.Errorf("rcl line %d: undefined variable %s", x.Line, x.Name)
-		}
-		if c.isArr {
-			return 0, fmt.Errorf("rcl line %d: array %s used as a scalar", x.Line, x.Name)
-		}
-		return c.scalar, nil
-	case MblExpr:
-		return in.host.ReadMbl(x.Name)
-	case IndexExpr:
-		return in.evalIndex(x)
-	case UnaryExpr:
-		return in.evalUnary(x)
-	case BinaryExpr:
-		return in.evalBinary(x)
-	case TernaryExpr:
-		v, err := in.eval(x.Cond)
-		if err != nil {
-			return 0, err
-		}
-		if v != 0 {
-			return in.eval(x.T)
-		}
-		return in.eval(x.F)
-	case AssignExpr:
-		return in.evalAssign(x)
-	case CallExpr:
-		return in.evalCall(x)
-	case TableCallExpr:
-		args, err := in.evalArgs(x.Args)
-		if err != nil {
-			return 0, err
-		}
-		v, err := in.host.TableOp(x.Table, x.Method, args)
-		if err != nil {
-			return 0, fmt.Errorf("rcl line %d: %w", x.Line, err)
-		}
-		return v, nil
-	}
-	return 0, fmt.Errorf("rcl: unknown expression %T", e)
-}
-
-func (in *interp) arrayCell(x IndexExpr) (*cell, int64, error) {
-	base, ok := x.Base.(VarRef)
-	if !ok {
-		return nil, 0, fmt.Errorf("rcl line %d: indexing a non-variable", x.Line)
-	}
-	c, found := in.lookup(base.Name)
-	if !found {
-		return nil, 0, fmt.Errorf("rcl line %d: undefined array %s", x.Line, base.Name)
-	}
-	if !c.isArr {
-		return nil, 0, fmt.Errorf("rcl line %d: %s is not an array", x.Line, base.Name)
-	}
-	idx, err := in.eval(x.Idx)
-	if err != nil {
-		return nil, 0, err
-	}
-	if idx < 0 || idx >= int64(len(c.arr)) {
-		return nil, 0, fmt.Errorf("rcl line %d: index %d out of range for %s[%d]", x.Line, idx, base.Name, len(c.arr))
-	}
-	return c, idx, nil
-}
-
-func (in *interp) evalIndex(x IndexExpr) (int64, error) {
-	c, idx, err := in.arrayCell(x)
-	if err != nil {
-		return 0, err
-	}
-	return c.arr[idx], nil
-}
-
-func (in *interp) evalUnary(x UnaryExpr) (int64, error) {
-	switch x.Op {
-	case "++", "--":
-		old, err := in.loadTarget(x.X)
-		if err != nil {
-			return 0, err
-		}
-		delta := int64(1)
-		if x.Op == "--" {
-			delta = -1
-		}
-		if err := in.storeTarget(x.X, old+delta); err != nil {
-			return 0, err
-		}
-		if x.Postfix {
-			return old, nil
-		}
-		return old + delta, nil
-	}
-	v, err := in.eval(x.X)
-	if err != nil {
-		return 0, err
-	}
-	switch x.Op {
-	case "-":
-		return -v, nil
-	case "~":
-		return ^v, nil
-	case "!":
-		return boolToInt(v == 0), nil
-	}
-	return 0, fmt.Errorf("rcl: unknown unary op %q", x.Op)
-}
-
-func (in *interp) evalBinary(x BinaryExpr) (int64, error) {
-	// Short-circuit logical operators.
-	if x.Op == "&&" || x.Op == "||" {
-		l, err := in.eval(x.L)
-		if err != nil {
-			return 0, err
-		}
-		if x.Op == "&&" && l == 0 {
-			return 0, nil
-		}
-		if x.Op == "||" && l != 0 {
-			return 1, nil
-		}
-		r, err := in.eval(x.R)
-		if err != nil {
-			return 0, err
-		}
-		return boolToInt(r != 0), nil
-	}
-	l, err := in.eval(x.L)
-	if err != nil {
-		return 0, err
-	}
-	r, err := in.eval(x.R)
-	if err != nil {
-		return 0, err
-	}
-	return applyBinop(x.Op, l, r, x.Line)
-}
-
-func applyBinop(op string, l, r int64, line int) (int64, error) {
-	switch op {
-	case "+":
-		return l + r, nil
-	case "-":
-		return l - r, nil
-	case "*":
-		return l * r, nil
-	case "/":
-		if r == 0 {
-			return 0, fmt.Errorf("rcl line %d: division by zero", line)
-		}
-		return l / r, nil
-	case "%":
-		if r == 0 {
-			return 0, fmt.Errorf("rcl line %d: modulo by zero", line)
-		}
-		return l % r, nil
-	case "&":
-		return l & r, nil
-	case "|":
-		return l | r, nil
-	case "^":
-		return l ^ r, nil
-	case "<<":
-		return l << (uint64(r) & 63), nil
-	case ">>":
-		return l >> (uint64(r) & 63), nil
-	case "==":
-		return boolToInt(l == r), nil
-	case "!=":
-		return boolToInt(l != r), nil
-	case "<":
-		return boolToInt(l < r), nil
-	case "<=":
-		return boolToInt(l <= r), nil
-	case ">":
-		return boolToInt(l > r), nil
-	case ">=":
-		return boolToInt(l >= r), nil
-	}
-	return 0, fmt.Errorf("rcl line %d: unknown operator %q", line, op)
-}
-
-func (in *interp) loadTarget(e Expr) (int64, error) {
-	switch e.(type) {
-	case VarRef, IndexExpr, MblExpr:
-		return in.eval(e)
-	}
-	return 0, fmt.Errorf("rcl: invalid assignment target %T", e)
-}
-
-func (in *interp) storeTarget(e Expr, v int64) error {
-	switch t := e.(type) {
-	case VarRef:
-		c, ok := in.lookup(t.Name)
-		if !ok {
-			return fmt.Errorf("rcl line %d: undefined variable %s", t.Line, t.Name)
-		}
-		if c.isArr {
-			return fmt.Errorf("rcl line %d: cannot assign to array %s", t.Line, t.Name)
-		}
-		c.store(v)
-		return nil
-	case IndexExpr:
-		c, idx, err := in.arrayCell(t)
-		if err != nil {
-			return err
-		}
-		c.arr[idx] = v
-		return nil
-	case MblExpr:
-		return in.host.WriteMbl(t.Name, v)
-	}
-	return fmt.Errorf("rcl: invalid assignment target %T", e)
-}
-
-func (in *interp) evalAssign(x AssignExpr) (int64, error) {
-	rhs, err := in.eval(x.Val)
-	if err != nil {
-		return 0, err
-	}
-	if x.Op != "=" {
-		old, err := in.loadTarget(x.Target)
-		if err != nil {
-			return 0, err
-		}
-		op := x.Op[:len(x.Op)-1] // strip '='
-		rhs, err = applyBinop(op, old, rhs, x.Line)
-		if err != nil {
-			return 0, err
-		}
-	}
-	if err := in.storeTarget(x.Target, rhs); err != nil {
-		return 0, err
-	}
-	return rhs, nil
-}
-
-func (in *interp) evalArgs(exprs []Expr) ([]Arg, error) {
-	args := make([]Arg, len(exprs))
-	for i, e := range exprs {
-		if s, ok := e.(StrLit); ok {
-			args[i] = Arg{S: s.S, IsStr: true}
-			continue
-		}
-		v, err := in.eval(e)
-		if err != nil {
-			return nil, err
-		}
-		args[i] = Arg{I: v}
-	}
-	return args, nil
-}
-
-func (in *interp) evalCall(x CallExpr) (int64, error) {
-	// Interpreter-level builtins first.
-	switch x.Name {
-	case "min", "max":
-		if len(x.Args) != 2 {
-			return 0, fmt.Errorf("rcl line %d: %s takes 2 arguments", x.Line, x.Name)
-		}
-		a, err := in.eval(x.Args[0])
-		if err != nil {
-			return 0, err
-		}
-		b, err := in.eval(x.Args[1])
-		if err != nil {
-			return 0, err
-		}
-		if (x.Name == "min") == (a < b) {
-			return a, nil
-		}
-		return b, nil
-	case "abs":
-		if len(x.Args) != 1 {
-			return 0, fmt.Errorf("rcl line %d: abs takes 1 argument", x.Line)
-		}
-		v, err := in.eval(x.Args[0])
-		if err != nil {
-			return 0, err
-		}
-		if v < 0 {
-			return -v, nil
-		}
-		return v, nil
-	case "len":
-		if len(x.Args) != 1 {
-			return 0, fmt.Errorf("rcl line %d: len takes 1 argument", x.Line)
-		}
-		vr, ok := x.Args[0].(VarRef)
-		if !ok {
-			return 0, fmt.Errorf("rcl line %d: len argument must be an array", x.Line)
-		}
-		c, found := in.lookup(vr.Name)
-		if !found || !c.isArr {
-			return 0, fmt.Errorf("rcl line %d: len of non-array %s", x.Line, vr.Name)
-		}
-		return int64(len(c.arr)), nil
-	}
-	args, err := in.evalArgs(x.Args)
-	if err != nil {
-		return 0, err
-	}
-	v, err := in.host.Call(x.Name, args)
-	if err != nil {
-		return 0, fmt.Errorf("rcl line %d: %w", x.Line, err)
-	}
-	return v, nil
 }

@@ -53,10 +53,15 @@ func (r *registerInstance) writeChecked(idx uint64, v uint64) error {
 }
 
 func (r *registerInstance) readRange(lo, hi uint64) ([]uint64, error) {
+	return r.readRangeInto(lo, hi, nil)
+}
+
+// readRangeInto appends cells [lo, hi) to dst and returns the extended
+// slice; with sufficient capacity no allocation occurs. Callers pass
+// buf[:0] to reuse a per-iteration poll buffer.
+func (r *registerInstance) readRangeInto(lo, hi uint64, dst []uint64) ([]uint64, error) {
 	if lo > hi || hi > uint64(len(r.vals)) {
 		return nil, fmt.Errorf("rmt: register %s range [%d,%d) out of bounds [0,%d): %w", r.def.Name, lo, hi, len(r.vals), ErrRegRange)
 	}
-	out := make([]uint64, hi-lo)
-	copy(out, r.vals[lo:hi])
-	return out, nil
+	return append(dst, r.vals[lo:hi]...), nil
 }

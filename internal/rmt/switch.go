@@ -677,6 +677,18 @@ func (sw *Switch) RegReadRange(reg string, lo, hi uint64) ([]uint64, error) {
 	return ri.readRange(lo, hi)
 }
 
+// RegReadRangeInto appends cells [lo, hi) of a register array to dst and
+// returns the extended slice. The allocation-free variant of
+// RegReadRange: with cap(dst) ≥ hi-lo no heap allocation occurs, which
+// the driver's batched poll path relies on.
+func (sw *Switch) RegReadRangeInto(reg string, lo, hi uint64, dst []uint64) ([]uint64, error) {
+	ri, ok := sw.registers[reg]
+	if !ok {
+		return nil, fmt.Errorf("rmt: unknown register %q: %w", reg, ErrUnknownRegister)
+	}
+	return ri.readRangeInto(lo, hi, dst)
+}
+
 // RegWrite writes one register cell from the control plane.
 func (sw *Switch) RegWrite(reg string, idx uint64, v uint64) error {
 	ri, ok := sw.registers[reg]

@@ -129,6 +129,13 @@ type tableInstance struct {
 	defaultAct  *p4.Action
 	defaultCode *caction
 	defaultData []uint64
+	// ownedCall/ownedData back setDefault with table-owned storage: the
+	// installed default must not alias the caller's ActionCall (agents
+	// reuse one as scratch across iterations) nor the program
+	// definition's declared data (aliased at init and shared between
+	// switch instances).
+	ownedCall p4.ActionCall
+	ownedData []uint64
 
 	// codeOf maps action names to their compiled bodies; set by the
 	// owning Switch once all actions are compiled (nil when a
@@ -221,8 +228,11 @@ func (ti *tableInstance) add(e Entry) (EntryHandle, error) {
 	}
 	e.act = ti.prog.Actions[e.Action]
 	e.code = ti.codeOf[e.Action]
-	// Own the Data storage: modify reuses its capacity in place, which
-	// must never scribble over a slice the caller still holds.
+	// Own the Keys and Data storage: modify reuses Data capacity in
+	// place, and callers staging entries in reusable buffers (the driver
+	// submission ring) recycle both slices after the call returns —
+	// neither must ever scribble over an installed entry.
+	e.Keys = append(make([]KeySpec, 0, len(e.Keys)), e.Keys...)
 	e.Data = append(make([]uint64, 0, len(e.Data)), e.Data...)
 	if ti.allExact {
 		key := ti.encodeExact(e.Keys)
@@ -336,10 +346,12 @@ func (ti *tableInstance) setDefault(call *p4.ActionCall) error {
 			return fmt.Errorf("table %s: default action %s takes %d args, got %d: %w",
 				ti.def.Name, call.Action, len(a.Params), len(call.Data), ErrBadEntry)
 		}
-		ti.defaultAction = call
+		ti.ownedData = append(ti.ownedData[:0], call.Data...)
+		ti.ownedCall = p4.ActionCall{Action: call.Action, Data: ti.ownedData}
+		ti.defaultAction = &ti.ownedCall
 		ti.defaultAct = a
 		ti.defaultCode = ti.codeOf[call.Action]
-		ti.defaultData = call.Data
+		ti.defaultData = ti.ownedData
 		return nil
 	}
 	ti.defaultAction = nil

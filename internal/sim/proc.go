@@ -24,7 +24,11 @@ type Proc struct {
 	// simulator goroutine.
 	resume chan struct{}
 	yield  chan struct{}
-	done   bool
+	// handoffFn is the handoff method value, bound once at Spawn so the
+	// steady-state Sleep/Unpark path does not allocate a fresh closure
+	// per scheduling (method values capture the receiver on the heap).
+	handoffFn func()
+	done      bool
 }
 
 // Spawn starts fn as a simulated process at the current virtual time.
@@ -36,6 +40,7 @@ func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	p.handoffFn = p.handoff
 	s.Schedule(0, func() {
 		go func() {
 			<-p.resume
@@ -81,7 +86,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d <= 0 {
 		d = 0
 	}
-	p.sim.Schedule(d, p.handoff)
+	p.sim.Schedule(d, p.handoffFn)
 	p.block()
 }
 
@@ -121,4 +126,4 @@ func (p *Proc) Park() {
 // time (after already-queued same-time events). It must be called from
 // simulator context: inside an event callback or from another running
 // process.
-func (p *Proc) Unpark() { p.sim.Schedule(0, p.handoff) }
+func (p *Proc) Unpark() { p.sim.Schedule(0, p.handoffFn) }
